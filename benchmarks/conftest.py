@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark/evaluation harness.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation (see DESIGN.md's experiment index).  Absolute numbers differ --
+our substrate is a Python simulator, not the authors' Rust testbed -- but
+the *shape* of each result (who detects what, which approach is slower,
+where overheads land) is the reproduction target, and every module prints
+the regenerated table so `pytest benchmarks/ --benchmark-only` doubles as
+the paper-artifact generator.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> str:
+    return REPO_ROOT

@@ -1,0 +1,141 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but quantified versions of its design
+arguments:
+
+* **PCT depth** (section 6 / Burckhardt et al.): PCT's guarantee is
+  parameterised by the bug depth d; a depth-d bug needs >= d priority
+  change points.  We measure detection rate across depths on issue #14.
+* **Bounded model verification scope** (section 3.2): how the cost of the
+  bounded-exhaustive reference-model proof grows with depth, and that the
+  issue-#15 counterexample already appears at tiny scopes (the small-scope
+  hypothesis that makes the technique practical).
+* **Crash-state writeback budgets** (section 5): how many of the bugs'
+  detections come from partial-pump crash states vs the all-or-nothing
+  extremes -- the reason RebootType carries a pump budget at all.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.concurrency import PctExplorer
+from repro.core import (
+    BiasConfig,
+    StoreHarness,
+    run_conformance,
+    verify_chunkstore_model,
+    verify_kv_model,
+)
+from repro.core.alphabet import Alphabet, OpSpec, crash_alphabet, _dirty_reboot_args
+from repro.core.concurrent_harnesses import compaction_reclaim_harness
+from repro.shardstore import Fault, FaultSet
+
+
+def test_ablation_pct_depth(benchmark):
+    """Detection rate of issue #14 as a function of PCT depth."""
+
+    def run():
+        rows = []
+        for depth in (1, 2, 3, 5):
+            explorer = PctExplorer(
+                iterations=150, depth=depth, max_steps_hint=128, seed=3
+            )
+            result = explorer.explore(
+                compaction_reclaim_harness(
+                    FaultSet.only(Fault.COMPACTION_RECLAIM_RACE)
+                )
+            )
+            rows.append((depth, not result.passed, result.executions))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nPCT depth   detected   executions-to-bug")
+    for depth, detected, executions in rows:
+        print(f"{depth:>9}   {detected!s:<8}   {executions}")
+    # The race needs at least one preemption at the right point; some depth
+    # in the sweep must find it.
+    assert any(detected for _, detected, _ in rows)
+
+
+def test_ablation_model_verification_depth(benchmark):
+    """Cost growth of bounded-exhaustive model verification."""
+
+    def run():
+        rows = []
+        for depth in (2, 3, 4):
+            start = time.perf_counter()
+            result = verify_kv_model(depth=depth)
+            rows.append(
+                (depth, result.sequences_checked, time.perf_counter() - start)
+            )
+            assert result.verified
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\ndepth   sequences   seconds")
+    for depth, sequences, seconds in rows:
+        print(f"{depth:>5}   {sequences:>9}   {seconds:7.3f}")
+    # Exponential in depth -- the reason the bound stays small.
+    assert rows[-1][1] > rows[0][1] * 10
+
+
+def test_ablation_small_scope_for_model_bug(benchmark):
+    """Issue #15's counterexample appears at the smallest useful scope."""
+
+    def run():
+        detected_at = None
+        for depth in (1, 2, 3, 4):
+            result = verify_chunkstore_model(
+                depth=depth, faults=FaultSet.only(Fault.MODEL_REUSES_LOCATORS)
+            )
+            if not result.verified:
+                detected_at = depth
+                break
+        return detected_at
+
+    detected_at = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nissue #15 counterexample found at depth {detected_at}")
+    assert detected_at is not None and detected_at <= 4
+
+
+def _crash_alphabet_with_pump(pump_choices) -> Alphabet:
+    base = [spec for spec in crash_alphabet().specs if spec.name != "DirtyReboot"]
+
+    def args(ctx, bias):
+        flush_index = ctx.rng.random() < 0.4
+        flush_superblock = ctx.rng.random() < 0.4
+        return (flush_index, flush_superblock, ctx.rng.choice(pump_choices))
+
+    return Alphabet(base + [OpSpec("DirtyReboot", 0.9, args)])
+
+
+def test_ablation_partial_writeback_matters(benchmark):
+    """Section 5's pump budget: partial crash states find bug #8 faster
+    than all-or-nothing reboots from the same seeds."""
+
+    def detect_within(alphabet, budget=120):
+        report = run_conformance(
+            lambda seed: StoreHarness(
+                FaultSet.only(Fault.CACHE_WRITE_MISSING_SOFT_PTR_DEP), seed
+            ),
+            alphabet,
+            sequences=budget,
+            ops_per_sequence=80,
+            bias=BiasConfig(),
+        )
+        return report.sequences_run if not report.passed else None
+
+    partial, extremes = benchmark.pedantic(
+        lambda: (
+            detect_within(_crash_alphabet_with_pump([0, 1, 4, 16, None])),
+            detect_within(_crash_alphabet_with_pump([0, None])),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nsequences to detect bug #8: mixed pump budgets={partial}, "
+        f"all-or-nothing={'not found' if extremes is None else extremes}"
+    )
+    assert partial is not None

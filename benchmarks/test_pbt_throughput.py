@@ -1,0 +1,76 @@
+"""Pay-as-you-go checking throughput (sections 1 and 4.2).
+
+The paper runs "tens of millions of random test sequences before every
+deployment" -- the checks are pay-as-you-go: run them longer to find more.
+This benchmark measures our conformance engine's sequence throughput at
+several sequence lengths and for each alphabet, the number that calibrates
+how much checking a deployment-gate budget buys on this substrate.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    BiasConfig,
+    StoreHarness,
+    crash_alphabet,
+    failure_alphabet,
+    run_conformance,
+    store_alphabet,
+)
+from repro.shardstore import FaultSet
+
+
+def _run(alphabet, sequences: int, ops: int) -> int:
+    report = run_conformance(
+        lambda seed: StoreHarness(FaultSet.none(), seed),
+        alphabet,
+        sequences=sequences,
+        ops_per_sequence=ops,
+        bias=BiasConfig(),
+    )
+    assert report.passed, report.failure
+    return report.ops_run
+
+
+def test_pbt_throughput_store_alphabet(benchmark):
+    ops_run = benchmark.pedantic(
+        _run, args=(store_alphabet(), 25, 60), rounds=3, iterations=1
+    )
+    print(f"\nstore alphabet: {ops_run} ops per round")
+    assert ops_run == 25 * 60
+
+
+def test_pbt_throughput_crash_alphabet(benchmark):
+    ops_run = benchmark.pedantic(
+        _run, args=(crash_alphabet(), 25, 60), rounds=3, iterations=1
+    )
+    print(f"\ncrash alphabet: {ops_run} ops per round")
+    assert ops_run == 25 * 60
+
+
+def test_pbt_throughput_failure_alphabet(benchmark):
+    ops_run = benchmark.pedantic(
+        _run, args=(failure_alphabet(), 25, 60), rounds=3, iterations=1
+    )
+    print(f"\nfailure alphabet: {ops_run} ops per round")
+    assert ops_run == 25 * 60
+
+
+def test_pbt_scaling_with_sequence_length(benchmark):
+    """Longer sequences reach deeper states; cost scales near-linearly."""
+    import time
+
+    def run():
+        rows = []
+        for ops in (20, 60, 140):
+            t0 = time.perf_counter()
+            _run(store_alphabet(), 10, ops)
+            rows.append((ops, time.perf_counter() - t0))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nops/sequence   seconds per 10 sequences")
+    for ops, seconds in rows:
+        print(f"{ops:>10}     {seconds:8.3f}")
+    # Near-linear: 7x the ops should cost far less than 50x the time.
+    assert rows[-1][1] < rows[0][1] * 60

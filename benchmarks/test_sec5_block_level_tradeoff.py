@@ -1,0 +1,114 @@
+"""Section 5: coarse crash states vs block-level enumeration.
+
+The paper implemented a block-level ``DirtyReboot`` variant that
+exhaustively enumerates crash states (like BOB / CrashMonkey) and found it
+"has not found additional bugs and is dramatically slower", so the coarse
+RebootType approach is the default.  This benchmark reproduces both halves
+of that claim:
+
+* the block-level explorer finds the same crash bug (#8) the coarse
+  checker finds;
+* block-level exploration visits many more states and costs much more
+  wall-clock per history than the coarse sampler.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core import (
+    BiasConfig,
+    StoreHarness,
+    coarse_crash_states,
+    crash_alphabet,
+    explore_block_level,
+    run_conformance,
+    store_alphabet,
+)
+from repro.shardstore import Fault, FaultSet
+
+
+def _prepared_harness(fault_set: FaultSet, seed: int = 0) -> StoreHarness:
+    """A harness advanced through a short history with pending writeback."""
+    harness = StoreHarness(fault_set, seed)
+    alphabet = store_alphabet()
+    rng = random.Random(seed)
+    # Crash-free prefix: put/flush activity leaves a rich pending queue.
+    ops = [
+        op
+        for op in alphabet.generate_sequence(rng, 30, BiasConfig())
+        if op.name not in ("Reboot", "PumpIo")
+    ]
+    failure = harness.run(ops)
+    assert failure is None, failure
+    return harness
+
+
+def test_sec5_block_level_finds_crash_bug(benchmark):
+    """Block-level enumeration detects the missing-dependency bug #8."""
+
+    def run():
+        harness = _prepared_harness(
+            FaultSet.only(Fault.CACHE_WRITE_MISSING_SOFT_PTR_DEP)
+        )
+        return explore_block_level(harness, max_states=400)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nblock-level: {result.states_explored} states explored, "
+        f"{result.states_deduplicated} deduplicated, violation: {result.violation}"
+    )
+    assert result.violation is not None
+
+
+def test_sec5_block_level_clean_baseline(benchmark):
+    """Fault-free: every reachable crash state satisfies persistence."""
+
+    def run():
+        harness = _prepared_harness(FaultSet.none())
+        return explore_block_level(harness, max_states=400)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nblock-level clean: {result.states_explored} states, all consistent")
+    assert result.passed
+    assert result.states_explored > 10
+
+
+def test_sec5_coarse_vs_block_level_cost(benchmark):
+    """The paper's trade-off: same bug, dramatically different cost."""
+
+    def run():
+        timings = {}
+        t0 = time.perf_counter()
+        harness = _prepared_harness(
+            FaultSet.only(Fault.CACHE_WRITE_MISSING_SOFT_PTR_DEP)
+        )
+        t_setup = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        coarse = coarse_crash_states(harness, samples=8)
+        timings["coarse"] = time.perf_counter() - t0
+
+        harness2 = _prepared_harness(
+            FaultSet.only(Fault.CACHE_WRITE_MISSING_SOFT_PTR_DEP)
+        )
+        t0 = time.perf_counter()
+        block = explore_block_level(harness2, max_states=400)
+        timings["block"] = time.perf_counter() - t0
+        return coarse, block, timings, t_setup
+
+    coarse, block, timings, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\ncoarse:      {coarse.states_explored:>5} states, "
+        f"{timings['coarse'] * 1e3:8.1f} ms, "
+        f"found bug: {coarse.violation is not None}"
+    )
+    print(
+        f"block-level: {block.states_explored:>5} states, "
+        f"{timings['block'] * 1e3:8.1f} ms, "
+        f"found bug: {block.violation is not None}"
+    )
+    # Both find the bug; block-level pays for many more states.
+    assert block.violation is not None
+    assert block.states_explored > coarse.states_explored

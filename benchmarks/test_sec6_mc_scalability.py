@@ -1,0 +1,129 @@
+"""Section 6: the soundness-scalability trade-off of model checking.
+
+The paper uses Loom (sound, exhaustive) for small correctness-critical
+code and Shuttle (randomized, PCT) for larger end-to-end harnesses that
+exhaustive checking cannot scale to.  This benchmark quantifies the
+trade-off on our checkers:
+
+* a small harness (the buffer-pool primitive) is exhaustively enumerable,
+  and DFS proves the absence of bugs by exhausting the schedule space;
+* a large harness (the Fig. 4 compaction/reclamation end-to-end test) has
+  an interleaving space DFS cannot exhaust within budget, while PCT finds
+  the injected race in a handful of sampled executions.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.concurrency import DfsExplorer, model
+from repro.core.concurrent_harnesses import (
+    buffer_pool_harness,
+    compaction_reclaim_harness,
+    locator_race_harness,
+)
+from repro.shardstore import Fault, FaultSet
+
+
+def test_sec6_dfs_exhausts_small_harness(benchmark):
+    """Loom-analogue: a small harness is fully enumerable (soundness)."""
+
+    def run():
+        return model(
+            buffer_pool_harness(FaultSet.none()),
+            strategy="dfs",
+            max_executions=20_000,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nDFS on buffer-pool harness: {result.executions} executions, "
+        f"{result.total_steps} steps, exhausted={result.exhausted}"
+    )
+    assert result.passed
+    assert result.exhausted, "small harness must be fully enumerable"
+
+
+def test_sec6_dfs_cannot_exhaust_large_harness(benchmark):
+    """The end-to-end harness's schedule space exceeds the DFS budget."""
+
+    def run():
+        return DfsExplorer(max_executions=200).explore(
+            compaction_reclaim_harness(FaultSet.none())
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nDFS on Fig. 4 harness: {result.executions} executions "
+        f"({result.total_steps} steps) without exhausting the space"
+    )
+    assert not result.exhausted, "end-to-end space should exceed the budget"
+
+
+def test_sec6_pct_scales_to_large_harness(benchmark):
+    """Shuttle-analogue: PCT samples the large space and finds the race."""
+
+    def run():
+        t0 = time.perf_counter()
+        clean = model(
+            compaction_reclaim_harness(FaultSet.none()),
+            strategy="pct",
+            iterations=150,
+            seed=3,
+            pct_steps_hint=128,
+        )
+        t_clean = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        faulty = model(
+            compaction_reclaim_harness(
+                FaultSet.only(Fault.COMPACTION_RECLAIM_RACE)
+            ),
+            strategy="pct",
+            iterations=300,
+            seed=3,
+            pct_steps_hint=128,
+        )
+        t_faulty = time.perf_counter() - t0
+        return clean, faulty, t_clean, t_faulty
+
+    clean, faulty, t_clean, t_faulty = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        f"\nPCT on Fig. 4 harness: clean pass in {clean.executions} executions "
+        f"({t_clean:.1f}s); injected race found in {faulty.executions} "
+        f"executions ({t_faulty:.1f}s)"
+    )
+    assert clean.passed
+    assert not faulty.passed, "PCT must find the issue #14 race"
+
+
+def test_sec6_strategy_comparison_on_known_race(benchmark):
+    """Executions-to-detection across strategies for the same bug (#11)."""
+
+    def run():
+        rows = []
+        for strategy, kwargs in [
+            ("dfs", dict(max_executions=5000)),
+            ("random", dict(iterations=500, seed=5)),
+            ("pct", dict(iterations=500, seed=5)),
+        ]:
+            t0 = time.perf_counter()
+            result = model(
+                locator_race_harness(
+                    FaultSet.only(Fault.LOCATOR_RACE_WRITE_FLUSH)
+                ),
+                strategy=strategy,
+                **kwargs,
+            )
+            rows.append(
+                (strategy, result.executions, not result.passed,
+                 time.perf_counter() - t0)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nstrategy   executions-to-bug   detected   seconds")
+    for strategy, execs, detected, seconds in rows:
+        print(f"{strategy:<10} {execs:>10}          {detected!s:<8} {seconds:7.2f}")
+    assert all(detected for _, _, detected, _ in rows)

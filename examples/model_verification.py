@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Verifying the reference models themselves (section 3.2).
+
+The specifications in this methodology are executable reference models --
+and specifications can be wrong too: the paper's issue #15 was a bug in
+the chunk-store *model* (reused locators), and issue #9 a bug in the
+crash-aware model.  Section 3.2 describes early experiments proving
+properties of the models with the Prusti verifier.
+
+This example reproduces that layer with bounded-exhaustive verification:
+every operation sequence up to a depth bound over a closed argument
+universe, checked against temporal properties.  Within the bound, it is a
+proof.
+
+    python examples/model_verification.py
+"""
+
+from repro.core.model_verify import (
+    verify_chunkstore_model,
+    verify_kv_model,
+)
+from repro.shardstore import Fault, FaultSet
+
+
+def main() -> None:
+    print("== 1. the paper's example property on the KV reference model ==")
+    print("   'a mapping is removed if and only if a delete was received'")
+    result = verify_kv_model(depth=4)
+    assert result.verified
+    print(f"   verified over ALL {result.sequences_checked:,} operation "
+          f"sequences up to depth {result.max_depth} (a bounded proof)\n")
+
+    print("== 2. the chunk-store model's locator-uniqueness invariant ==")
+    result = verify_chunkstore_model(depth=5)
+    assert result.verified
+    print(f"   verified over {result.sequences_checked:,} sequences\n")
+
+    print("== 3. re-inject the paper's issue #15 (model reuses locators) ==")
+    result = verify_chunkstore_model(
+        depth=5, faults=FaultSet.only(Fault.MODEL_REUSES_LOCATORS)
+    )
+    assert not result.verified
+    print(f"   counterexample found: {result.message}")
+    print("   sequence:")
+    for op in result.counterexample:
+        print(f"     {op}")
+    print("\n   (the small-scope hypothesis at work: the spec bug that bit "
+          "the paper's team\n   is provably present within a handful of "
+          "operations)")
+
+
+if __name__ == "__main__":
+    main()

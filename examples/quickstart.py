@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: a ShardStore key-value store and its durability promises.
+
+Runs a single-disk store through the basic API -- put/get/delete -- and
+shows the soft-updates machinery the paper is built around: every mutating
+operation returns a ``Dependency`` that can be polled with
+``is_persistent()``, writeback happens asynchronously in dependency order,
+and a clean reboot recovers everything.
+
+    python examples/quickstart.py
+"""
+
+from repro.shardstore import NotFoundError, StoreConfig, StoreSystem
+
+
+def main() -> None:
+    system = StoreSystem(StoreConfig(seed=42))
+    store = system.store
+
+    print("== putting three shards ==")
+    deps = {}
+    for name, payload in [
+        (b"shard-alpha", b"A" * 300),
+        (b"shard-beta", b"B" * 150),
+        (b"shard-gamma", b"C" * 500),
+    ]:
+        deps[name] = store.put(name, payload)
+        print(f"  put {name.decode():<12} ({len(payload)} bytes)  "
+              f"persistent={deps[name].is_persistent()}")
+
+    print("\n== reads are served immediately (write-back is asynchronous) ==")
+    print(f"  get shard-beta -> {len(store.get(b'shard-beta'))} bytes")
+    print(f"  pending IO records: {store.pending_io_count}")
+
+    print("\n== durability arrives as the IO scheduler writes back ==")
+    store.flush_index()       # the index entry leg of each put's dependency
+    store.flush_superblock()  # the soft-write-pointer leg
+    while store.pending_io_count:
+        store.pump(4)
+        persistent = sum(1 for d in deps.values() if d.is_persistent())
+        print(f"  pumped 4 IOs; persistent puts: {persistent}/3, "
+              f"pending: {store.pending_io_count}")
+
+    print("\n== delete and clean reboot ==")
+    store.delete(b"shard-beta")
+    store = system.clean_reboot()
+    print(f"  keys after reboot: {[k.decode() for k in store.keys()]}")
+    try:
+        store.get(b"shard-beta")
+    except NotFoundError:
+        print("  shard-beta is gone (tombstone persisted), as expected")
+    assert store.get(b"shard-alpha") == b"A" * 300
+    assert store.get(b"shard-gamma") == b"C" * 500
+    print("  surviving shards read back intact")
+
+    print("\n== forward progress (section 5): after a clean shutdown, every "
+          "dependency reports persistent ==")
+    print(f"  {all(d.is_persistent() for d in deps.values())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro: a reproduction of "Using Lightweight Formal Methods to Validate a
+Key-Value Storage Node in Amazon S3" (Bornholt et al., SOSP 2021).
+
+The package has two halves, mirroring the paper:
+
+* :mod:`repro.shardstore` -- the system under validation: a complete
+  Python implementation of the ShardStore key-value storage node
+  (append-only extent disk, soft-updates crash consistency via runtime
+  ``Dependency`` graphs, a WiscKey-style LSM-tree index, chunk storage and
+  garbage collection, a buffer cache, and a multi-disk RPC layer), plus a
+  registry of the paper's 16 production-prevented bugs as injectable
+  faults.
+
+* the validation stack -- the paper's actual contribution:
+
+  - :mod:`repro.models` -- executable reference models (the specifications),
+  - :mod:`repro.core` -- property-based conformance checking, test-case
+    minimization, crash-consistency checking, failure injection, coverage,
+  - :mod:`repro.concurrency` -- stateless model checking (exhaustive,
+    random, and PCT strategies) with linearizability and deadlock checks,
+  - :mod:`repro.serialization` -- deserializer hardening and the
+    panic-freedom fuzz harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,276 @@
+"""Command-line interface: run the validation suites from a shell.
+
+The paper's checks are "pay-as-you-go": run them longer to find more, both
+on a laptop during development and at scale before deployments.  This CLI
+is that knob — each subcommand is one checker with its budget exposed:
+
+    python -m repro conformance --alphabet crash --sequences 500
+    python -m repro conformance --fault CACHE_WRITE_MISSING_SOFT_PTR_DEP --minimize
+    python -m repro mc --harness compaction-reclaim --strategy pct --iterations 300
+    python -m repro fuzz --iterations 20000
+    python -m repro verify-models --depth 4
+    python -m repro fig5
+    python -m repro loc
+
+Exit status is 0 when every check passed and 1 when any found an issue,
+so the commands drop straight into CI gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+_ALPHABETS = ("store", "crash", "failure", "node")
+_HARNESSES = (
+    "locator-race",
+    "buffer-pool",
+    "list-remove",
+    "compaction-reclaim",
+    "bulk-race",
+    "linearizability",
+)
+
+
+def _parse_fault(name: Optional[str]):
+    from repro.shardstore import Fault, FaultSet
+
+    if name is None:
+        return FaultSet.none()
+    try:
+        return FaultSet.only(Fault[name])
+    except KeyError:
+        valid = ", ".join(f.name for f in Fault)
+        raise SystemExit(f"unknown fault {name!r}; one of: {valid}")
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.core import (
+        BiasConfig,
+        NodeHarness,
+        StoreHarness,
+        crash_alphabet,
+        failure_alphabet,
+        minimize,
+        node_alphabet,
+        replay_fails,
+        run_conformance,
+        store_alphabet,
+    )
+
+    faults = _parse_fault(args.fault)
+    bias = BiasConfig.unbiased() if args.unbiased else BiasConfig()
+    alphabet = {
+        "store": store_alphabet,
+        "crash": crash_alphabet,
+        "failure": failure_alphabet,
+        "node": node_alphabet,
+    }[args.alphabet]()
+    if args.alphabet == "node":
+        factory = lambda seed: NodeHarness(faults, seed)  # noqa: E731
+        ctx = {"num_disks": 3}
+    else:
+        factory = lambda seed: StoreHarness(  # noqa: E731
+            faults, seed, uuid_magic_bias=args.uuid_bias
+        )
+        ctx = None
+    report = run_conformance(
+        factory,
+        alphabet,
+        sequences=args.sequences,
+        ops_per_sequence=args.ops,
+        bias=bias,
+        base_seed=args.seed,
+        ctx_kwargs=ctx,
+    )
+    print(
+        f"{report.sequences_run} sequences x {args.ops} ops "
+        f"({report.ops_run} operations total)"
+    )
+    if report.passed:
+        print("PASS: no conformance violation found")
+        return 0
+    print(f"FAIL: {report.failure}")
+    print(f"  failing seed: {report.failing_seed}")
+    if args.minimize:
+        fails = replay_fails(factory, report.failing_seed)
+        reduced, stats = minimize(report.failing_sequence, fails)
+        print(
+            f"  minimized {stats.initial_ops} -> {stats.final_ops} ops "
+            f"({stats.candidates_tried} candidates):"
+        )
+        for op in reduced:
+            print(f"    {op}")
+    return 1
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from repro.concurrency import model
+    from repro.core import concurrent_harnesses as harnesses
+
+    factory_fn = {
+        "locator-race": harnesses.locator_race_harness,
+        "buffer-pool": harnesses.buffer_pool_harness,
+        "list-remove": harnesses.list_remove_harness,
+        "compaction-reclaim": harnesses.compaction_reclaim_harness,
+        "bulk-race": harnesses.bulk_race_harness,
+        "linearizability": harnesses.linearizability_harness,
+    }[args.harness]
+    faults = _parse_fault(args.fault)
+    result = model(
+        factory_fn(faults),
+        strategy=args.strategy,
+        iterations=args.iterations,
+        seed=args.seed,
+        pct_steps_hint=args.pct_steps_hint,
+        max_executions=args.iterations if args.strategy == "dfs" else 20_000,
+    )
+    print(
+        f"{result.executions} executions, {result.total_steps} scheduling "
+        f"decisions, exhausted={result.exhausted}"
+    )
+    if result.passed:
+        print("PASS: no failing interleaving found")
+        return 0
+    print(f"FAIL: {result.failure}")
+    print(f"  failing schedule: {len(result.failing_schedule)} decisions")
+    return 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.serialization.fuzz import (
+        check_exhaustive,
+        check_fuzz,
+        standard_corpus,
+        standard_decoders,
+    )
+
+    status = 0
+    for name, decoder in standard_decoders():
+        exhaustive = check_exhaustive(decoder, max_len=args.exhaustive_len, name=name)
+        fuzz = check_fuzz(
+            decoder,
+            iterations=args.iterations,
+            seed=args.seed,
+            corpus=standard_corpus(),
+            name=name,
+        )
+        verdict = "PASS" if exhaustive.passed and fuzz.passed else "FAIL"
+        print(
+            f"{verdict} {name}: exhaustive<= {args.exhaustive_len}B "
+            f"({exhaustive.inputs_tried} inputs), fuzz {fuzz.inputs_tried} "
+            f"inputs ({fuzz.decoded_ok} ok / {fuzz.rejected} rejected)"
+        )
+        for report in (exhaustive, fuzz):
+            if not report.passed:
+                print(f"  panic on {report.panic_input!r}: {report.panic!r}")
+                status = 1
+    return status
+
+
+def _cmd_verify_models(args: argparse.Namespace) -> int:
+    from repro.core.model_verify import verify_chunkstore_model, verify_kv_model
+
+    status = 0
+    for name, result in [
+        ("kv-model", verify_kv_model(depth=args.depth)),
+        ("chunkstore-model", verify_chunkstore_model(depth=args.depth + 1)),
+    ]:
+        if result.verified:
+            print(
+                f"PASS {name}: {result.sequences_checked} sequences to depth "
+                f"{result.max_depth}"
+            )
+        else:
+            print(f"FAIL {name}: {result.message}")
+            print(f"  counterexample: {[str(op) for op in result.counterexample]}")
+            status = 1
+    return status
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))), "benchmarks")
+    )
+    try:
+        from test_fig5_detection_matrix import _run_matrix  # type: ignore
+    except ImportError:
+        print("fig5 requires the repository checkout (benchmarks/ on disk)")
+        return 2
+    from repro.core import detection_matrix
+
+    outcomes = _run_matrix()
+    print(detection_matrix(outcomes))
+    return 0 if all(outcome.detected for outcome in outcomes) else 1
+
+
+def _cmd_loc(args: argparse.Namespace) -> int:
+    from repro.core import loc_table
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    print(loc_table(root))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lightweight-formal-methods validation suites "
+        "(SOSP 2021 ShardStore reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    conf = sub.add_parser("conformance", help="property-based conformance checking")
+    conf.add_argument("--alphabet", choices=_ALPHABETS, default="store")
+    conf.add_argument("--sequences", type=int, default=100)
+    conf.add_argument("--ops", type=int, default=80)
+    conf.add_argument("--seed", type=int, default=0)
+    conf.add_argument("--fault", help="inject one Fault by name")
+    conf.add_argument("--uuid-bias", type=float, default=0.0)
+    conf.add_argument("--unbiased", action="store_true")
+    conf.add_argument("--minimize", action="store_true")
+    conf.set_defaults(fn=_cmd_conformance)
+
+    mc = sub.add_parser("mc", help="stateless model checking")
+    mc.add_argument("--harness", choices=_HARNESSES, required=True)
+    mc.add_argument("--strategy", choices=("dfs", "random", "pct"), default="pct")
+    mc.add_argument("--iterations", type=int, default=200)
+    mc.add_argument("--seed", type=int, default=0)
+    mc.add_argument("--pct-steps-hint", type=int, default=128)
+    mc.add_argument("--fault", help="inject one Fault by name")
+    mc.set_defaults(fn=_cmd_mc)
+
+    fuzz = sub.add_parser("fuzz", help="deserializer panic-freedom checking")
+    fuzz.add_argument("--iterations", type=int, default=10_000)
+    fuzz.add_argument("--exhaustive-len", type=int, default=2)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.set_defaults(fn=_cmd_fuzz)
+
+    verify = sub.add_parser(
+        "verify-models", help="bounded-exhaustive reference-model verification"
+    )
+    verify.add_argument("--depth", type=int, default=4)
+    verify.set_defaults(fn=_cmd_verify_models)
+
+    fig5 = sub.add_parser("fig5", help="regenerate the Fig. 5 detection matrix")
+    fig5.set_defaults(fn=_cmd_fig5)
+
+    loc = sub.add_parser("loc", help="regenerate the Fig. 6 lines-of-code table")
+    loc.add_argument("--root")
+    loc.set_defaults(fn=_cmd_loc)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Stateless model checking: the Loom/Shuttle substrate (section 6)."""
+
+from .explorer import (
+    DfsExplorer,
+    ExplorationResult,
+    PctExplorer,
+    RandomExplorer,
+    replay,
+)
+from .model import model
+from .primitives import (
+    AtomicCell,
+    RwLock,
+    Condvar,
+    Mutex,
+    TaskHandle,
+    current_scheduler,
+    install_scheduler,
+    spawn,
+    yield_point,
+)
+from .scheduler import DeadlockError, FixedSchedule, ModelScheduler, Strategy, TaskFailed
+
+__all__ = [
+    "AtomicCell",
+    "Condvar",
+    "DeadlockError",
+    "DfsExplorer",
+    "ExplorationResult",
+    "FixedSchedule",
+    "ModelScheduler",
+    "Mutex",
+    "PctExplorer",
+    "RandomExplorer",
+    "RwLock",
+    "Strategy",
+    "TaskFailed",
+    "TaskHandle",
+    "current_scheduler",
+    "install_scheduler",
+    "model",
+    "replay",
+    "spawn",
+    "yield_point",
+]

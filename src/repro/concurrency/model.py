@@ -1,0 +1,61 @@
+"""``model(...)``: the Loom-style entry point for concurrency harnesses.
+
+Mirrors ``loom::model(|| { ... })`` (the paper's Fig. 4): pass a closure
+that sets up state, spawns tasks with
+:func:`repro.concurrency.primitives.spawn`, joins them, and asserts.  The
+checker explores interleavings of every instrumented synchronisation
+operation inside the closure.
+
+Strategy selection mirrors the paper's tool split: ``"dfs"`` soundly
+explores *all* interleavings (use for small, correctness-critical
+harnesses); ``"pct"`` and ``"random"`` sample (use for large end-to-end
+harnesses that DFS cannot scale to).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .explorer import (
+    DfsExplorer,
+    ExplorationResult,
+    PctExplorer,
+    RandomExplorer,
+)
+
+
+def model(
+    body_factory: Callable[[], Callable[[], None]],
+    *,
+    strategy: str = "dfs",
+    iterations: int = 200,
+    pct_depth: int = 3,
+    pct_steps_hint: int = 64,
+    seed: int = 0,
+    max_executions: int = 20_000,
+) -> ExplorationResult:
+    """Explore interleavings of the concurrent test body.
+
+    ``body_factory`` is called once per execution and must return a fresh
+    test body (state must not leak between executions -- the checker
+    replays the body many times).
+
+    Returns an :class:`ExplorationResult`; ``result.passed`` is False if
+    any interleaving raised (assertion failure) or deadlocked, in which
+    case ``result.failing_schedule`` replays it via
+    :func:`repro.concurrency.explorer.replay`.
+    """
+    if strategy == "dfs":
+        explorer = DfsExplorer(max_executions=max_executions)
+    elif strategy == "random":
+        explorer = RandomExplorer(iterations=iterations, seed=seed)
+    elif strategy == "pct":
+        explorer = PctExplorer(
+            iterations=iterations,
+            depth=pct_depth,
+            max_steps_hint=pct_steps_hint,
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return explorer.explore(body_factory)

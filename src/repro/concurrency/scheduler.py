@@ -1,0 +1,263 @@
+"""The stateless model checking scheduler (section 6).
+
+Serialises real Python threads so that exactly one runs at a time, with
+context switches only at instrumented *yield points* (lock operations,
+atomic accesses, explicit ``yield_point`` calls).  A *strategy* decides
+which runnable task runs at each point; replaying the same decision
+sequence replays the same execution, which is what makes executions
+deterministic, failures reproducible, and exhaustive enumeration possible.
+
+This is the architecture of AWS's Shuttle checker (and of Loom): the
+program under test runs unmodified, scheduling is the only controlled
+source of non-determinism, and the checker explores interleavings either
+exhaustively (small harnesses) or randomly/with PCT (large ones).
+
+Deadlock detection falls out naturally: if no task is runnable and some
+are blocked, the blocked tasks' wake predicates can never become true
+(nothing else will ever run), so the execution is deadlocked -- the
+paper's issue #12 is caught exactly this way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .primitives import SchedulerProtocol, TaskHandle, install_scheduler
+
+
+class DeadlockError(Exception):
+    """All live tasks are blocked; no wake predicate can ever fire."""
+
+
+class TaskFailed(Exception):
+    """A task raised; carries the original exception and the schedule."""
+
+    def __init__(self, task_name: str, original: BaseException, schedule: List[int]):
+        super().__init__(f"task {task_name!r} failed: {original!r}")
+        self.task_name = task_name
+        self.original = original
+        self.schedule = schedule
+
+
+@dataclass
+class _Task:
+    task_id: int
+    name: str
+    thread: Optional[threading.Thread] = None
+    resume: threading.Event = field(default_factory=threading.Event)
+    yielded: threading.Event = field(default_factory=threading.Event)
+    finished: bool = False
+    blocked_reason: Optional[str] = None
+    wake_check: Optional[Callable[[], bool]] = None
+    exception: Optional[BaseException] = None
+    last_yield_reason: str = ""
+
+
+class Strategy:
+    """Chooses which runnable task runs next.  One instance per execution."""
+
+    def choose(self, runnable: List[int], step: int) -> int:
+        raise NotImplementedError
+
+
+class FixedSchedule(Strategy):
+    """Replays a recorded decision sequence (for failure reproduction)."""
+
+    def __init__(self, schedule: List[int]) -> None:
+        self.schedule = list(schedule)
+
+    def choose(self, runnable: List[int], step: int) -> int:
+        if step < len(self.schedule) and self.schedule[step] in runnable:
+            return self.schedule[step]
+        return runnable[0]
+
+
+class ModelScheduler(SchedulerProtocol):
+    """Runs one execution of a concurrent test body under a strategy."""
+
+    def __init__(self, strategy: Strategy, max_steps: int = 200_000) -> None:
+        self.strategy = strategy
+        self.max_steps = max_steps
+        self._tasks: Dict[int, _Task] = {}
+        self._by_thread: Dict[int, _Task] = {}
+        self._next_id = 0
+        self._steps = 0
+        #: The decision made at every scheduling point (replayable).
+        self.schedule_trace: List[int] = []
+        #: Human-readable yield reasons, for debugging failing schedules.
+        self.step_log: List[str] = []
+        #: Set when the run is over: parked tasks free-run to completion.
+        self._released = False
+
+    # ------------------------------------------------------------------
+    # task-side API (called from worker threads via primitives)
+
+    def current_task(self) -> _Task:
+        return self._by_thread[threading.get_ident()]
+
+    def yield_point(self, reason: str = "") -> None:
+        task = self._by_thread.get(threading.get_ident())
+        if task is None:
+            return  # a non-model thread wandered in; ignore
+        task.last_yield_reason = reason
+        self._pause(task)
+
+    def block_current(self, reason: str, wake_check: Callable[[], bool]) -> None:
+        task = self.current_task()
+        task.blocked_reason = reason
+        task.wake_check = wake_check
+        task.last_yield_reason = f"blocked: {reason}"
+        self._pause(task)
+
+    def _pause(self, task: _Task) -> None:
+        if self._released:
+            return  # run is over; free-run to completion
+        task.yielded.set()
+        task.resume.wait()
+        if not self._released:
+            task.resume.clear()
+
+    def spawn(self, fn: Callable[[], None], name: str) -> TaskHandle:
+        task = self._register(name)
+
+        def body() -> None:
+            self._by_thread[threading.get_ident()] = task
+            task.resume.wait()
+            task.resume.clear()
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - reported to driver
+                task.exception = exc
+            finally:
+                task.finished = True
+                task.yielded.set()
+
+        task.thread = threading.Thread(target=body, name=name, daemon=True)
+        task.thread.start()
+        return TaskHandle(lambda: self._join(task))
+
+    def _join(self, waiting_on: _Task) -> None:
+        """Called from a task; blocks it until ``waiting_on`` finishes."""
+        if not waiting_on.finished:
+            self.block_current(
+                f"join {waiting_on.name}", lambda: waiting_on.finished
+            )
+
+    def _register(self, name: str) -> _Task:
+        task = _Task(task_id=self._next_id, name=name)
+        self._next_id += 1
+        self._tasks[task.task_id] = task
+        return task
+
+    # ------------------------------------------------------------------
+    # driver side
+
+    def run(self, body: Callable[[], None]) -> None:
+        """Execute ``body`` (as task 0) to completion under the strategy.
+
+        Raises :class:`TaskFailed` if any task raises, :class:`DeadlockError`
+        on deadlock.
+        """
+        install_scheduler(self)
+        try:
+            main = self._register("main")
+            main.thread = threading.Thread(
+                target=self._main_body, args=(main, body), name="main", daemon=True
+            )
+            main.thread.start()
+            self._loop()
+        finally:
+            install_scheduler(None)
+            self._release_stragglers()
+        for task in self._tasks.values():
+            if task.exception is not None:
+                raise TaskFailed(task.name, task.exception, self.schedule_trace)
+
+    def _main_body(self, task: _Task, body: Callable[[], None]) -> None:
+        self._by_thread[threading.get_ident()] = task
+        task.resume.wait()
+        task.resume.clear()
+        try:
+            body()
+        except BaseException as exc:  # noqa: BLE001
+            task.exception = exc
+        finally:
+            task.finished = True
+            task.yielded.set()
+
+    def _loop(self) -> None:
+        while True:
+            runnable = self._runnable()
+            live = [t for t in self._tasks.values() if not t.finished]
+            if not live:
+                return
+            if any(t.exception is not None for t in self._tasks.values()):
+                # A task failed; stop exploring, run the rest to completion
+                # so threads terminate (their work no longer matters).
+                runnable = [t.task_id for t in live if self._can_run(t)]
+                if not runnable:
+                    return
+                choice = runnable[0]
+            elif not runnable:
+                blocked = {
+                    t.name: t.blocked_reason
+                    for t in live
+                    if t.blocked_reason is not None
+                }
+                raise DeadlockError(f"all tasks blocked: {blocked}")
+            else:
+                choice = self.strategy.choose(sorted(runnable), self._steps)
+                self.schedule_trace.append(choice)
+            task = self._tasks[choice]
+            self.step_log.append(f"{task.name}: {task.last_yield_reason}")
+            self._steps += 1
+            if self._steps > self.max_steps:
+                raise RuntimeError("model checking exceeded max steps")
+            self._step(task)
+
+    def _runnable(self) -> List[int]:
+        out = []
+        for task in self._tasks.values():
+            if not task.finished and self._can_run(task):
+                out.append(task.task_id)
+        return out
+
+    def _can_run(self, task: _Task) -> bool:
+        if task.finished:
+            return False
+        if task.wake_check is not None:
+            return bool(task.wake_check())
+        return True
+
+    def _step(self, task: _Task) -> None:
+        """Resume one task until its next yield point (or completion)."""
+        task.blocked_reason = None
+        task.wake_check = None
+        task.yielded.clear()
+        task.resume.set()
+        task.yielded.wait()
+
+    def _release_stragglers(self) -> None:
+        """Let any still-parked threads run to completion un-scheduled.
+
+        Sets the released flag (turning every later yield/block into a
+        no-op) and keeps waking parked threads until they finish -- a
+        deadlocked execution's threads were blocked only in the scheduler,
+        so they always terminate once freed.
+        """
+        self._released = True
+        deadline = time.time() + 2.0
+        while time.time() < deadline:
+            alive = [
+                t
+                for t in self._tasks.values()
+                if t.thread is not None and t.thread.is_alive()
+            ]
+            if not alive:
+                return
+            for task in alive:
+                task.resume.set()
+            time.sleep(0.005)

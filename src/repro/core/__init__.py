@@ -1,0 +1,107 @@
+"""The validation stack: the paper's contribution (sections 3-5).
+
+Property-based conformance checking against executable reference models,
+argument biasing, test-case minimization, crash-consistency checking (the
+persistence and forward-progress properties), failure injection with
+relaxed equivalence, coverage metrics, and linearizability checking.
+"""
+
+from .alphabet import (
+    Alphabet,
+    BiasConfig,
+    GenContext,
+    Operation,
+    OpSpec,
+    crash_alphabet,
+    failure_alphabet,
+    node_alphabet,
+    store_alphabet,
+)
+from .conformance import (
+    CheckFailure,
+    ChunkStoreModelHarness,
+    ConformanceReport,
+    Harness,
+    NodeHarness,
+    StoreHarness,
+    replay_fails,
+    run_conformance,
+)
+from .coverage import CoverageReport, LineCoverage, measure
+from .crash_checker import (
+    CrashExplorationResult,
+    coarse_crash_states,
+    explore_block_level,
+)
+from .linearizability import (
+    HistoryOp,
+    HistoryRecorder,
+    check_linearizable,
+    kv_fingerprint,
+    kv_model_apply,
+    kv_model_factory,
+)
+from .model_verify import (
+    VerifyResult,
+    verify_chunkstore_model,
+    verify_kv_model,
+    verify_model,
+)
+from .minimize import (
+    Minimizer,
+    MinimizeStats,
+    minimize,
+    sequence_bytes,
+    sequence_crashes,
+)
+from .report import (
+    DetectionOutcome,
+    count_lines,
+    detection_matrix,
+    loc_table,
+)
+
+__all__ = [
+    "Alphabet",
+    "BiasConfig",
+    "CheckFailure",
+    "ChunkStoreModelHarness",
+    "ConformanceReport",
+    "CoverageReport",
+    "CrashExplorationResult",
+    "DetectionOutcome",
+    "GenContext",
+    "Harness",
+    "HistoryOp",
+    "HistoryRecorder",
+    "LineCoverage",
+    "MinimizeStats",
+    "Minimizer",
+    "NodeHarness",
+    "OpSpec",
+    "Operation",
+    "StoreHarness",
+    "VerifyResult",
+    "check_linearizable",
+    "coarse_crash_states",
+    "count_lines",
+    "crash_alphabet",
+    "detection_matrix",
+    "explore_block_level",
+    "failure_alphabet",
+    "kv_fingerprint",
+    "kv_model_apply",
+    "kv_model_factory",
+    "loc_table",
+    "measure",
+    "minimize",
+    "node_alphabet",
+    "replay_fails",
+    "run_conformance",
+    "sequence_bytes",
+    "sequence_crashes",
+    "store_alphabet",
+    "verify_chunkstore_model",
+    "verify_kv_model",
+    "verify_model",
+]

@@ -1,0 +1,780 @@
+"""Conformance checking: implementation vs reference model (section 4).
+
+The engine applies a generated operation sequence to both the ShardStore
+implementation and its reference model, compares results operation by
+operation, and checks cross-invariants (same key-value mapping) after each
+step -- Fig. 3's ``proptest_index`` pattern generalised over alphabets.
+
+Three harness flavours mirror the paper's property decomposition
+(section 3.1):
+
+* :class:`StoreHarness` -- sequential executions of one store.  In plain
+  mode (no crash ops) the equivalence check is strict.  ``DirtyReboot``
+  operations (section 5) trigger the crash-consistency checks: the
+  *persistence* property via :class:`~repro.models.crash.CrashAwareModel`
+  and, on clean ``Reboot``, the *forward-progress* property.  Failure
+  injection ops (section 4.4) flip the harness into relaxed "has failed"
+  equivalence: operations may fail with no data, but may never return
+  wrong data.
+* :class:`NodeHarness` -- the multi-disk RPC/control-plane API against the
+  plain dict model.
+* :class:`ChunkStoreModelHarness` -- exercises the *reference model* of the
+  chunk store against its own invariants (locator uniqueness), which is how
+  the paper's issue #15 (a bug in the model itself) is caught.
+
+Everything is deterministic: the system under test is seeded from the
+harness seed and all randomness in generated arguments lives in the
+operation sequence itself, so a failing sequence replays and minimizes
+(section 4.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.models.chunkstore import ReferenceChunkStore
+from repro.models.crash import CrashAwareModel
+from repro.models.kvstore import ReferenceKvStore
+from repro.shardstore.config import StoreConfig
+from repro.shardstore.dependency import Dependency
+from repro.shardstore.disk import DiskGeometry, FailureMode
+from repro.shardstore.errors import (
+    CorruptionError,
+    ExtentError,
+    InvalidRequestError,
+    IoError,
+    NotFoundError,
+    RetryableError,
+    ShardStoreError,
+)
+from repro.shardstore.faults import FaultSet
+from repro.shardstore.rpc import StorageNode
+from repro.shardstore.store import RebootType, StoreSystem
+
+from .alphabet import Alphabet, BiasConfig, Operation
+
+
+@dataclass
+class CheckFailure:
+    """A conformance violation: which operation, and what went wrong."""
+
+    op_index: int
+    op: Operation
+    message: str
+
+    def __str__(self) -> str:
+        return f"op[{self.op_index}] {self.op}: {self.message}"
+
+
+class Harness:
+    """Interface every conformance harness implements."""
+
+    def apply(self, index: int, op: Operation) -> Optional[CheckFailure]:
+        raise NotImplementedError
+
+    def run(self, ops: Sequence[Operation]) -> Optional[CheckFailure]:
+        for index, op in enumerate(ops):
+            failure = self.apply(index, op)
+            if failure is not None:
+                return failure
+        return None
+
+
+def _small_test_config(faults: FaultSet, seed: int, uuid_magic_bias: float) -> StoreConfig:
+    """A store config sized so tests reach reclamation/rotation paths fast."""
+    return StoreConfig(
+        geometry=DiskGeometry(num_extents=12, extent_size=4096, page_size=128),
+        faults=faults,
+        seed=seed,
+        uuid_magic_bias=uuid_magic_bias,
+    )
+
+
+class StoreHarness(Harness):
+    """Single-store conformance with optional crash and failure checking."""
+
+    def __init__(
+        self,
+        faults: Optional[FaultSet] = None,
+        seed: int = 0,
+        *,
+        uuid_magic_bias: float = 0.0,
+        config: Optional[StoreConfig] = None,
+    ) -> None:
+        self.faults = faults or FaultSet.none()
+        self.system = StoreSystem(
+            config or _small_test_config(self.faults, seed, uuid_magic_bias)
+        )
+        self.model = ReferenceKvStore()
+        self.crash_model = CrashAwareModel(self.faults)
+        self.has_failed = False
+        #: Keys whose implementation state is uncertain after a failed op:
+        #: maps key -> set of byte values it may hold (None in the set means
+        #: "may be absent").
+        self._uncertain: Dict[bytes, Set[Optional[bytes]]] = {}
+        #: Forward progress is only owed to operations issued since the
+        #: last dirty crash -- earlier ops may have been (legally) lost.
+        self._crash_epoch_start = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self):
+        return self.system.store
+
+    def apply(self, index: int, op: Operation) -> Optional[CheckFailure]:
+        handler = getattr(self, f"_op_{op.name.lower()}", None)
+        if handler is None:
+            return CheckFailure(index, op, f"unknown operation {op.name}")
+        if op.name in ("Get", "Put", "Delete") and op.args:
+            failure = self._check_invalid_key(index, op)
+            if failure is not None or not _valid_key(op.args[0]):
+                return failure  # both sides rejected (or one wrongly didn't)
+        try:
+            message = handler(*op.args)
+        except ShardStoreError as exc:
+            return CheckFailure(index, op, f"unexpected {type(exc).__name__}: {exc}")
+        if message is not None:
+            return CheckFailure(index, op, message)
+        return self._check_invariants(index, op)
+
+    def _check_invalid_key(self, index: int, op: Operation) -> Optional[CheckFailure]:
+        """Invalid keys (shrinkers produce them) must be rejected by both
+        sides identically -- and are then not a conformance failure."""
+        key = op.args[0]
+        if _valid_key(key):
+            return None
+        try:
+            self.store.get(key)
+            impl_rejects = False
+        except InvalidRequestError:
+            impl_rejects = True
+        except ShardStoreError:
+            impl_rejects = False
+        if not impl_rejects:
+            return CheckFailure(
+                index, op, f"implementation accepted invalid key {key!r}"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # request-plane operations
+
+    def _op_get(self, key: bytes) -> Optional[str]:
+        model_value: Optional[bytes]
+        try:
+            model_value = self.model.get(key)
+        except NotFoundError:
+            model_value = None
+        try:
+            impl_value: Optional[bytes] = self.store.get(key)
+            impl_error = None
+        except (NotFoundError, CorruptionError, IoError, ExtentError) as exc:
+            impl_value = None
+            impl_error = exc
+        allowed = self._allowed_values(key, model_value)
+        if impl_error is not None:
+            if isinstance(impl_error, NotFoundError) and None in allowed:
+                return None
+            if isinstance(impl_error, IoError):
+                # An injected IO error may fail the read outright: "allowed
+                # to fail by returning no data" (section 4.4).  The key's
+                # state is untouched; later reads must still be right.
+                return None
+            if key in self._uncertain:
+                return None  # this key's state is legitimately unknown
+            return f"get failed but model has {_render(model_value)}: {impl_error}"
+        if impl_value in allowed:
+            if self.has_failed and impl_value is not None:
+                # A successful read pins down the uncertain state.
+                self._uncertain.pop(key, None)
+            return None
+        return (
+            f"get returned wrong data: {_render(impl_value)} not in "
+            f"allowed {{{', '.join(_render(v) for v in allowed)}}}"
+        )
+
+    def _allowed_values(self, key: bytes, model_value: Optional[bytes]) -> Set[Optional[bytes]]:
+        allowed: Set[Optional[bytes]] = {model_value}
+        if key in self._uncertain:
+            allowed |= self._uncertain[key]
+        return allowed
+
+    def _op_put(self, key: bytes, value: bytes) -> Optional[str]:
+        try:
+            dep = self.store.put(key, value)
+        except (IoError, ExtentError) as exc:
+            # IO failure mid-put, or out of space.  The model is not updated
+            # (the put did not happen as far as the caller knows), but the
+            # implementation may have partially applied it.
+            self.has_failed = True
+            self._note_uncertain(key, value)
+            return None
+        self.model.put(key, value)
+        self.crash_model.record_put(key, value, dep)
+        if key in self._uncertain:
+            del self._uncertain[key]
+        return None
+
+    def _op_delete(self, key: bytes) -> Optional[str]:
+        try:
+            dep = self.store.delete(key)
+        except (IoError, ExtentError):
+            self.has_failed = True
+            self._note_uncertain(key, None)
+            return None
+        self.model.delete(key)
+        self.crash_model.record_delete(key, dep)
+        if key in self._uncertain:
+            del self._uncertain[key]
+        return None
+
+    def _note_uncertain(self, key: bytes, attempted: Optional[bytes]) -> None:
+        entry = self._uncertain.setdefault(key, set())
+        try:
+            entry.add(self.model.get(key))
+        except NotFoundError:
+            entry.add(None)
+        entry.add(attempted)
+
+    # ------------------------------------------------------------------
+    # background operations (no-ops in the model)
+
+    def _op_flushindex(self) -> Optional[str]:
+        return self._background(self.store.flush_index)
+
+    def _op_flushsuperblock(self) -> Optional[str]:
+        return self._background(self.store.flush_superblock)
+
+    def _op_compact(self) -> Optional[str]:
+        return self._background(self.store.compact)
+
+    def _op_reclaim(self, extent: int) -> Optional[str]:
+        return self._background(lambda: self.store.reclaim(extent))
+
+    def _op_partialreclaim(self, extent: int, limit: int) -> Optional[str]:
+        """An interrupted GC pass (preemption mid-reclamation)."""
+        return self._background(
+            lambda: self.store.reclaim(extent, max_evacuations=max(0, limit))
+        )
+
+    def _op_pumpio(self, n: int) -> Optional[str]:
+        return self._background(lambda: self.store.pump(max(0, n)))
+
+    def _op_scrub(self) -> Optional[str]:
+        """Scrubbing must find no corruption on a healthy store."""
+        try:
+            report = self.store.scrub()
+        except (IoError, ExtentError):
+            self.has_failed = True
+            return None
+        if self.has_failed or self._uncertain:
+            return None  # partially-applied writes may legitimately scan bad
+        if not report.clean:
+            key, message = report.errors[0]
+            return f"scrub found corruption at {key}: {message}"
+        return None
+
+    def _background(self, fn: Callable[[], object]) -> Optional[str]:
+        try:
+            fn()
+        except (IoError, ExtentError):
+            # Injected IO failures abort background work; that is allowed.
+            self.has_failed = True
+        return None
+
+    # ------------------------------------------------------------------
+    # reboots (crash-consistency properties, section 5)
+
+    def _op_reboot(self) -> Optional[str]:
+        try:
+            self.system.clean_reboot()
+        except (IoError, ExtentError) as exc:
+            if self.has_failed:
+                return None
+            return f"clean reboot failed (forward-progress violation): {exc}"
+        if not self.has_failed:
+            stuck = [
+                op
+                for op in self.crash_model.unpersisted_ops()
+                if op.index >= self._crash_epoch_start
+            ]
+            if stuck:
+                op = stuck[0]
+                return (
+                    "forward progress violated: dependency of op "
+                    f"#{op.index} on key {op.key!r} is not persistent after "
+                    "a clean shutdown"
+                )
+        return None
+
+    def _op_dirtyreboot(
+        self, flush_index: bool, flush_superblock: bool, pump: Optional[int]
+    ) -> Optional[str]:
+        touched = self.store.reclaimer.last_touched_keys
+        try:
+            self.system.dirty_reboot(
+                RebootType(
+                    flush_index=flush_index,
+                    flush_superblock=flush_superblock,
+                    pump=pump,
+                )
+            )
+        except (IoError, ExtentError):
+            self.has_failed = True
+            return None
+        self.crash_model.on_crash(touched)
+        failure = self._check_persistence()
+        if failure is not None:
+            return failure
+        self._resync_after_crash()
+        self._crash_epoch_start = self.crash_model.op_count
+        return None
+
+    def _check_persistence(self) -> Optional[str]:
+        """The section 5 persistence property, against the crashed state."""
+        if self.has_failed:
+            return None
+        for key in self.crash_model.tracked_keys():
+            allowed = self.crash_model.allowed_after_crash(key)
+            try:
+                observed: Optional[bytes] = self.store.get(key)
+            except (NotFoundError, CorruptionError, ExtentError):
+                observed = None
+            if not allowed.permits(observed):
+                return (
+                    f"persistence violated for key {key!r}: observed "
+                    f"{_render(observed)}, allowed values "
+                    f"{{{', '.join(_render(v) for v in sorted(allowed.values))}}}"
+                    f"{' or absent' if allowed.absent_allowed else ''}"
+                )
+        return None
+
+    def _resync_after_crash(self) -> None:
+        """Adopt the (legal) post-crash state as the new model baseline."""
+        tracker = self.system.tracker
+        observed: Dict[bytes, bytes] = {}
+        for key in self.store.keys():
+            try:
+                observed[key] = self.store.get(key)
+            except (NotFoundError, CorruptionError, ExtentError):
+                continue
+        self.model = ReferenceKvStore()
+        for key, value in observed.items():
+            self.model.put(key, value)
+            # Anchor the observation: post-crash readable implies durable,
+            # so later crashes must preserve it unless superseded.
+            self.crash_model.record_put(key, value, Dependency.root(tracker))
+        for key in self.crash_model.tracked_keys():
+            if key not in observed:
+                self.crash_model.record_delete(key, Dependency.root(tracker))
+        self._uncertain.clear()
+
+    # ------------------------------------------------------------------
+    # failure injection (section 4.4)
+
+    def _op_faildiskonce(self, extent: int) -> Optional[str]:
+        if not 0 <= extent < self.system.config.geometry.num_extents:
+            return None  # shrunk/out-of-range extent: nothing to arm
+        self.system.disk.arm_fault(extent, FailureMode.ONCE)
+        self.has_failed = True
+        return None
+
+    def _op_clearfaults(self) -> Optional[str]:
+        self.system.disk.clear_faults()
+        return None
+
+    # ------------------------------------------------------------------
+    # cross-invariants (Fig. 3 line 24)
+
+    def _check_invariants(self, index: int, op: Operation) -> Optional[CheckFailure]:
+        """Fig. 3 line 24: both sides must store the same mapping.
+
+        Keys whose state is uncertain after an injected failure are skipped
+        (the paper's relaxed equivalence); everything else stays strict --
+        in particular, failures elsewhere never excuse wrong or lost data
+        on untouched keys, which is exactly how issue #5 (reclamation
+        forgetting chunks after a read error) is caught.
+        """
+        try:
+            impl_keys = set(self.store.keys())
+        except IoError:
+            return None  # enumeration itself hit an injected fault
+        model_keys = set(self.model.keys())
+        uncertain = set(self._uncertain)
+        if (impl_keys - uncertain) != (model_keys - uncertain):
+            missing = model_keys - impl_keys - uncertain
+            extra = impl_keys - model_keys - uncertain
+            return CheckFailure(
+                index,
+                op,
+                f"key sets diverge: missing {sorted(missing)!r}, "
+                f"extra {sorted(extra)!r}",
+            )
+        for key in model_keys - uncertain:
+            try:
+                impl_value = self.store.get(key)
+            except IoError:
+                continue  # injected read failure; key state untouched
+            except ShardStoreError as exc:
+                return CheckFailure(
+                    index, op, f"invariant get({key!r}) failed: {exc}"
+                )
+            if impl_value != self.model.get(key):
+                return CheckFailure(
+                    index,
+                    op,
+                    f"value diverges for {key!r}: impl has "
+                    f"{_render(impl_value)}, model {_render(self.model.get(key))}",
+                )
+        return None
+
+
+class NodeHarness(Harness):
+    """Storage-node (RPC + control plane) conformance (issues #4 etc.).
+
+    With ``wire=True`` every request-plane operation is marshalled through
+    the messaging protocol (:mod:`repro.shardstore.protocol`) -- encode,
+    dispatch, decode -- so the request-parsing and routing layer the
+    paper's section 8.3 singles out is validated by the same conformance
+    properties as the store beneath it.
+    """
+
+    def __init__(
+        self,
+        faults: Optional[FaultSet] = None,
+        seed: int = 0,
+        num_disks: int = 3,
+        *,
+        wire: bool = False,
+    ) -> None:
+        self.faults = faults or FaultSet.none()
+        self.node = StorageNode(
+            num_disks=num_disks,
+            config=_small_test_config(self.faults, seed, 0.0),
+        )
+        self.model = ReferenceKvStore()
+        self.wire = wire
+
+    # -- wire-mode plumbing ---------------------------------------------
+
+    def _wire(self, request):
+        from repro.shardstore.protocol import (
+            decode_response,
+            dispatch,
+            encode_request,
+        )
+
+        return decode_response(dispatch(self.node, encode_request(request)))
+
+    def _wire_get(self, key: bytes) -> Optional[bytes]:
+        from repro.shardstore.protocol import Request
+
+        response = self._wire(Request(op="get", key=key))
+        if response.status == "ok":
+            return response.value
+        if response.status in ("not_found", "retry"):
+            return None
+        raise CorruptionError(f"wire get failed: {response.message}")
+
+    def apply(self, index: int, op: Operation) -> Optional[CheckFailure]:
+        try:
+            message = self._dispatch(op)
+        except ShardStoreError as exc:
+            return CheckFailure(index, op, f"unexpected {type(exc).__name__}: {exc}")
+        if message is not None:
+            return CheckFailure(index, op, message)
+        return None
+
+    def _dispatch(self, op: Operation) -> Optional[str]:
+        if self.wire and op.name in ("Put", "Get", "Delete", "ListShards"):
+            return self._dispatch_wire(op)
+        name, args = op.name, op.args
+        if name in ("Put", "Get", "Delete") and args and not _valid_key(args[0]):
+            try:
+                self.node.get(args[0])
+                return f"node accepted invalid key {args[0]!r}"
+            except InvalidRequestError:
+                return None
+            except ShardStoreError:
+                return f"node mishandled invalid key {args[0]!r}"
+        if name == "BulkCreate":
+            (pairs,) = args
+            pairs = tuple(p for p in pairs if _valid_key(p[0]))
+            op = Operation(name, (pairs,))
+            name, args = op.name, op.args
+        if name == "BulkDelete":
+            (keys,) = args
+            keys = tuple(k for k in keys if _valid_key(k))
+            op = Operation(name, (keys,))
+            name, args = op.name, op.args
+        if name == "Put":
+            key, value = args
+            self.node.put(key, value)
+            self.model.put(key, value)
+            return None
+        if name == "Get":
+            (key,) = args
+            try:
+                model_value: Optional[bytes] = self.model.get(key)
+            except NotFoundError:
+                model_value = None
+            try:
+                impl_value: Optional[bytes] = self.node.get(key)
+            except (NotFoundError, RetryableError):
+                impl_value = None
+            except CorruptionError as exc:
+                return f"get corrupted: {exc}"
+            if impl_value != model_value:
+                return (
+                    f"get diverges: impl {_render(impl_value)}, "
+                    f"model {_render(model_value)}"
+                )
+            return None
+        if name == "Delete":
+            (key,) = args
+            try:
+                self.node.delete(key)
+            except RetryableError:
+                return None  # target out of service; model keeps the key
+            self.model.delete(key)
+            return None
+        if name == "ListShards":
+            listed = set(self.node.list_shards())
+            expected = set(self.model.keys())
+            if listed != expected:
+                return (
+                    f"listing diverges: impl {sorted(listed)!r}, "
+                    f"model {sorted(expected)!r}"
+                )
+            return None
+        if name == "BulkCreate":
+            (pairs,) = args
+            self.node.bulk_create(list(pairs))
+            for key, value in pairs:
+                self.model.put(key, value)
+            return None
+        if name == "BulkDelete":
+            (keys,) = args
+            self.node.bulk_delete(list(keys))
+            for key in keys:
+                self.model.delete(key)
+            return None
+        if name == "MigrateShard":
+            key, target = args
+            try:
+                moved = self.node.migrate_shard(key, target)
+            except RetryableError:
+                return None  # target out of service: allowed failure
+            if moved != self.model.contains(key):
+                return (
+                    f"migrate_shard({key!r}) returned {moved}, model "
+                    f"says present={self.model.contains(key)}"
+                )
+            return self._check_all_keys()
+        if name == "RemoveDisk":
+            (disk_id,) = args
+            try:
+                self.node.remove_disk(disk_id)
+            except InvalidRequestError:
+                pass  # already removed / last disk: allowed no-op
+            return self._check_all_keys()
+        if name == "ReturnDisk":
+            (disk_id,) = args
+            try:
+                self.node.return_disk(disk_id)
+            except InvalidRequestError:
+                pass
+            return self._check_all_keys()
+        return f"unknown operation {name}"
+
+    def _dispatch_wire(self, op: Operation) -> Optional[str]:
+        """Request-plane ops marshalled through the messaging protocol."""
+        from repro.shardstore.protocol import Request
+
+        name, args = op.name, op.args
+        if name in ("Put", "Get", "Delete") and args and not _valid_key(args[0]):
+            response = self._wire(Request(op="get", key=args[0]))
+            if response.status != "invalid":
+                return f"wire accepted invalid key {args[0]!r}: {response}"
+            return None
+        if name == "Put":
+            key, value = args
+            response = self._wire(Request(op="put", key=key, value=value))
+            if not response.ok:
+                return f"wire put failed: {response}"
+            self.model.put(key, value)
+            return None
+        if name == "Get":
+            (key,) = args
+            observed = self._wire_get(key)
+            try:
+                expected: Optional[bytes] = self.model.get(key)
+            except NotFoundError:
+                expected = None
+            if observed != expected:
+                return (
+                    f"wire get diverges: impl {_render(observed)}, "
+                    f"model {_render(expected)}"
+                )
+            return None
+        if name == "Delete":
+            (key,) = args
+            response = self._wire(Request(op="delete", key=key))
+            if response.status == "retry":
+                return None  # out-of-service target; model keeps the key
+            if not response.ok:
+                return f"wire delete failed: {response}"
+            self.model.delete(key)
+            return None
+        if name == "ListShards":
+            from repro.shardstore.protocol import Request as _Request
+
+            response = self._wire(_Request(op="list"))
+            if not response.ok:
+                return f"wire list failed: {response}"
+            if sorted(response.shards) != self.model.keys():
+                return (
+                    f"wire listing diverges: {sorted(response.shards)!r} vs "
+                    f"{self.model.keys()!r}"
+                )
+            return None
+        return f"wire mode cannot route {name}"
+
+    def _check_all_keys(self) -> Optional[str]:
+        """Control-plane ops must never lose or change shards."""
+        for key in self.model.keys():
+            try:
+                impl_value = self.node.get(key)
+            except RetryableError:
+                continue  # temporarily unroutable is availability, not loss
+            except ShardStoreError as exc:
+                return f"shard {key!r} lost by control-plane op: {exc}"
+            if impl_value != self.model.get(key):
+                return (
+                    f"shard {key!r} changed by control-plane op: "
+                    f"{_render(impl_value)} != {_render(self.model.get(key))}"
+                )
+        return None
+
+
+class ChunkStoreModelHarness(Harness):
+    """Checks the chunk-store *reference model's* own invariants.
+
+    The paper's issue #15 was a bug in the model, not the implementation;
+    this harness is the invariant check that caught it.
+    """
+
+    def __init__(self, faults: Optional[FaultSet] = None, seed: int = 0) -> None:
+        self.model = ReferenceChunkStore(faults or FaultSet.none())
+        self._live: List = []
+
+    def apply(self, index: int, op: Operation) -> Optional[CheckFailure]:
+        if op.name == "Put":
+            _, value = op.args
+            locator = self.model.put(value)
+            self._live.append((locator, value))
+        elif op.name == "Delete":
+            if self._live:
+                locator, _ = self._live.pop(0)
+                self.model.delete(locator)
+        elif op.name == "Get":
+            for locator, value in self._live:
+                try:
+                    stored = self.model.get(locator)
+                except NotFoundError:
+                    return CheckFailure(
+                        index, op, f"live locator {int(locator)} unreadable"
+                    )
+                if stored != value:
+                    return CheckFailure(
+                        index,
+                        op,
+                        f"locator {int(locator)} returns wrong data "
+                        "(aliased by reuse?)",
+                    )
+        if not self.model.locators_unique():
+            return CheckFailure(index, op, "model issued a duplicate locator")
+        return None
+
+
+# ----------------------------------------------------------------------
+# the runner
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a conformance run (many random sequences)."""
+
+    sequences_run: int = 0
+    ops_run: int = 0
+    failure: Optional[CheckFailure] = None
+    failing_sequence: Optional[List[Operation]] = None
+    failing_seed: Optional[int] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.failure is None
+
+
+def run_conformance(
+    harness_factory: Callable[[int], Harness],
+    alphabet: Alphabet,
+    *,
+    sequences: int = 50,
+    ops_per_sequence: int = 60,
+    bias: Optional[BiasConfig] = None,
+    base_seed: int = 0,
+    ctx_kwargs: Optional[dict] = None,
+) -> ConformanceReport:
+    """Run many random sequences; stop at (and report) the first failure.
+
+    ``harness_factory(seed)`` must build a fresh, deterministic harness:
+    replaying the same seed and sequence must reproduce the failure, which
+    is what makes minimization possible.
+    """
+    bias = bias or BiasConfig()
+    report = ConformanceReport()
+    kwargs = ctx_kwargs or {}
+    for sequence_index in range(sequences):
+        seed = base_seed + sequence_index
+        rng = random.Random(seed)
+        ops = alphabet.generate_sequence(rng, ops_per_sequence, bias, **kwargs)
+        harness = harness_factory(seed)
+        failure = harness.run(ops)
+        report.sequences_run += 1
+        report.ops_run += len(ops)
+        if failure is not None:
+            report.failure = failure
+            report.failing_sequence = ops
+            report.failing_seed = seed
+            return report
+    return report
+
+
+def replay_fails(
+    harness_factory: Callable[[int], Harness], seed: int
+) -> Callable[[List[Operation]], bool]:
+    """A deterministic failure predicate for the minimizer."""
+
+    def fails(ops: List[Operation]) -> bool:
+        harness = harness_factory(seed)
+        return harness.run(list(ops)) is not None
+
+    return fails
+
+
+def _valid_key(key) -> bool:
+    from repro.shardstore.store import MAX_KEY_LEN
+
+    return isinstance(key, bytes) and 0 < len(key) <= MAX_KEY_LEN
+
+
+def _render(value: Optional[bytes]) -> str:
+    if value is None:
+        return "<absent>"
+    if len(value) > 16:
+        return f"<{len(value)} bytes>"
+    return repr(value)

@@ -1,0 +1,183 @@
+"""Crash-state exploration beyond the coarse DirtyReboot (section 5).
+
+The default crash-consistency checking lives in
+:class:`~repro.core.conformance.StoreHarness`: ``DirtyReboot(RebootType)``
+operations choose component flushes and a writeback budget, which is the
+paper's coarse-but-scalable approach.
+
+This module adds the paper's *block-level* variant (compared to BOB and
+CrashMonkey in section 5): from a given point in a history, exhaustively
+enumerate the crash states reachable by any writeback order -- every
+dependency-respecting subset of the pending IO queue -- and run the
+persistence check in each.  The paper found this "has not found additional
+bugs and is dramatically slower", and keeps it off by default; the
+benchmark ``benchmarks/test_sec5_block_level_tradeoff.py`` reproduces that
+comparison.
+
+Implementation: the durable medium, durability tracker, and scheduler all
+support snapshot/restore, so exploration is a DFS over ``pump_one(extent)``
+choices with states deduplicated by their durable-record set.  At every
+state we simulate the crash on the real recovery path (drop pending,
+recover a fresh store) and evaluate the persistence property with the
+harness's crash-aware model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.shardstore.store import ShardStore, StoreSystem
+
+from .conformance import StoreHarness
+
+
+@dataclass
+class CrashExplorationResult:
+    """Outcome of block-level crash-state enumeration."""
+
+    states_explored: int = 0
+    states_deduplicated: int = 0
+    truncated: bool = False  # hit the state budget
+    violation: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.violation is None
+
+
+def explore_block_level(
+    harness: StoreHarness, *, max_states: int = 512
+) -> CrashExplorationResult:
+    """Enumerate reachable crash states from the harness's current point.
+
+    Every visited state corresponds to one dependency-respecting prefix of
+    writeback choices; for each, the real recovery path runs and the
+    section 5 persistence property is checked.  The harness is restored to
+    its pre-exploration state before returning.
+    """
+    system = harness.system
+    scheduler = system.store.scheduler
+    result = CrashExplorationResult()
+    seen: Set[frozenset] = set()
+
+    disk_snap = system.disk.snapshot()
+    tracker_snap = system.tracker.snapshot()
+    sched_snap = scheduler.snapshot()
+
+    def check_crash_here() -> Optional[str]:
+        """Crash in the current (snapshot-restorable) state and check."""
+        inner_disk = system.disk.snapshot()
+        inner_tracker = system.tracker.snapshot()
+        inner_sched = scheduler.snapshot()
+        scheduler.drop_pending()
+        recovered = ShardStore(
+            system.disk,
+            system.tracker,
+            system.config,
+            rng=random.Random(0xC0FFEE),
+            recover=True,
+        )
+        violation = _persistence_violation(harness, recovered)
+        system.disk.restore(inner_disk)
+        system.tracker.restore(inner_tracker)
+        scheduler.restore(inner_sched)
+        return violation
+
+    def dfs() -> Optional[str]:
+        durable_set = frozenset(
+            record_id
+            for record_id in range(system.tracker.snapshot()[0])
+            if system.tracker.is_durable(record_id)
+        )
+        if durable_set in seen:
+            result.states_deduplicated += 1
+            return None
+        seen.add(durable_set)
+        if result.states_explored >= max_states:
+            result.truncated = True
+            return None
+        result.states_explored += 1
+        violation = check_crash_here()
+        if violation is not None:
+            return violation
+        for extent in scheduler.eligible_extents():
+            branch_disk = system.disk.snapshot()
+            branch_tracker = system.tracker.snapshot()
+            branch_sched = scheduler.snapshot()
+            scheduler.pump_one(extent)
+            violation = dfs()
+            system.disk.restore(branch_disk)
+            system.tracker.restore(branch_tracker)
+            scheduler.restore(branch_sched)
+            if violation is not None:
+                return violation
+        return None
+
+    result.violation = dfs()
+    system.disk.restore(disk_snap)
+    system.tracker.restore(tracker_snap)
+    scheduler.restore(sched_snap)
+    return result
+
+
+def _persistence_violation(
+    harness: StoreHarness, recovered: ShardStore
+) -> Optional[str]:
+    """The section 5 persistence property against a recovered store."""
+    from repro.shardstore.errors import ShardStoreError
+
+    for key in harness.crash_model.tracked_keys():
+        allowed = harness.crash_model.allowed_after_crash(key)
+        try:
+            observed: Optional[bytes] = recovered.get(key)
+        except ShardStoreError:
+            observed = None
+        if not allowed.permits(observed):
+            return (
+                f"persistence violated for key {key!r} in block-level crash "
+                f"state: observed "
+                f"{'<absent>' if observed is None else f'<{len(observed)} bytes>'}"
+            )
+    return None
+
+
+def coarse_crash_states(
+    harness: StoreHarness, *, samples: int = 16, seed: int = 0
+) -> CrashExplorationResult:
+    """The coarse comparison point: sample N random pump budgets.
+
+    This is what a single ``DirtyReboot(pump=k)`` operation explores; the
+    section 5 trade-off benchmark contrasts its cost and coverage with
+    :func:`explore_block_level`.
+    """
+    system = harness.system
+    scheduler = system.store.scheduler
+    rng = random.Random(seed)
+    result = CrashExplorationResult()
+
+    disk_snap = system.disk.snapshot()
+    tracker_snap = system.tracker.snapshot()
+    sched_snap = scheduler.snapshot()
+    pending = scheduler.pending_count
+    for _ in range(samples):
+        budget = rng.randrange(0, pending + 1) if pending else 0
+        scheduler.pump(budget)
+        scheduler.drop_pending()
+        recovered = ShardStore(
+            system.disk,
+            system.tracker,
+            system.config,
+            rng=random.Random(0xC0FFEE),
+            recover=True,
+        )
+        result.states_explored += 1
+        violation = _persistence_violation(harness, recovered)
+        system.disk.restore(disk_snap)
+        system.tracker.restore(tracker_snap)
+        scheduler.restore(sched_snap)
+        if violation is not None:
+            result.violation = violation
+            return result
+    return result

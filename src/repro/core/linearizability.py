@@ -1,0 +1,159 @@
+"""Linearizability checking against a sequential reference model.
+
+The paper's concurrency property (section 6): concurrent executions of
+ShardStore should be linearizable with respect to the sequential reference
+models.  The concurrency harnesses record a *history* -- per-operation
+invocation and response timestamps (the model checker's step counter is
+the logical clock) plus observed results -- and this module checks whether
+some linearization (a total order consistent with the real-time partial
+order) explains every observed result under the reference model.
+
+The algorithm is Wing & Gong's exhaustive search: repeatedly pick a
+minimal (no earlier-returning operation still pending) operation, apply it
+to the model, and backtrack when the observed result disagrees.  With
+memoisation on (pending-set, model-state) it handles the history sizes our
+harnesses produce comfortably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class HistoryOp:
+    """One completed operation in a concurrent history."""
+
+    op_id: int
+    name: str
+    args: Tuple
+    result: Any
+    invoked_at: int
+    returned_at: int
+
+
+class HistoryRecorder:
+    """Collects a history from a concurrent harness.
+
+    A shared logical clock is enough inside the model checker, because
+    execution is serialised: invocation/response order is exact.
+    """
+
+    def __init__(self) -> None:
+        self._clock = 0
+        self._ops: List[HistoryOp] = []
+        self._next_id = 0
+
+    def tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def record(self, name: str, args: Tuple, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` as operation ``name(args)``; records the interval."""
+        op_id = self._next_id
+        self._next_id += 1
+        invoked = self.tick()
+        result = fn()
+        returned = self.tick()
+        self._ops.append(
+            HistoryOp(
+                op_id=op_id,
+                name=name,
+                args=args,
+                result=result,
+                invoked_at=invoked,
+                returned_at=returned,
+            )
+        )
+        return result
+
+    def history(self) -> List[HistoryOp]:
+        return sorted(self._ops, key=lambda op: op.invoked_at)
+
+
+# Model protocol: factory() -> state; apply(state, op) -> (result, state').
+ModelFactory = Callable[[], Any]
+ModelApply = Callable[[Any, HistoryOp], Tuple[Any, Any]]
+
+
+def check_linearizable(
+    history: List[HistoryOp],
+    model_factory: ModelFactory,
+    model_apply: ModelApply,
+    *,
+    fingerprint: Optional[Callable[[Any], Any]] = None,
+    max_nodes: int = 200_000,
+) -> bool:
+    """True iff ``history`` is linearizable w.r.t. the sequential model.
+
+    ``model_apply`` must be pure (return a new state).  ``fingerprint``
+    hashes a model state for memoisation (defaults to ``repr``).
+    """
+    ops = sorted(history, key=lambda op: op.op_id)
+    fingerprint = fingerprint or repr
+    n = len(ops)
+    if n == 0:
+        return True
+
+    seen: Set[Tuple[FrozenSet[int], Any]] = set()
+    nodes = 0
+
+    def search(done: FrozenSet[int], state: Any) -> bool:
+        nonlocal nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError("linearizability search exceeded node budget")
+        if len(done) == n:
+            return True
+        key = (done, fingerprint(state))
+        if key in seen:
+            return False
+        seen.add(key)
+        # An op is a candidate if every op that *returned before it was
+        # invoked* is already linearized.
+        pending = [op for op in ops if op.op_id not in done]
+        min_return = min(op.returned_at for op in pending)
+        for op in pending:
+            if op.invoked_at > min_return:
+                continue  # a concurrent-earlier op must go first
+            expected, next_state = model_apply(state, op)
+            if expected != op.result:
+                continue
+            if search(done | {op.op_id}, next_state):
+                return True
+        return False
+
+    return search(frozenset(), model_factory())
+
+
+# ----------------------------------------------------------------------
+# a ready-made key-value model for the store harnesses
+
+
+def kv_model_factory() -> Dict[bytes, bytes]:
+    return {}
+
+
+def kv_model_apply(
+    state: Dict[bytes, bytes], op: HistoryOp
+) -> Tuple[Any, Dict[bytes, bytes]]:
+    """Sequential semantics of the key-value API, for linearization."""
+    if op.name == "put":
+        key, value = op.args
+        new_state = dict(state)
+        new_state[key] = value
+        return None, new_state
+    if op.name == "get":
+        (key,) = op.args
+        return state.get(key), state
+    if op.name == "delete":
+        (key,) = op.args
+        new_state = dict(state)
+        new_state.pop(key, None)
+        return None, new_state
+    raise ValueError(f"unknown op {op.name}")
+
+
+def kv_fingerprint(state: Dict[bytes, bytes]) -> FrozenSet:
+    return frozenset(state.items())

@@ -1,0 +1,183 @@
+"""Test-case minimization for failing operation sequences (section 4.3).
+
+When a property-based test fails, the generated sequence reproduces the
+failure; minimization repeatedly applies simple reduction heuristics --
+"remove an operation from the sequence", "shrink an integer argument
+towards zero" -- keeping a candidate only if the reduced sequence still
+fails.  No minimality guarantee, but highly effective in practice: the
+paper's bug #9 shrank from 61 operations (9 crashes, 226 KiB written) to 6
+operations (1 crash, 2 bytes) -- the benchmark
+``benchmarks/test_sec43_minimization.py`` reproduces that experiment shape.
+
+Determinism is a prerequisite (section 4.3): the failure predicate must be
+a pure function of the sequence, which our harnesses guarantee by seeding
+every source of randomness from the sequence itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .alphabet import Operation
+
+FailsFn = Callable[[List[Operation]], bool]
+
+
+@dataclass
+class MinimizeStats:
+    """Before/after measurements (the section 4.3 anecdote's shape)."""
+
+    initial_ops: int = 0
+    final_ops: int = 0
+    initial_bytes_written: int = 0
+    final_bytes_written: int = 0
+    initial_crashes: int = 0
+    final_crashes: int = 0
+    candidates_tried: int = 0
+    rounds: int = 0
+
+
+def sequence_bytes(ops: Sequence[Operation]) -> int:
+    """Total bytes of written payloads in a sequence (for reporting)."""
+    total = 0
+    for op in ops:
+        if op.name == "Put" and len(op.args) >= 2 and isinstance(op.args[1], bytes):
+            total += len(op.args[1])
+        elif op.name == "BulkCreate" and op.args and isinstance(op.args[0], tuple):
+            for item in op.args[0]:
+                if (
+                    isinstance(item, tuple)
+                    and len(item) == 2
+                    and isinstance(item[1], bytes)
+                ):
+                    total += len(item[1])
+    return total
+
+
+def sequence_crashes(ops: Sequence[Operation]) -> int:
+    return sum(1 for op in ops if op.name in ("DirtyReboot", "Reboot"))
+
+
+class Minimizer:
+    """Shrinks a failing sequence while the failure predicate holds."""
+
+    def __init__(self, fails: FailsFn, max_candidates: int = 5000) -> None:
+        self._fails = fails
+        self.max_candidates = max_candidates
+        self.stats = MinimizeStats()
+
+    def _try(self, candidate: List[Operation]) -> bool:
+        if self.stats.candidates_tried >= self.max_candidates:
+            return False
+        self.stats.candidates_tried += 1
+        return self._fails(candidate)
+
+    def minimize(self, ops: Sequence[Operation]) -> List[Operation]:
+        """Shrink ``ops``; the input must fail (asserted)."""
+        current = list(ops)
+        if not self._fails(current):
+            raise ValueError("minimize called with a non-failing sequence")
+        self.stats.initial_ops = len(current)
+        self.stats.initial_bytes_written = sequence_bytes(current)
+        self.stats.initial_crashes = sequence_crashes(current)
+        changed = True
+        while changed and self.stats.candidates_tried < self.max_candidates:
+            self.stats.rounds += 1
+            changed = False
+            reduced = self._remove_chunks(current)
+            if reduced is not None:
+                current = reduced
+                changed = True
+            reduced = self._shrink_args(current)
+            if reduced is not None:
+                current = reduced
+                changed = True
+        self.stats.final_ops = len(current)
+        self.stats.final_bytes_written = sequence_bytes(current)
+        self.stats.final_crashes = sequence_crashes(current)
+        return current
+
+    # ------------------------------------------------------------------
+    # reduction passes
+
+    def _remove_chunks(self, ops: List[Operation]) -> Optional[List[Operation]]:
+        """ddmin-style removal: halves, then quarters, ... then singles."""
+        current = list(ops)
+        improved = False
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(current):
+                candidate = current[:index] + current[index + chunk :]
+                if candidate and self._try(candidate):
+                    current = candidate
+                    improved = True
+                else:
+                    index += chunk
+            chunk //= 2
+        return current if improved else None
+
+    def _shrink_args(self, ops: List[Operation]) -> Optional[List[Operation]]:
+        """Shrink each operation's arguments in place."""
+        current = list(ops)
+        improved = False
+        for index in range(len(current)):
+            op = current[index]
+            for candidate_args in _arg_candidates(op.args):
+                candidate = list(current)
+                candidate[index] = Operation(op.name, candidate_args)
+                if self._try(candidate):
+                    current = candidate
+                    improved = True
+                    break
+        return current if improved else None
+
+
+def _arg_candidates(args: Tuple) -> List[Tuple]:
+    """Simpler variants of an argument tuple, simplest first."""
+    out: List[Tuple] = []
+    for position, arg in enumerate(args):
+        for simpler in _simpler_values(arg):
+            candidate = list(args)
+            candidate[position] = simpler
+            out.append(tuple(candidate))
+    return out
+
+
+def _simpler_values(value) -> List:
+    """Shrink one value toward the conventional minimum."""
+    if isinstance(value, bool):
+        return [False] if value else []
+    if isinstance(value, int):
+        if value == 0:
+            return []
+        return [0, value // 2] if abs(value) > 1 else [0]
+    if isinstance(value, bytes):
+        if not value:
+            return []
+        out = [b""]
+        if len(value) > 1:
+            out.append(value[: len(value) // 2])
+        if any(b != 0 for b in value):
+            out.append(bytes(len(value)))
+        return out
+    if value is None:
+        return []
+    if isinstance(value, tuple):
+        out = []
+        if value:
+            out.append(())
+            if len(value) > 1:
+                out.append(value[: len(value) // 2])
+        return out
+    return []
+
+
+def minimize(
+    ops: Sequence[Operation], fails: FailsFn, max_candidates: int = 5000
+) -> Tuple[List[Operation], MinimizeStats]:
+    """Convenience wrapper: shrink and return (sequence, stats)."""
+    minimizer = Minimizer(fails, max_candidates=max_candidates)
+    reduced = minimizer.minimize(ops)
+    return reduced, minimizer.stats

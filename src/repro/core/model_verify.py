@@ -1,0 +1,230 @@
+"""Bounded verification of the reference models themselves (section 3.2).
+
+The paper notes that the reference models' simplicity makes it possible to
+verify properties *of the models* to increase confidence in their
+sufficiency -- e.g. "prove that the LSM-tree reference model removes a
+key-value mapping if and only if it receives a delete operation for that
+key" -- and reports early experiments doing so with the Prusti verifier.
+
+Python has no auto-active verifier, but the models are small enough for
+**bounded-exhaustive verification**: enumerate *every* operation sequence
+up to a depth bound over a small argument universe, and check a temporal
+property at each step.  Within the bound this is a proof, the same
+role Crux's bounded symbolic evaluation plays for the deserializers in
+section 7.  (Small-scope hypothesis: model bugs like the paper's #15
+manifest at tiny scopes -- locator reuse needs one put, one delete, one
+put.)
+
+Properties are predicates over ``(model, history)`` where ``history`` is
+the exact sequence of operations applied so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.alphabet import Operation
+
+ModelFactory = Callable[[], object]
+ApplyFn = Callable[[object, Operation], None]
+PropertyFn = Callable[[object, Sequence[Operation]], Optional[str]]
+
+
+@dataclass
+class VerifyResult:
+    """Outcome of a bounded-exhaustive model verification."""
+
+    sequences_checked: int = 0
+    max_depth: int = 0
+    counterexample: Optional[List[Operation]] = None
+    message: Optional[str] = None
+
+    @property
+    def verified(self) -> bool:
+        return self.counterexample is None
+
+
+def verify_model(
+    model_factory: ModelFactory,
+    operations: Sequence[Operation],
+    properties: Sequence[Tuple[str, PropertyFn]],
+    *,
+    depth: int = 4,
+    apply_fn: Optional[ApplyFn] = None,
+    max_sequences: int = 2_000_000,
+) -> VerifyResult:
+    """Check ``properties`` on every operation sequence up to ``depth``.
+
+    ``operations`` is the closed argument universe (every op is a concrete
+    ``Operation`` with concrete arguments).  The default ``apply_fn``
+    dispatches ``op.name`` as a method call on the model.
+
+    Sequences are re-executed from scratch per prefix (models are tiny);
+    the search is depth-first over the |operations|^depth tree.
+    """
+    apply_fn = apply_fn or _apply_by_name
+    result = VerifyResult(max_depth=depth)
+
+    def check(history: List[Operation]) -> Optional[str]:
+        model = model_factory()
+        for op in history:
+            apply_fn(model, op)
+        for name, prop in properties:
+            message = prop(model, history)
+            if message is not None:
+                return f"{name}: {message}"
+        return None
+
+    def dfs(history: List[Operation]) -> bool:
+        result.sequences_checked += 1
+        if result.sequences_checked > max_sequences:
+            raise RuntimeError("model verification exceeded sequence budget")
+        message = check(history)
+        if message is not None:
+            result.counterexample = list(history)
+            result.message = message
+            return False
+        if len(history) == depth:
+            return True
+        for op in operations:
+            history.append(op)
+            ok = dfs(history)
+            history.pop()
+            if not ok:
+                return False
+        return True
+
+    dfs([])
+    return result
+
+
+def _apply_by_name(model: object, op: Operation) -> None:
+    getattr(model, _snake(op.name))(*op.args)
+
+
+def _snake(name: str) -> str:
+    out = []
+    for index, char in enumerate(name):
+        if char.isupper() and index > 0:
+            out.append("_")
+        out.append(char.lower())
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# the paper's example properties, for the shipped models
+
+
+def kv_universe(keys: Iterable[bytes] = (b"a", b"b"), values: Iterable[bytes] = (b"1", b"2")):
+    """A small closed operation universe for the KV reference model."""
+    ops: List[Operation] = []
+    for key in keys:
+        for value in values:
+            ops.append(Operation("Put", (key, value)))
+        ops.append(Operation("Delete", (key,)))
+    ops.append(Operation("Compact", ()))
+    ops.append(Operation("CleanReboot", ()))
+    return ops
+
+
+def removed_iff_deleted(model, history: Sequence[Operation]) -> Optional[str]:
+    """The paper's example: a mapping is absent iff the last mutating
+    operation on its key was a delete (or it was never put)."""
+    last: dict = {}
+    for op in history:
+        if op.name == "Put":
+            last[op.args[0]] = op.args[1]
+        elif op.name == "Delete":
+            last[op.args[0]] = None
+    for key, expected in last.items():
+        present = model.contains(key)
+        if expected is None and present:
+            return f"{key!r} present after delete"
+        if expected is not None:
+            if not present:
+                return f"{key!r} absent after put"
+            if model.get(key) != expected:
+                return f"{key!r} maps to wrong value"
+    return None
+
+
+def background_ops_are_noops(model, history: Sequence[Operation]) -> Optional[str]:
+    """Background operations never change the mapping (Fig. 3's premise)."""
+    from repro.models import ReferenceKvStore
+
+    if not isinstance(model, ReferenceKvStore):
+        return None
+    before = model.mapping()
+    model.compact()
+    model.flush_index()
+    model.reclaim(0)
+    model.clean_reboot()
+    model.scrub()
+    if model.mapping() != before:
+        return "a background op changed the mapping"
+    return None
+
+
+def verify_kv_model(depth: int = 4) -> VerifyResult:
+    """Bounded-exhaustively verify the shipped KV reference model."""
+    from repro.models import ReferenceKvStore
+
+    return verify_model(
+        ReferenceKvStore,
+        kv_universe(),
+        [
+            ("removed-iff-deleted", removed_iff_deleted),
+            ("background-noops", background_ops_are_noops),
+        ],
+        depth=depth,
+    )
+
+
+def chunkstore_universe() -> List[Operation]:
+    return [
+        Operation("Put", (b"x",)),
+        Operation("Put", (b"y",)),
+        Operation("DeleteOldest", ()),
+        Operation("Reclaim", ()),
+    ]
+
+
+def locators_never_reused(model, history: Sequence[Operation]) -> Optional[str]:
+    if not model.locators_unique():
+        return "a locator was issued twice"
+    return None
+
+
+class _ChunkStoreDriver:
+    """Adapts the chunk-store model to the closed universe above."""
+
+    def __init__(self, faults=None) -> None:
+        from repro.models import ReferenceChunkStore
+
+        self.model = ReferenceChunkStore(faults)
+        self.live: List = []
+
+    def put(self, data: bytes) -> None:
+        self.live.append(self.model.put(data))
+
+    def delete_oldest(self) -> None:
+        if self.live:
+            self.model.delete(self.live.pop(0))
+
+    def reclaim(self) -> None:
+        self.model.reclaim()
+
+    def locators_unique(self) -> bool:
+        return self.model.locators_unique()
+
+
+def verify_chunkstore_model(depth: int = 5, faults=None) -> VerifyResult:
+    """The verification that would have caught the paper's issue #15:
+    within depth 5 the buggy model provably reuses a locator."""
+    return verify_model(
+        lambda: _ChunkStoreDriver(faults),
+        chunkstore_universe(),
+        [("locator-uniqueness", locators_never_reused)],
+        depth=depth,
+    )

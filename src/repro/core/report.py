@@ -1,0 +1,133 @@
+"""Issue catalog rendering: regenerating the paper's Fig. 5 and Fig. 6.
+
+Fig. 5 is the paper's headline result -- the 16 issues its validation
+stack prevented from reaching production, grouped by top-level property.
+Our reproduction re-injects each issue via
+:class:`repro.shardstore.faults.Fault` and demonstrates that the matching
+checker detects it; :func:`detection_matrix` renders the outcome as the
+Fig. 5 table plus a Detected column.
+
+Fig. 6 is the artifact-size table (implementation vs models vs checks);
+:func:`loc_table` measures this repository the same way.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.shardstore.faults import FAULT_CATALOG, Fault, detector_for
+
+_PROPERTY_ORDER = ["Functional Correctness", "Crash Consistency", "Concurrency"]
+
+
+@dataclass
+class DetectionOutcome:
+    """What happened when one Fig. 5 fault was re-injected and hunted."""
+
+    fault: Fault
+    detected: bool
+    detector: str
+    evidence: str = ""  # the failing check's message / schedule summary
+    sequences_or_executions: int = 0
+
+
+def detection_matrix(outcomes: Iterable[DetectionOutcome]) -> str:
+    """Render the Fig. 5 table with detection results."""
+    by_fault = {outcome.fault: outcome for outcome in outcomes}
+    lines: List[str] = []
+    header = f"{'ID':<4} {'Component':<14} {'Detector':<26} {'Detected':<9} Description"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for prop in _PROPERTY_ORDER:
+        lines.append(f"-- {prop} --")
+        for fault in Fault:
+            meta = FAULT_CATALOG[fault]
+            if meta["property"] != prop:
+                continue
+            outcome = by_fault.get(fault)
+            detected = "-" if outcome is None else ("yes" if outcome.detected else "NO")
+            detector = detector_for(fault)
+            lines.append(
+                f"#{fault.value:<3} {meta['component']:<14} {detector:<26} "
+                f"{detected:<9} {meta['description']}"
+            )
+    total = sum(1 for o in by_fault.values() if o.detected)
+    lines.append("-" * len(header))
+    lines.append(f"detected: {total}/{len(by_fault)} injected issues")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: lines of code per artifact category
+
+
+#: Maps this repository's files onto the paper's Fig. 6 rows.
+FIG6_CATEGORIES: Dict[str, Tuple[str, ...]] = {
+    "Implementation": ("src/repro/shardstore", "src/repro/serialization/codec.py"),
+    "Unit tests & integration tests": ("tests",),
+    "Reference models (S3.2)": ("src/repro/models",),
+    "Functional correctness checks (S3)": (
+        "src/repro/core/alphabet.py",
+        "src/repro/core/conformance.py",
+        "src/repro/core/generate.py",
+        "src/repro/core/minimize.py",
+        "src/repro/core/coverage.py",
+        "src/repro/core/report.py",
+    ),
+    "Crash consistency checks (S5)": ("src/repro/core/crash_checker.py",),
+    "Concurrency checks (S6)": (
+        "src/repro/concurrency",
+        "src/repro/core/linearizability.py",
+    ),
+    "Serialization checks (S7)": ("src/repro/serialization/fuzz.py",),
+    "Benchmarks (evaluation harness)": ("benchmarks",),
+}
+
+
+def count_lines(path: str) -> int:
+    """Non-blank lines of Python in a file or directory tree."""
+    total = 0
+    if os.path.isfile(path):
+        candidates = [path]
+    else:
+        candidates = []
+        for root, _, files in os.walk(path):
+            candidates.extend(
+                os.path.join(root, f) for f in files if f.endswith(".py")
+            )
+    for filename in candidates:
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                total += sum(1 for line in handle if line.strip())
+        except OSError:
+            continue
+    return total
+
+
+def loc_table(repo_root: str) -> str:
+    """Render this repository's Fig. 6 analogue."""
+    rows: List[Tuple[str, int]] = []
+    for category, paths in FIG6_CATEGORIES.items():
+        count = sum(count_lines(os.path.join(repo_root, p)) for p in paths)
+        rows.append((category, count))
+    total = sum(count for _, count in rows)
+    impl = dict(rows).get("Implementation", 1)
+    validation = sum(
+        count
+        for category, count in rows
+        if "checks" in category or "models" in category.lower()
+    )
+    lines = [f"{'Component':<44} Lines", "-" * 52]
+    for category, count in rows:
+        lines.append(f"{category:<44} {count:>6,}")
+    lines.append("-" * 52)
+    lines.append(f"{'Total':<44} {total:>6,}")
+    lines.append("")
+    lines.append(
+        f"validation artifacts are {validation / max(total, 1):.0%} of the "
+        f"code base and {validation / max(impl, 1):.0%} of the implementation "
+        "(paper: 13% and 20%; formal verification efforts report 3-10x)"
+    )
+    return "\n".join(lines)

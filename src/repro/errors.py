@@ -1,0 +1,43 @@
+"""Typed error hierarchy for the ShardStore substrate.
+
+The paper treats data read from disk as untrusted (bit rot, transient
+failures), so corruption is an *expected* error that components detect and
+surface, never a crash.  Every error a component can return to a caller is a
+subclass of :class:`ShardStoreError`; anything else escaping a component is a
+bug (and is exactly what the panic-freedom harness in
+:mod:`repro.serialization.fuzz` hunts for).
+"""
+
+from __future__ import annotations
+
+
+class ShardStoreError(Exception):
+    """Base class for all expected ShardStore errors."""
+
+
+class IoError(ShardStoreError):
+    """An IO to the underlying disk failed (injected or otherwise)."""
+
+    def __init__(self, message: str, *, transient: bool = True) -> None:
+        super().__init__(message)
+        self.transient = transient
+
+
+class CorruptionError(ShardStoreError):
+    """On-disk bytes failed validation (bad magic, CRC, framing, bounds)."""
+
+
+class NotFoundError(ShardStoreError):
+    """The requested key or locator does not exist."""
+
+
+class ExtentError(ShardStoreError):
+    """Invalid extent operation (bounds, overfull append, bad reset)."""
+
+
+class InvalidRequestError(ShardStoreError):
+    """A malformed API request (empty key, oversized value, bad disk id)."""
+
+
+class RetryableError(ShardStoreError):
+    """The operation can be retried (e.g. disk temporarily out of service)."""

@@ -1,0 +1,22 @@
+"""Executable reference models -- the specifications (section 3.2).
+
+Each model provides the same interface as its ShardStore component with
+the simplest possible implementation (a dict), is used as the oracle in
+conformance property tests, and doubles as a mock in unit tests so the
+engineering team keeps the specifications up to date.
+"""
+
+from .chunkstore import ModelLocator, ReferenceChunkStore
+from .crash import AllowedState, CrashAwareModel, LoggedOp
+from .index import ReferenceIndex
+from .kvstore import ReferenceKvStore
+
+__all__ = [
+    "AllowedState",
+    "CrashAwareModel",
+    "LoggedOp",
+    "ModelLocator",
+    "ReferenceChunkStore",
+    "ReferenceIndex",
+    "ReferenceKvStore",
+]

@@ -1,0 +1,79 @@
+"""Reference model of the chunk store: a dict of fresh locators.
+
+Specifies ``PUT(data) -> locator`` / ``GET(locator) -> data`` (section 2.1)
+with the simplest possible implementation, plus the invariant other code
+relies on: **locators are never reused**.  The paper's issue #15 was a bug
+in this very model -- the reference chunk store handed out non-unique
+locators, which other code assumed were unique -- so the fault lives here,
+in the specification artifact, and the conformance harness's invariant
+check is what catches it.
+
+The model is also the standard *mock* chunk store for LSM-tree unit tests
+(the paper's Fig. 4 harness does the same: "the test mocks out the
+persistent chunk storage that backs the LSM tree").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.shardstore.errors import NotFoundError
+from repro.shardstore.faults import Fault, FaultSet
+
+
+class ModelLocator(int):
+    """Locators in the model are opaque integers."""
+
+    __slots__ = ()
+
+
+class ReferenceChunkStore:
+    """Dict-backed specification of the chunk store."""
+
+    def __init__(self, faults: Optional[FaultSet] = None) -> None:
+        self.faults = faults or FaultSet.none()
+        self._chunks: Dict[ModelLocator, bytes] = {}
+        self._next = 0
+        #: Every locator ever returned (for the uniqueness invariant).
+        self.issued: List[ModelLocator] = []
+
+    def put(self, data: bytes) -> ModelLocator:
+        """Store ``data``; returns a fresh locator.
+
+        Fault #15: the buggy model allocates locators from the *current
+        size* of the store, so deleting a chunk lets a later put re-issue a
+        previously returned locator.
+        """
+        if self.faults.enabled(Fault.MODEL_REUSES_LOCATORS):
+            locator = ModelLocator(len(self._chunks))
+        else:
+            locator = ModelLocator(self._next)
+            self._next += 1
+        self._chunks[locator] = data
+        self.issued.append(locator)
+        return locator
+
+    def get(self, locator: ModelLocator) -> bytes:
+        if locator not in self._chunks:
+            raise NotFoundError(f"no chunk at locator {int(locator)}")
+        return self._chunks[locator]
+
+    def delete(self, locator: ModelLocator) -> None:
+        self._chunks.pop(locator, None)
+
+    def contains(self, locator: ModelLocator) -> bool:
+        return locator in self._chunks
+
+    # -- background operations: no-ops in the specification -------------
+
+    def reclaim(self) -> None:
+        """No-op: reclamation must not change any readable chunk."""
+
+    # -- invariants -------------------------------------------------------
+
+    def locators_unique(self) -> bool:
+        """The invariant issue #15 violated: no locator issued twice."""
+        return len(self.issued) == len(set(self.issued))
+
+    def __len__(self) -> int:
+        return len(self._chunks)

@@ -1,0 +1,76 @@
+"""Reference model of the index component: a hash map (section 3.2).
+
+The paper's example: "for the index component that maps shard identifiers
+to chunk locators, we define a reference model that uses a simple hash
+table to store the mapping, rather than the persistent LSM-tree".
+
+This model provides the same interface as :class:`repro.shardstore.lsm.
+LsmIndex`'s key-value surface and is used two ways, exactly as in the
+paper:
+
+* as the specification in the index conformance property test (Fig. 3);
+* as a *mock* index in unit tests of components above the index, so
+  engineers keep it up to date as a side effect of ordinary testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.shardstore.chunk import Locator
+
+
+class ReferenceIndex:
+    """Hash-map specification of the LSM-tree index."""
+
+    def __init__(self) -> None:
+        self._mapping: Dict[bytes, List[Locator]] = {}
+
+    def put(self, key: bytes, locators: List[Locator], data_dep=None) -> None:
+        self._mapping[key] = list(locators)
+
+    def delete(self, key: bytes) -> None:
+        self._mapping.pop(key, None)
+
+    def get(self, key: bytes) -> Optional[List[Locator]]:
+        locators = self._mapping.get(key)
+        return list(locators) if locators is not None else None
+
+    def keys(self) -> List[bytes]:
+        return sorted(self._mapping)
+
+    def contains(self, key: bytes) -> bool:
+        return key in self._mapping
+
+    # -- background operations: no-ops in the specification -------------
+
+    def flush(self) -> None:
+        """No-op: flushing must not change the mapping."""
+
+    def compact(self) -> None:
+        """No-op: compaction must not change the mapping."""
+
+    # -- reclamation support (mirrors LsmIndex's relocation interface) ---
+
+    def replace_data_locator(
+        self, key: bytes, old: Locator, new: Locator, new_dep=None
+    ) -> bool:
+        """Relocate one locator; returns False if the entry moved on."""
+        locators = self._mapping.get(key)
+        if locators is None or old not in locators:
+            return False
+        self._mapping[key] = [new if loc == old else loc for loc in locators]
+        return True
+
+    # -- model utilities -------------------------------------------------
+
+    def mapping(self) -> Dict[bytes, List[Locator]]:
+        return {k: list(v) for k, v in self._mapping.items()}
+
+    def clone(self) -> "ReferenceIndex":
+        out = ReferenceIndex()
+        out._mapping = {k: list(v) for k, v in self._mapping.items()}
+        return out
+
+    def __len__(self) -> int:
+        return len(self._mapping)

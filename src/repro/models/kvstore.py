@@ -1,0 +1,102 @@
+"""Reference model of the whole key-value store: a dict (section 3.2).
+
+This is the paper's headline specification style: the expected semantics of
+ShardStore's API, written as the simplest possible executable code.  The
+durability property (section 3.1) is "the model and implementation remain
+in equivalent states after each API call", where equivalence is having the
+same key-value mapping.
+
+Background operations -- index flush, superblock flush, compaction, chunk
+reclamation, clean reboot -- are deliberately *no-ops* here: they must not
+change the key-value mapping, and including them in the conformance
+alphabet validates exactly that (Fig. 3).
+
+The model doubles as a mock in unit tests (the paper's trick for keeping
+models maintained): anything that needs "some key-value store" can take one
+of these instead of a real ShardStore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.shardstore.errors import InvalidRequestError, NotFoundError
+from repro.shardstore.store import MAX_KEY_LEN
+
+
+class ReferenceKvStore:
+    """The executable specification of the ShardStore key-value API."""
+
+    def __init__(self) -> None:
+        self._mapping: Dict[bytes, bytes] = {}
+
+    # -- API operations (mirror ShardStore's signatures) ----------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_key(key)
+        self._mapping[key] = value
+
+    def get(self, key: bytes) -> bytes:
+        self._check_key(key)
+        if key not in self._mapping:
+            raise NotFoundError(f"no shard for key {key!r}")
+        return self._mapping[key]
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        self._mapping.pop(key, None)
+
+    def contains(self, key: bytes) -> bool:
+        self._check_key(key)
+        return key in self._mapping
+
+    def keys(self) -> List[bytes]:
+        return sorted(self._mapping)
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, bytes) or not key:
+            raise InvalidRequestError("key must be non-empty bytes")
+        if len(key) > MAX_KEY_LEN:
+            raise InvalidRequestError("key too long")
+
+    # -- background operations: no-ops in the specification -------------
+
+    def flush_index(self) -> None:
+        """No-op: flushing must not change the key-value mapping."""
+
+    def flush_superblock(self) -> None:
+        """No-op: superblock maintenance must not change the mapping."""
+
+    def compact(self) -> None:
+        """No-op: LSM compaction must not change the mapping."""
+
+    def reclaim(self, extent: int) -> None:
+        """No-op: garbage collection must not change the mapping."""
+
+    def clean_reboot(self) -> None:
+        """No-op: a clean reboot must not lose or change any data."""
+
+    def scrub(self) -> None:
+        """No-op: integrity scrubbing must not change the mapping."""
+
+    def migrate_shard(self, key: bytes, target: int) -> bool:
+        """Migration moves data between disks; the mapping is unchanged."""
+        return self.contains(key)
+
+    # -- model utilities -------------------------------------------------
+
+    def mapping(self) -> Dict[bytes, bytes]:
+        """A copy of the current key-value mapping (for invariant checks)."""
+        return dict(self._mapping)
+
+    def clone(self) -> "ReferenceKvStore":
+        out = ReferenceKvStore()
+        out._mapping = dict(self._mapping)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(sorted(self._mapping))

@@ -1,0 +1,21 @@
+"""Serialization: untrusted-byte codecs and the panic-freedom harness."""
+
+from .codec import (
+    RECORD_MAGIC,
+    decode_record,
+    decode_value,
+    encode_record,
+    encode_value,
+    record_size,
+    scan_records,
+)
+
+__all__ = [
+    "RECORD_MAGIC",
+    "decode_record",
+    "decode_value",
+    "encode_record",
+    "encode_value",
+    "record_size",
+    "scan_records",
+]

@@ -1,0 +1,242 @@
+"""Checksummed record framing for superblock and LSM metadata records.
+
+ShardStore treats all bytes read from disk as untrusted (section 7): bit rot
+and torn writes can corrupt anything, so deserializers must *never* raise an
+unexpected exception -- on any input they either return a value or raise
+:class:`~repro.shardstore.errors.CorruptionError`.  The panic-freedom
+harness in :mod:`repro.serialization.fuzz` checks exactly this property, up
+to a size bound exhaustively and beyond it by fuzzing, mirroring the
+paper's use of the Crux symbolic-evaluation engine.
+
+Record layout (all integers little-endian)::
+
+    magic(4) | payload_len(4) | crc32(payload)(4) | payload | zero padding
+
+Records are padded to a whole number of disk pages so that a torn append
+can never leave a prefix of one record that parses as a valid record.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import CorruptionError
+
+RECORD_MAGIC = b"SSRC"
+_HEADER = struct.Struct("<4sII")
+
+# A compact, canonical, self-describing value encoding.  We deliberately do
+# not use pickle (arbitrary code execution on untrusted bytes) or json
+# (no bytes support): on-disk data must decode through code we control.
+_T_INT = 0
+_T_BYTES = 1
+_T_STR = 2
+_T_LIST = 3
+_T_DICT = 4
+_T_NONE = 5
+_T_BOOL = 6
+
+Value = Union[int, bytes, str, list, dict, None, bool]
+
+
+def encode_value(value: Value) -> bytes:
+    """Encode a value tree into canonical bytes."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, value: Value) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, bool):  # must precede int check
+        out.append(_T_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, int):
+        if not -(2**63) <= value < 2**63:
+            raise ValueError("integer out of encodable range (64-bit signed)")
+        out.append(_T_INT)
+        out += struct.pack("<q", value)
+    elif isinstance(value, bytes):
+        out.append(_T_BYTES)
+        out += struct.pack("<I", len(value))
+        out += value
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_T_STR)
+        out += struct.pack("<I", len(data))
+        out += data
+    elif isinstance(value, list):
+        out.append(_T_LIST)
+        out += struct.pack("<I", len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out += struct.pack("<I", len(value))
+        # Canonical order so encodings are deterministic regardless of
+        # insertion order (determinism is a design principle, section 4.3).
+        for key in sorted(value, key=_dict_key_order):
+            _encode_into(out, key)
+            _encode_into(out, value[key])
+    else:
+        raise TypeError(f"unencodable value of type {type(value).__name__}")
+
+
+def _dict_key_order(key: Any) -> Tuple[str, str]:
+    return (type(key).__name__, repr(key))
+
+
+class _Reader:
+    """Bounds-checked cursor over untrusted bytes."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.data):
+            raise CorruptionError("truncated value encoding")
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def byte(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self.take(8))[0]
+
+
+# Guard against adversarial deep nesting blowing the Python stack: decoding
+# is depth-limited, and exceeding the limit is corruption, not a crash.
+_MAX_DEPTH = 32
+_MAX_CONTAINER = 1 << 20
+
+
+def decode_value(data: bytes) -> Value:
+    """Decode canonical bytes; raises :class:`CorruptionError` on any
+    malformed input (never any other exception)."""
+    reader = _Reader(data)
+    value = _decode_one(reader, 0)
+    if reader.pos != len(data):
+        raise CorruptionError("trailing bytes after value encoding")
+    return value
+
+
+def _decode_one(reader: _Reader, depth: int) -> Value:
+    if depth > _MAX_DEPTH:
+        raise CorruptionError("value nesting too deep")
+    tag = reader.byte()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_BOOL:
+        flag = reader.byte()
+        if flag not in (0, 1):
+            raise CorruptionError("invalid bool encoding")
+        return bool(flag)
+    if tag == _T_INT:
+        return reader.i64()
+    if tag == _T_BYTES:
+        return reader.take(reader.u32())
+    if tag == _T_STR:
+        raw = reader.take(reader.u32())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CorruptionError("invalid utf-8 in string") from exc
+    if tag == _T_LIST:
+        count = reader.u32()
+        if count > _MAX_CONTAINER:
+            raise CorruptionError("list length out of range")
+        return [_decode_one(reader, depth + 1) for _ in range(count)]
+    if tag == _T_DICT:
+        count = reader.u32()
+        if count > _MAX_CONTAINER:
+            raise CorruptionError("dict length out of range")
+        out: Dict[Any, Any] = {}
+        for _ in range(count):
+            key = _decode_one(reader, depth + 1)
+            if not isinstance(key, (int, str, bytes, bool)) and key is not None:
+                raise CorruptionError("unhashable dict key")
+            out[key] = _decode_one(reader, depth + 1)
+        return out
+    raise CorruptionError(f"unknown value tag {tag}")
+
+
+def encode_record(payload_value: Value, page_size: int) -> bytes:
+    """Frame a value as a CRC'd record padded to whole pages."""
+    payload = encode_value(payload_value)
+    header = _HEADER.pack(RECORD_MAGIC, len(payload), zlib.crc32(payload))
+    raw = header + payload
+    padded_len = -(-len(raw) // page_size) * page_size
+    return raw + bytes(padded_len - len(raw))
+
+
+def record_size(payload_value: Value, page_size: int) -> int:
+    """Size in bytes :func:`encode_record` would produce."""
+    payload_len = len(encode_value(payload_value))
+    raw = _HEADER.size + payload_len
+    return -(-raw // page_size) * page_size
+
+
+def decode_record(data: bytes, offset: int = 0) -> Tuple[Value, int]:
+    """Decode one record at ``offset``; returns (value, bytes consumed).
+
+    ``bytes consumed`` excludes page padding -- callers that walk a log of
+    records should round up to the page size themselves.  Raises
+    :class:`CorruptionError` for anything malformed.
+    """
+    if offset < 0 or offset + _HEADER.size > len(data):
+        raise CorruptionError("record header out of bounds")
+    magic, payload_len, crc = _HEADER.unpack_from(data, offset)
+    if magic != RECORD_MAGIC:
+        raise CorruptionError("bad record magic")
+    end = offset + _HEADER.size + payload_len
+    if payload_len > len(data) or end > len(data):
+        raise CorruptionError("record payload out of bounds")
+    payload = data[offset + _HEADER.size : end]
+    if zlib.crc32(payload) != crc:
+        raise CorruptionError("record checksum mismatch")
+    return decode_value(payload), _HEADER.size + payload_len
+
+
+def scan_records(data: bytes, page_size: int) -> List[Tuple[int, Value]]:
+    """Walk page-aligned records in ``data``; stop at the first bad one.
+
+    Returns ``[(offset, value), ...]``.  Used by superblock and metadata
+    recovery: records are appended sequentially, so the first undecodable
+    page marks the end of the valid log (a torn tail or unwritten space).
+    """
+    records, _ = scan_records_with_end(data, page_size)
+    return records
+
+
+def scan_records_with_end(
+    data: bytes, page_size: int
+) -> Tuple[List[Tuple[int, Value]], int]:
+    """Like :func:`scan_records`, also returning the valid-prefix end.
+
+    The end offset is where the log's next record should be appended.
+    Recovery must *truncate* the log extent to this offset (seal the log):
+    a torn multi-page record leaves undecodable garbage, and appending
+    after the garbage would strand every later record beyond the point
+    where future scans stop.
+    """
+    out: List[Tuple[int, Value]] = []
+    offset = 0
+    while offset + _HEADER.size <= len(data):
+        try:
+            value, consumed = decode_record(data, offset)
+        except CorruptionError:
+            break
+        out.append((offset, value))
+        offset += -(-consumed // page_size) * page_size
+    return out, offset

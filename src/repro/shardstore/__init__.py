@@ -1,0 +1,96 @@
+"""The ShardStore substrate: a key-value storage node over append-only
+extents with soft-updates crash consistency (sections 2 and 5 of the paper).
+"""
+
+from .buffer_cache import BufferCache
+from .chunk import (
+    KIND_DATA,
+    KIND_RUN,
+    DecodedChunk,
+    Locator,
+    decode_chunk,
+    encode_chunk,
+    frame_size,
+    scan_chunks,
+)
+from .chunk_store import ChunkStore
+from .config import (
+    FIRST_DATA_EXTENT,
+    METADATA_EXTENTS,
+    SUPERBLOCK_EXTENTS,
+    StoreConfig,
+)
+from .dependency import Dependency, DurabilityTracker, FutureCell
+from .disk import DiskGeometry, FailureMode, InMemoryDisk
+from .errors import (
+    CorruptionError,
+    ExtentError,
+    InvalidRequestError,
+    IoError,
+    NotFoundError,
+    RetryableError,
+    ShardStoreError,
+)
+from .faults import FAULT_CATALOG, Fault, FaultSet, detector_for
+from .lsm import LsmIndex, Run
+from .reclamation import Reclaimer, ReclaimResult
+from .protocol import Request, Response, decode_request, decode_response, dispatch, encode_request, encode_response
+from .rpc import StorageNode
+from .scrub import ScrubReport, Scrubber
+from .scheduler import IoScheduler
+from .store import RebootType, ShardStore, StoreSystem
+from .superblock import Superblock, SuperblockState
+
+__all__ = [
+    "BufferCache",
+    "ChunkStore",
+    "CorruptionError",
+    "DecodedChunk",
+    "Dependency",
+    "DiskGeometry",
+    "DurabilityTracker",
+    "ExtentError",
+    "FAULT_CATALOG",
+    "FIRST_DATA_EXTENT",
+    "FailureMode",
+    "Fault",
+    "FaultSet",
+    "FutureCell",
+    "InMemoryDisk",
+    "InvalidRequestError",
+    "IoError",
+    "IoScheduler",
+    "KIND_DATA",
+    "KIND_RUN",
+    "Locator",
+    "LsmIndex",
+    "METADATA_EXTENTS",
+    "NotFoundError",
+    "RebootType",
+    "Request",
+    "Response",
+    "ReclaimResult",
+    "Reclaimer",
+    "RetryableError",
+    "Run",
+    "ScrubReport",
+    "Scrubber",
+    "SUPERBLOCK_EXTENTS",
+    "ShardStore",
+    "ShardStoreError",
+    "StorageNode",
+    "StoreConfig",
+    "StoreSystem",
+    "Superblock",
+    "SuperblockState",
+    "decode_chunk",
+    "decode_request",
+    "decode_response",
+    "detector_for",
+    "dispatch",
+    "encode_chunk",
+    "encode_request",
+    "encode_response",
+    "frame_size",
+    "scan_chunks",
+]

@@ -1,0 +1,256 @@
+"""Chunk framing and extent scanning.
+
+All persistent data in ShardStore -- shard payloads and LSM-tree runs alike
+-- is stored as *chunks* written onto extents (section 2.1).  A chunk's
+on-disk frame follows the paper's section 5 description: a two-byte magic
+header and a random UUID, with the UUID repeated at the end of the frame to
+validate the chunk's length::
+
+    magic(2) | uuid(16) | body_len(4) | crc32(body)(4) | body | uuid(16)
+    body = kind(1) | key_len(2) | key | payload
+
+The frame layout is exactly what makes the paper's bug #10 possible: if a
+torn append loses the tail of the trailing UUID and the extent is then
+re-used from the recovered write pointer, the bytes where the tail used to
+be are the *next* chunk's magic -- and if the lost UUID bytes happened to
+equal the magic, a sequential scan "successfully" decodes the corrupt chunk
+and skips right over the live one.  :func:`scan_chunks` implements both the
+buggy strictly-sequential scan (fault #10) and the fixed scan that also
+probes every page boundary, so overlapping decodes can never hide a chunk.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from .errors import CorruptionError, IoError
+
+CHUNK_MAGIC = b"MC"
+UUID_LEN = 16
+_LEN_CRC = struct.Struct("<II")
+_HEADER_LEN = 2 + UUID_LEN + _LEN_CRC.size  # magic + uuid + len + crc
+FRAME_OVERHEAD = _HEADER_LEN + UUID_LEN  # plus trailing uuid
+_BODY_HEADER = struct.Struct("<BH")  # kind + key length
+
+KIND_DATA = 0
+KIND_RUN = 1
+_KNOWN_KINDS = (KIND_DATA, KIND_RUN)
+
+
+@dataclass(frozen=True, order=True)
+class Locator:
+    """An opaque pointer to one chunk: extent, byte offset, frame length."""
+
+    extent: int
+    offset: int
+    length: int
+
+    def to_value(self) -> list:
+        return [self.extent, self.offset, self.length]
+
+    @classmethod
+    def from_value(cls, value: object) -> "Locator":
+        if (
+            not isinstance(value, list)
+            or len(value) != 3
+            or not all(isinstance(v, int) for v in value)
+            or any(v < 0 for v in value)
+        ):
+            raise CorruptionError("malformed locator")
+        return cls(*value)
+
+
+@dataclass(frozen=True)
+class DecodedChunk:
+    """A successfully decoded chunk frame."""
+
+    kind: int
+    key: bytes
+    payload: bytes
+    frame_length: int
+    uuid: bytes
+
+
+def frame_size(key: bytes, payload: bytes) -> int:
+    return FRAME_OVERHEAD + _BODY_HEADER.size + len(key) + len(payload)
+
+
+def encode_chunk(kind: int, key: bytes, payload: bytes, uuid: bytes) -> bytes:
+    """Serialize one chunk frame."""
+    if len(uuid) != UUID_LEN:
+        raise ValueError("uuid must be 16 bytes")
+    if kind not in _KNOWN_KINDS:
+        raise ValueError(f"unknown chunk kind {kind}")
+    if len(key) > 0xFFFF:
+        raise ValueError("key too long for chunk frame")
+    body = _BODY_HEADER.pack(kind, len(key)) + key + payload
+    header = CHUNK_MAGIC + uuid + _LEN_CRC.pack(len(body), zlib.crc32(body))
+    return header + body + uuid
+
+
+def decode_chunk(buf: bytes, offset: int = 0) -> DecodedChunk:
+    """Decode an untrusted chunk frame at ``offset``.
+
+    Raises :class:`CorruptionError` on any malformed input; never any other
+    exception (checked by the serialization fuzz harness).
+    """
+    if offset < 0 or offset + _HEADER_LEN > len(buf):
+        raise CorruptionError("chunk header out of bounds")
+    if buf[offset : offset + 2] != CHUNK_MAGIC:
+        raise CorruptionError("bad chunk magic")
+    uuid = bytes(buf[offset + 2 : offset + 2 + UUID_LEN])
+    body_len, crc = _LEN_CRC.unpack_from(buf, offset + 2 + UUID_LEN)
+    body_start = offset + _HEADER_LEN
+    trailer_start = body_start + body_len
+    frame_end = trailer_start + UUID_LEN
+    if body_len > len(buf) or frame_end > len(buf):
+        raise CorruptionError("chunk frame out of bounds")
+    body = buf[body_start:trailer_start]
+    if zlib.crc32(body) != crc:
+        raise CorruptionError("chunk body checksum mismatch")
+    if bytes(buf[trailer_start:frame_end]) != uuid:
+        raise CorruptionError("chunk trailing uuid mismatch")
+    if body_len < _BODY_HEADER.size:
+        raise CorruptionError("chunk body too short")
+    kind, key_len = _BODY_HEADER.unpack_from(body, 0)
+    if kind not in _KNOWN_KINDS:
+        raise CorruptionError(f"unknown chunk kind {kind}")
+    if _BODY_HEADER.size + key_len > body_len:
+        raise CorruptionError("chunk key out of bounds")
+    key = bytes(body[_BODY_HEADER.size : _BODY_HEADER.size + key_len])
+    payload = bytes(body[_BODY_HEADER.size + key_len :])
+    return DecodedChunk(
+        kind=kind,
+        key=key,
+        payload=payload,
+        frame_length=frame_end - offset,
+        uuid=uuid,
+    )
+
+
+class PagedReader:
+    """Lazily reads an extent page by page for scanning.
+
+    Reclamation scans can hit injected IO failures mid-extent; reading page
+    by page (rather than the whole extent up front) is what lets a
+    transient error strike partway through a scan -- the setting of the
+    paper's bug #5.
+    """
+
+    def __init__(
+        self,
+        read_fn: Callable[[int, int], bytes],
+        limit: int,
+        page_size: int,
+    ) -> None:
+        self._read_fn = read_fn  # (offset, length) -> bytes
+        self.limit = limit
+        self._page_size = page_size
+        self._buf = bytearray()
+
+    def ensure(self, upto: int) -> bytes:
+        """Materialise bytes [0, min(upto, limit)); may raise IoError."""
+        upto = min(upto, self.limit)
+        while len(self._buf) < upto:
+            start = len(self._buf)
+            length = min(self._page_size, self.limit - start)
+            self._buf += self._read_fn(start, length)
+        return bytes(self._buf[:upto])
+
+
+def scan_chunks(
+    reader: PagedReader,
+    page_size: int,
+    *,
+    sequential_only: bool = False,
+    on_read_error: str = "raise",
+) -> List[Tuple[int, DecodedChunk]]:
+    """Find every decodable chunk on an extent.
+
+    The **fixed** scan tries to decode at every page boundary *and* at the
+    end of every successfully decoded chunk, collecting all hits; a corrupt
+    chunk that happens to decode over a live one (the bug #10 collision)
+    cannot hide the live chunk, because the live chunk's own page-aligned
+    start is still probed.
+
+    With ``sequential_only=True`` (fault #10) the scan is the paper's buggy
+    original: strictly sequential, advancing past each decoded chunk's
+    claimed footprint and skipping to the next page boundary on failure --
+    so an overlapping decode swallows its successor.
+
+    ``on_read_error`` is ``"raise"`` (fixed: abort the scan, reclamation
+    retries later) or ``"truncate"`` (fault #5: treat the unreadable tail
+    as end-of-extent, forgetting any chunks on it).
+    """
+    found: List[Tuple[int, DecodedChunk]] = []
+    seen_offsets = set()
+    limit = reader.limit
+
+    def try_decode(offset: int) -> Optional[DecodedChunk]:
+        if offset in seen_offsets:
+            return None
+        try:
+            buf = reader.ensure(offset + _HEADER_LEN)
+            if offset + _HEADER_LEN > len(buf):
+                return None
+            # Peek the claimed body length to bound the next read.
+            body_len = _LEN_CRC.unpack_from(buf, offset + 2 + UUID_LEN)[0]
+            frame_end = offset + _HEADER_LEN + body_len + UUID_LEN
+            if frame_end > limit:
+                return None
+            buf = reader.ensure(frame_end)
+            chunk = decode_chunk(buf, offset)
+        except CorruptionError:
+            return None
+        except IoError:
+            if on_read_error == "truncate":
+                raise _ScanTruncated()
+            raise
+        seen_offsets.add(offset)
+        return chunk
+
+    try:
+        if sequential_only:
+            offset = 0
+            while offset + FRAME_OVERHEAD <= limit:
+                chunk = try_decode(offset)
+                if chunk is not None:
+                    found.append((offset, chunk))
+                    offset += chunk.frame_length
+                else:
+                    offset = (offset // page_size + 1) * page_size
+        else:
+            candidates = sorted(range(0, limit, page_size))
+            pending = list(reversed(candidates))
+            while pending:
+                offset = pending.pop()
+                if offset + FRAME_OVERHEAD > limit:
+                    continue
+                chunk = try_decode(offset)
+                if chunk is None:
+                    continue
+                found.append((offset, chunk))
+                follow = offset + chunk.frame_length
+                if follow % page_size != 0 and follow + FRAME_OVERHEAD <= limit:
+                    # Probe the position right after this chunk (chunks are
+                    # appended back to back, often off page boundaries).
+                    next_chunk = try_decode(follow)
+                    while next_chunk is not None:
+                        found.append((follow, next_chunk))
+                        follow += next_chunk.frame_length
+                        next_chunk = (
+                            try_decode(follow)
+                            if follow + FRAME_OVERHEAD <= limit
+                            else None
+                        )
+    except _ScanTruncated:
+        pass
+    found.sort(key=lambda item: item[0])
+    return found
+
+
+class _ScanTruncated(Exception):
+    """Internal: fault #5 swallowed a read error mid-scan."""

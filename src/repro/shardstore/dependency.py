@@ -1,0 +1,244 @@
+"""The paper's ``Dependency`` type: declarative crash-consistent ordering.
+
+ShardStore specifies soft-updates write orderings *declaratively* (section
+2.2): every append takes an input dependency and returns a new one, the IO
+scheduler guarantees an append is not issued to disk until its input
+dependency has persisted, and clients poll ``is_persistent()`` to learn when
+an operation is durable.
+
+A :class:`Dependency` here is a set of *parts*, each either
+
+* a frozen set of IO record ids (writes already handed to the scheduler), or
+* a :class:`FutureCell` -- a promise for writes that have not been created
+  yet.  Future cells are how batched persistence is expressed: a ``put``
+  returns immediately with a dependency containing a future cell that the
+  LSM tree resolves at flush time with the run/metadata write records, and
+  the superblock resolves pointer-update cells when its periodic flush
+  actually writes a record.
+
+``is_persistent()`` consults the :class:`DurabilityTracker`, the single
+source of truth for which IO records have reached the durable medium.  The
+tracker outlives crashes (durable writes stay durable; pending ones are
+dropped and their ids simply never become durable), which is exactly what
+lets the crash-consistency checker (section 5) evaluate each operation's
+dependency *after* reboot and demand that persisted-before-crash data is
+still readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+
+@dataclass
+class RecordInfo:
+    """Introspection metadata for one IO record (used by the Fig. 2 bench)."""
+
+    record_id: int
+    label: str
+    extent: int
+    offset: int
+    length: int
+    dep: "Dependency"
+    kind: str = "write"  # "write" or "reset"
+
+
+class DurabilityTracker:
+    """Tracks which IO record ids have reached the durable medium.
+
+    One tracker exists per simulated system and survives reboots.  The IO
+    scheduler allocates record ids from it and marks them durable as
+    writebacks complete; dropped (crashed-away) records are never marked.
+    """
+
+    def __init__(self) -> None:
+        self._next_id = 0
+        self._durable: Set[int] = set()
+        self.record_info: Dict[int, RecordInfo] = {}
+
+    def allocate(self) -> int:
+        record_id = self._next_id
+        self._next_id += 1
+        return record_id
+
+    def mark_durable(self, record_id: int) -> None:
+        self._durable.add(record_id)
+
+    def is_durable(self, record_id: int) -> bool:
+        return record_id in self._durable
+
+    @property
+    def durable_count(self) -> int:
+        return len(self._durable)
+
+    # -- snapshot/restore for block-level crash-state enumeration ------
+
+    def snapshot(self) -> Tuple[int, FrozenSet[int]]:
+        return self._next_id, frozenset(self._durable)
+
+    def restore(self, snap: Tuple[int, FrozenSet[int]]) -> None:
+        next_id, durable = snap
+        self._next_id = next_id
+        self._durable = set(durable)
+
+
+class FutureCell:
+    """A promise for a dependency whose writes do not exist yet."""
+
+    __slots__ = ("label", "_resolved")
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._resolved: Optional[Dependency] = None
+
+    @property
+    def resolved(self) -> Optional["Dependency"]:
+        return self._resolved
+
+    def resolve(self, dep: "Dependency") -> None:
+        """Fill the promise.  Resolving twice keeps the *conjunction*.
+
+        A memtable entry can be covered by more than one flush (e.g. a
+        re-put before the first flush); requiring all resolutions keeps the
+        cell conservative -- it never reports persistent early.
+        """
+        if self._resolved is None:
+            self._resolved = dep
+        else:
+            self._resolved = self._resolved.and_(dep)
+
+
+_Part = Union[FrozenSet[int], FutureCell]
+
+
+class Dependency:
+    """An immutable conjunction of write records and future promises.
+
+    Mirrors the paper's API: combine with :meth:`and_`, poll with
+    :meth:`is_persistent`.
+    """
+
+    __slots__ = ("_tracker", "_records", "_futures")
+
+    def __init__(
+        self,
+        tracker: DurabilityTracker,
+        records: FrozenSet[int] = frozenset(),
+        futures: Tuple[FutureCell, ...] = (),
+    ) -> None:
+        self._tracker = tracker
+        self._records = records
+        self._futures = futures
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def root(cls, tracker: DurabilityTracker) -> "Dependency":
+        """The empty dependency: always persistent."""
+        return cls(tracker)
+
+    @classmethod
+    def on_records(
+        cls, tracker: DurabilityTracker, record_ids: Iterable[int]
+    ) -> "Dependency":
+        return cls(tracker, records=frozenset(record_ids))
+
+    @classmethod
+    def on_future(cls, tracker: DurabilityTracker, cell: FutureCell) -> "Dependency":
+        return cls(tracker, futures=(cell,))
+
+    # -- combinators ------------------------------------------------------
+
+    def and_(self, other: "Dependency") -> "Dependency":
+        """Conjunction: persistent only when both inputs are persistent."""
+        if other._tracker is not self._tracker:
+            raise ValueError("cannot combine dependencies across systems")
+        futures = self._futures + tuple(
+            f for f in other._futures if f not in self._futures
+        )
+        return Dependency(self._tracker, self._records | other._records, futures)
+
+    @staticmethod
+    def all_(deps: Iterable["Dependency"]) -> "Dependency":
+        """Conjunction of many dependencies (empty iterable is an error)."""
+        deps = list(deps)
+        if not deps:
+            raise ValueError("all_ of no dependencies; use Dependency.root")
+        out = deps[0]
+        for dep in deps[1:]:
+            out = out.and_(dep)
+        return out
+
+    # -- queries ----------------------------------------------------------
+
+    def is_persistent(self) -> bool:
+        """True iff every write this operation depends on is durable."""
+        resolved_records, unresolved = self._flatten()
+        if unresolved:
+            return False
+        return all(self._tracker.is_durable(r) for r in resolved_records)
+
+    def _flatten(self) -> Tuple[Set[int], List[FutureCell]]:
+        """Chase future cells; return (all record ids, unresolved cells)."""
+        records: Set[int] = set(self._records)
+        unresolved: List[FutureCell] = []
+        stack: List[FutureCell] = list(self._futures)
+        seen: Set[int] = set()
+        while stack:
+            cell = stack.pop()
+            if id(cell) in seen:
+                continue
+            seen.add(id(cell))
+            resolved = cell.resolved
+            if resolved is None:
+                unresolved.append(cell)
+            else:
+                records |= resolved._records
+                stack.extend(resolved._futures)
+        return records, unresolved
+
+    def record_ids(self) -> FrozenSet[int]:
+        """All record ids currently reachable (unresolved futures excluded)."""
+        records, _ = self._flatten()
+        return frozenset(records)
+
+    def unresolved_futures(self) -> List[FutureCell]:
+        _, unresolved = self._flatten()
+        return unresolved
+
+    @property
+    def tracker(self) -> DurabilityTracker:
+        return self._tracker
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        records, unresolved = self._flatten()
+        return (
+            f"Dependency(records={sorted(records)}, "
+            f"unresolved={[c.label for c in unresolved]})"
+        )
+
+
+def dependency_graph_edges(
+    tracker: DurabilityTracker, record_ids: Iterable[int]
+) -> List[Tuple[int, int]]:
+    """Edges (prerequisite -> dependent) of the write-ordering DAG.
+
+    Walks :attr:`DurabilityTracker.record_info` transitively from the given
+    records; used by the Fig. 2 benchmark to render put dependency graphs.
+    """
+    edges: List[Tuple[int, int]] = []
+    seen: Set[int] = set()
+    stack = list(record_ids)
+    while stack:
+        rid = stack.pop()
+        if rid in seen:
+            continue
+        seen.add(rid)
+        info = tracker.record_info.get(rid)
+        if info is None:
+            continue
+        for dep_id in sorted(info.dep.record_ids()):
+            edges.append((dep_id, rid))
+            stack.append(dep_id)
+    return edges

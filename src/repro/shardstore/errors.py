@@ -1,0 +1,26 @@
+"""Typed error hierarchy (re-exported from :mod:`repro.errors`).
+
+The canonical definitions live in :mod:`repro.errors` so that low-level
+modules (e.g. the serialization codec) can use them without importing the
+:mod:`repro.shardstore` package, which would create an import cycle.
+"""
+
+from repro.errors import (
+    CorruptionError,
+    ExtentError,
+    InvalidRequestError,
+    IoError,
+    NotFoundError,
+    RetryableError,
+    ShardStoreError,
+)
+
+__all__ = [
+    "CorruptionError",
+    "ExtentError",
+    "InvalidRequestError",
+    "IoError",
+    "NotFoundError",
+    "RetryableError",
+    "ShardStoreError",
+]

@@ -1,0 +1,219 @@
+"""The storage node's wire protocol: request/response marshalling.
+
+The paper's section 8.3 singles out "parsing of S3's messaging protocol,
+request routing, and business logic" as code the team was still working to
+validate.  This module builds that layer for our node -- a compact,
+self-describing wire format over the canonical value codec -- and closes
+the validation gap the paper calls out:
+
+* request/response decoders are **untrusted-byte** decoders and join the
+  section 7 panic-freedom fuzz set (any input either parses or raises
+  ``CorruptionError``);
+* :func:`dispatch` routes a decoded request to a
+  :class:`~repro.shardstore.rpc.StorageNode` and marshals the outcome, so
+  conformance suites can drive the node through the wire format itself.
+
+Wire format: one request/response is a codec record whose payload is a
+dict with an ``op``/``status`` discriminator and per-operation fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serialization.codec import decode_record, encode_record
+
+from .errors import (
+    CorruptionError,
+    InvalidRequestError,
+    NotFoundError,
+    RetryableError,
+    ShardStoreError,
+)
+from .rpc import StorageNode
+
+#: Protocol page size: requests are padded like on-disk records so the
+#: same scan/seal tooling applies to message logs.
+WIRE_PAGE = 64
+
+OPS_WITH_KEY = ("get", "put", "delete", "migrate")
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded request."""
+
+    op: str
+    key: bytes = b""
+    value: bytes = b""
+    target_disk: int = 0
+    pairs: Tuple[Tuple[bytes, bytes], ...] = ()
+    keys: Tuple[bytes, ...] = ()
+
+
+@dataclass(frozen=True)
+class Response:
+    """A decoded response."""
+
+    status: str  # "ok" | "not_found" | "retry" | "invalid" | "error"
+    value: bytes = b""
+    shards: Tuple[bytes, ...] = ()
+    count: int = 0
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def encode_request(request: Request) -> bytes:
+    payload = {
+        "op": request.op,
+        "key": request.key,
+        "value": request.value,
+        "target_disk": request.target_disk,
+        "pairs": [[k, v] for k, v in request.pairs],
+        "keys": list(request.keys),
+    }
+    return encode_record(payload, WIRE_PAGE)
+
+
+def decode_request(data: bytes) -> Request:
+    """Parse an untrusted request; raises :class:`CorruptionError` only."""
+    value, _ = decode_record(data, 0)
+    if not isinstance(value, dict):
+        raise CorruptionError("request payload is not a mapping")
+    op = value.get("op")
+    if op not in ("get", "put", "delete", "list", "bulk_create", "bulk_delete",
+                  "migrate", "scrub"):
+        raise CorruptionError(f"unknown request op {op!r}")
+    key = value.get("key", b"")
+    raw_value = value.get("value", b"")
+    target = value.get("target_disk", 0)
+    if not isinstance(key, bytes) or not isinstance(raw_value, bytes):
+        raise CorruptionError("request key/value must be bytes")
+    if not isinstance(target, int):
+        raise CorruptionError("request target_disk must be an integer")
+    raw_pairs = value.get("pairs", [])
+    pairs: List[Tuple[bytes, bytes]] = []
+    if not isinstance(raw_pairs, list):
+        raise CorruptionError("request pairs must be a list")
+    for item in raw_pairs:
+        if (
+            not isinstance(item, list)
+            or len(item) != 2
+            or not isinstance(item[0], bytes)
+            or not isinstance(item[1], bytes)
+        ):
+            raise CorruptionError("malformed bulk pair")
+        pairs.append((item[0], item[1]))
+    raw_keys = value.get("keys", [])
+    if not isinstance(raw_keys, list) or not all(
+        isinstance(k, bytes) for k in raw_keys
+    ):
+        raise CorruptionError("request keys must be a list of bytes")
+    return Request(
+        op=op,
+        key=key,
+        value=raw_value,
+        target_disk=target,
+        pairs=tuple(pairs),
+        keys=tuple(raw_keys),
+    )
+
+
+def encode_response(response: Response) -> bytes:
+    payload = {
+        "status": response.status,
+        "value": response.value,
+        "shards": list(response.shards),
+        "count": response.count,
+        "message": response.message,
+    }
+    return encode_record(payload, WIRE_PAGE)
+
+
+def decode_response(data: bytes) -> Response:
+    """Parse an untrusted response; raises :class:`CorruptionError` only."""
+    value, _ = decode_record(data, 0)
+    if not isinstance(value, dict):
+        raise CorruptionError("response payload is not a mapping")
+    status = value.get("status")
+    if status not in ("ok", "not_found", "retry", "invalid", "error"):
+        raise CorruptionError(f"unknown response status {status!r}")
+    body = value.get("value", b"")
+    if not isinstance(body, bytes):
+        raise CorruptionError("response value must be bytes")
+    raw_shards = value.get("shards", [])
+    if not isinstance(raw_shards, list) or not all(
+        isinstance(s, bytes) for s in raw_shards
+    ):
+        raise CorruptionError("response shards must be a list of bytes")
+    count = value.get("count", 0)
+    if not isinstance(count, int):
+        raise CorruptionError("response count must be an integer")
+    message = value.get("message", "")
+    if not isinstance(message, str):
+        raise CorruptionError("response message must be a string")
+    return Response(
+        status=status,
+        value=body,
+        shards=tuple(raw_shards),
+        count=count,
+        message=message,
+    )
+
+
+def dispatch(node: StorageNode, raw_request: bytes) -> bytes:
+    """Decode, route, execute, and marshal one request.
+
+    Malformed bytes become an ``invalid`` response rather than an
+    exception: the node must shrug off garbage from the network exactly as
+    it shrugs off garbage from the disk.
+    """
+    try:
+        request = decode_request(raw_request)
+    except CorruptionError as exc:
+        return encode_response(Response(status="invalid", message=str(exc)))
+    try:
+        return encode_response(_execute(node, request))
+    except InvalidRequestError as exc:
+        return encode_response(Response(status="invalid", message=str(exc)))
+    except NotFoundError as exc:
+        return encode_response(Response(status="not_found", message=str(exc)))
+    except RetryableError as exc:
+        return encode_response(Response(status="retry", message=str(exc)))
+    except ShardStoreError as exc:
+        return encode_response(Response(status="error", message=str(exc)))
+
+
+def _execute(node: StorageNode, request: Request) -> Response:
+    if request.op == "get":
+        return Response(status="ok", value=node.get(request.key))
+    if request.op == "put":
+        node.put(request.key, request.value)
+        return Response(status="ok")
+    if request.op == "delete":
+        node.delete(request.key)
+        return Response(status="ok")
+    if request.op == "list":
+        return Response(status="ok", shards=tuple(node.list_shards()))
+    if request.op == "bulk_create":
+        count = node.bulk_create(list(request.pairs))
+        return Response(status="ok", count=count)
+    if request.op == "bulk_delete":
+        count = node.bulk_delete(list(request.keys))
+        return Response(status="ok", count=count)
+    if request.op == "migrate":
+        moved = node.migrate_shard(request.key, request.target_disk)
+        return Response(status="ok" if moved else "not_found")
+    if request.op == "scrub":
+        reports = node.scrub_all()
+        bad = sum(len(report.errors) for report in reports.values())
+        return Response(
+            status="ok" if bad == 0 else "error",
+            count=bad,
+            message="" if bad == 0 else f"{bad} corrupt chunks found",
+        )
+    raise InvalidRequestError(f"unroutable op {request.op!r}")

@@ -1,0 +1,291 @@
+"""The storage-node RPC layer: many disks, one request interface.
+
+ShardStore hosts run several HDDs; each disk is an isolated failure domain
+running an independent key-value store, and a shared RPC layer steers
+requests to target disks by shard id (section 2.1).  This module implements
+that layer plus the control-plane operations the paper's API-level issues
+live in:
+
+* ``remove_disk``/``return_disk`` -- taking a disk out of service migrates
+  its shards to the remaining disks; fault #4 re-installs the removed
+  disk's stale routing entries when it returns, resurrecting old data and
+  losing writes made while it was away.
+* ``list_shards`` -- fault #13 iterates the routing table without the node
+  lock, racing concurrent removals.
+* ``bulk_create``/``bulk_delete`` -- fault #16 releases the node lock
+  between items, so concurrent bulk operations interleave non-atomically.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.concurrency.primitives import Mutex, yield_point
+
+from .config import StoreConfig
+from .dependency import Dependency
+from .errors import InvalidRequestError, NotFoundError, RetryableError
+from .faults import Fault, FaultSet
+from .store import MAX_KEY_LEN, ShardStore, StoreSystem
+
+
+def _steer(key: bytes, num_disks: int) -> int:
+    """Deterministic primary disk for a shard id."""
+    return zlib.crc32(key) % num_disks
+
+
+@dataclass
+class NodeStats:
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    migrations: int = 0
+
+
+class StorageNode:
+    """A multi-disk ShardStore storage node with a steering RPC layer."""
+
+    def __init__(
+        self,
+        num_disks: int = 3,
+        config: Optional[StoreConfig] = None,
+    ) -> None:
+        if num_disks < 1:
+            raise InvalidRequestError("a storage node needs at least one disk")
+        base = config or StoreConfig()
+        self.config = base
+        self.faults: FaultSet = base.faults
+        self.systems: List[StoreSystem] = []
+        for disk_id in range(num_disks):
+            cfg = StoreConfig(
+                geometry=base.geometry,
+                faults=base.faults,
+                max_chunk_payload=base.max_chunk_payload,
+                memtable_flush_threshold=base.memtable_flush_threshold,
+                superblock_flush_cadence=base.superblock_flush_cadence,
+                buffer_cache_pages=base.buffer_cache_pages,
+                seed=base.seed + disk_id + 1,
+                uuid_magic_bias=base.uuid_magic_bias,
+            )
+            self.systems.append(StoreSystem(cfg))
+        self._in_service: List[bool] = [True] * num_disks
+        self._shard_map: Dict[bytes, int] = {}
+        # Fault #4's stale state: routing entries saved at removal time.
+        self._removed_routing: Dict[int, Dict[bytes, int]] = {}
+        self._lock = Mutex(None, name="storage-node")
+        self.stats = NodeStats()
+
+    # ------------------------------------------------------------------
+    # request plane
+
+    def _store(self, disk_id: int) -> ShardStore:
+        return self.systems[disk_id].store
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        """Request validation belongs at the RPC boundary: an invalid key
+        must be rejected identically by every operation, not only by the
+        ones whose routing happens to reach a per-disk store."""
+        if not isinstance(key, bytes) or not key:
+            raise InvalidRequestError("key must be non-empty bytes")
+        if len(key) > MAX_KEY_LEN:
+            raise InvalidRequestError("key too long")
+
+    def put(self, key: bytes, value: bytes) -> Dependency:
+        self._check_key(key)
+        self.stats.puts += 1
+        with self._lock:
+            target = self._shard_map.get(key)
+            if target is None or not self._in_service[target]:
+                target = self._pick_target(key)
+            self._shard_map[key] = target
+        return self._store(target).put(key, value)
+
+    def get(self, key: bytes) -> bytes:
+        self._check_key(key)
+        self.stats.gets += 1
+        with self._lock:
+            target = self._shard_map.get(key)
+        if target is None:
+            raise NotFoundError(f"no shard for key {key!r}")
+        if not self._in_service[target]:
+            raise RetryableError(f"disk {target} is out of service")
+        return self._store(target).get(key)
+
+    def delete(self, key: bytes) -> Optional[Dependency]:
+        self._check_key(key)
+        self.stats.deletes += 1
+        with self._lock:
+            target = self._shard_map.pop(key, None)
+        if target is None:
+            return None
+        if not self._in_service[target]:
+            raise RetryableError(f"disk {target} is out of service")
+        return self._store(target).delete(key)
+
+    def _pick_target(self, key: bytes) -> int:
+        primary = _steer(key, len(self.systems))
+        for probe in range(len(self.systems)):
+            disk_id = (primary + probe) % len(self.systems)
+            if self._in_service[disk_id]:
+                return disk_id
+        raise RetryableError("no disk in service")
+
+    # ------------------------------------------------------------------
+    # control plane
+
+    def list_shards(self) -> List[bytes]:
+        """Every shard id this node currently routes.
+
+        The correct implementation snapshots under the node lock; fault #13
+        iterates the live routing table with preemption points, racing
+        concurrent removals.
+        """
+        if self.faults.enabled(Fault.LIST_REMOVE_RACE):
+            out: List[bytes] = []
+            for key in self._shard_map:  # no lock: mutations race with us
+                yield_point("list_shards: unlocked iteration")
+                out.append(key)
+            return sorted(out)
+        with self._lock:
+            return sorted(self._shard_map)
+
+    def remove_disk(self, disk_id: int) -> int:
+        """Take a disk out of service, migrating its shards; returns the
+        number of shards migrated."""
+        self._check_disk(disk_id)
+        with self._lock:
+            if not self._in_service[disk_id]:
+                raise InvalidRequestError(f"disk {disk_id} already removed")
+            if sum(self._in_service) == 1:
+                raise InvalidRequestError("cannot remove the last disk")
+            owned = sorted(
+                key for key, d in self._shard_map.items() if d == disk_id
+            )
+            self._removed_routing[disk_id] = {key: disk_id for key in owned}
+            self._in_service[disk_id] = False
+            migrated = 0
+            for key in owned:
+                value = self._store(disk_id).get(key)
+                target = self._pick_target(key)
+                self._store(target).put(key, value)
+                self._shard_map[key] = target
+                migrated += 1
+                self.stats.migrations += 1
+        return migrated
+
+    def return_disk(self, disk_id: int) -> None:
+        """Bring a previously removed disk back into service.
+
+        The disk's old shards were migrated away at removal; routing must
+        not change when it returns.  Fault #4 merges the stale pre-removal
+        routing back in, pointing reads at the returned disk's old data and
+        losing every write made while it was away.
+        """
+        self._check_disk(disk_id)
+        with self._lock:
+            if self._in_service[disk_id]:
+                raise InvalidRequestError(f"disk {disk_id} is in service")
+            self._in_service[disk_id] = True
+            stale = self._removed_routing.pop(disk_id, {})
+            if self.faults.enabled(Fault.DISK_RETURN_DROPS_SHARDS):
+                for key, old_disk in stale.items():
+                    if key in self._shard_map:
+                        self._shard_map[key] = old_disk
+
+    def _check_disk(self, disk_id: int) -> None:
+        if not 0 <= disk_id < len(self.systems):
+            raise InvalidRequestError(f"no disk {disk_id}")
+
+    def migrate_shard(self, key: bytes, target: int) -> bool:
+        """Move one shard to a specific disk (the paper's control-plane
+        migration).  Returns False if the shard does not exist; no-op if
+        it already lives on ``target``."""
+        self._check_disk(target)
+        self._check_key(key)
+        with self._lock:
+            source = self._shard_map.get(key)
+            if source is None:
+                return False
+            if not self._in_service[target]:
+                raise RetryableError(f"disk {target} is out of service")
+            if source == target:
+                return True
+            value = self._store(source).get(key)
+            self._store(target).put(key, value)
+            self._shard_map[key] = target
+            self._store(source).delete(key)
+            self.stats.migrations += 1
+            return True
+
+    def scrub_all(self):
+        """Repair-oriented integrity pass over every in-service disk."""
+        reports = {}
+        for disk_id, system in enumerate(self.systems):
+            if self._in_service[disk_id]:
+                reports[disk_id] = system.store.scrub()
+        return reports
+
+    # ------------------------------------------------------------------
+    # bulk control-plane operations
+
+    def bulk_create(self, pairs: List[Tuple[bytes, bytes]]) -> int:
+        """Create many shards as one atomic control-plane operation.
+
+        Fault #16 releases the node lock between items, so a concurrent
+        bulk operation observes (and produces) partial states.
+        """
+        if self.faults.enabled(Fault.BULK_CREATE_REMOVE_RACE):
+            created = 0
+            for key, value in pairs:
+                yield_point("bulk_create: between items")
+                self.put(key, value)
+                created += 1
+            return created
+        with self._lock:
+            created = 0
+            for key, value in pairs:
+                target = self._shard_map.get(key)
+                if target is None or not self._in_service[target]:
+                    target = self._pick_target(key)
+                self._shard_map[key] = target
+                self._store(target).put(key, value)
+                created += 1
+            return created
+
+    def bulk_delete(self, keys: List[bytes]) -> int:
+        """Delete many shards as one atomic control-plane operation."""
+        if self.faults.enabled(Fault.BULK_CREATE_REMOVE_RACE):
+            deleted = 0
+            for key in keys:
+                yield_point("bulk_delete: between items")
+                if self.delete(key) is not None:
+                    deleted += 1
+            return deleted
+        with self._lock:
+            deleted = 0
+            for key in keys:
+                target = self._shard_map.pop(key, None)
+                if target is not None and self._in_service[target]:
+                    self._store(target).delete(key)
+                    deleted += 1
+            return deleted
+
+    # ------------------------------------------------------------------
+    # maintenance passthrough
+
+    @property
+    def num_disks(self) -> int:
+        return len(self.systems)
+
+    def in_service(self, disk_id: int) -> bool:
+        self._check_disk(disk_id)
+        return self._in_service[disk_id]
+
+    def drain_all(self) -> None:
+        for disk_id, system in enumerate(self.systems):
+            if self._in_service[disk_id]:
+                system.store.drain()

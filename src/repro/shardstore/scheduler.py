@@ -1,0 +1,371 @@
+"""The IO scheduler: soft-updates writeback honouring dependency order.
+
+ShardStore's only path to disk is ``append`` (section 2.2).  Components hand
+appends to this scheduler together with an input :class:`Dependency`; the
+scheduler's contract is that **an append is not issued to the durable medium
+until its input dependency has persisted**.  Between the component and the
+medium, every extent therefore has two write pointers:
+
+* the *soft* write pointer -- where the next append will land, tracked here
+  in memory and advanced immediately;
+* the *hard* write pointer -- how far the durable medium has actually been
+  written, advanced only by writeback.
+
+Appends are split into page-sized IO records, so a crash can persist any
+*prefix of pages* of a logical append (a torn append -- the enabling
+mechanism of the paper's bug #10).  Records for one extent are written back
+strictly in FIFO order (extent writes are sequential); across extents the
+writeback order is any order consistent with dependencies, chosen by a
+seeded RNG so tests are deterministic and the crash-consistency checker can
+explore different orders by varying the seed.
+
+Crash semantics: pending records that were never pumped are simply dropped
+(:meth:`drop_pending`); whatever subset writeback already applied *is* the
+crash state.  The checker in :mod:`repro.core.crash_checker` drives this by
+pumping a chosen number of records before crashing, or -- in block-level
+mode -- by enumerating every reachable pump prefix via
+:meth:`snapshot`/:meth:`restore`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .dependency import Dependency, DurabilityTracker, RecordInfo
+from .disk import InMemoryDisk
+from .errors import ExtentError, IoError
+
+
+@dataclass
+class _PendingRecord:
+    """One page-granular IO awaiting writeback."""
+
+    record_id: int
+    extent: int
+    offset: int  # meaningless for resets
+    data: bytes  # empty for resets
+    dep: Dependency
+    kind: str  # "write" or "reset"
+    label: str
+
+
+@dataclass
+class SchedulerStats:
+    records_enqueued: int = 0
+    records_written: int = 0
+    resets_applied: int = 0
+    ios_issued: int = 0  # contiguous same-extent runs merged at drain time
+
+
+class IoScheduler:
+    """Orders writebacks to an :class:`InMemoryDisk` per dependency contract."""
+
+    def __init__(
+        self,
+        disk: InMemoryDisk,
+        tracker: DurabilityTracker,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.disk = disk
+        self.tracker = tracker
+        self.rng = rng or random.Random(0)
+        self.stats = SchedulerStats()
+        # Per-extent FIFO queues of pending records.
+        self._queues: Dict[int, List[_PendingRecord]] = {}
+        # Soft write pointers and shadow of appended-but-not-durable bytes.
+        self._soft_pointer: List[int] = [
+            disk.write_pointer(e) for e in range(disk.geometry.num_extents)
+        ]
+        self._shadow: List[bytearray] = [
+            bytearray(disk.geometry.extent_size)
+            for _ in range(disk.geometry.num_extents)
+        ]
+        for extent in range(disk.geometry.num_extents):
+            hard = disk.write_pointer(extent)
+            if hard:
+                self._shadow[extent][:hard] = disk.read(extent, 0, hard)
+
+    # ------------------------------------------------------------------
+    # client API
+
+    def soft_pointer(self, extent: int) -> int:
+        return self._soft_pointer[extent]
+
+    def free_bytes(self, extent: int) -> int:
+        return self.disk.geometry.extent_size - self._soft_pointer[extent]
+
+    def append(
+        self, extent: int, data: bytes, dep: Dependency, label: str = ""
+    ) -> Tuple[int, Dependency]:
+        """Queue an append; returns (offset, dependency for this append).
+
+        The returned dependency covers every page of the append; it becomes
+        persistent only once all pages are durable on the medium.
+        """
+        if not data:
+            raise ExtentError("empty append")
+        offset = self._soft_pointer[extent]
+        if offset + len(data) > self.disk.geometry.extent_size:
+            raise ExtentError(
+                f"append of {len(data)} bytes overruns extent {extent} "
+                f"(soft pointer {offset})"
+            )
+        page = self.disk.geometry.page_size
+        queue = self._queues.setdefault(extent, [])
+        record_ids: List[int] = []
+        cursor = 0
+        while cursor < len(data):
+            # Segment ends at the next page boundary (torn-write granularity).
+            boundary = ((offset + cursor) // page + 1) * page
+            seg_end = min(len(data), boundary - offset)
+            segment = data[cursor:seg_end]
+            record_id = self.tracker.allocate()
+            record = _PendingRecord(
+                record_id=record_id,
+                extent=extent,
+                offset=offset + cursor,
+                data=segment,
+                dep=dep,
+                kind="write",
+                label=label,
+            )
+            self.tracker.record_info[record_id] = RecordInfo(
+                record_id=record_id,
+                label=label or f"append@{extent}",
+                extent=extent,
+                offset=offset + cursor,
+                length=len(segment),
+                dep=dep,
+            )
+            queue.append(record)
+            record_ids.append(record_id)
+            self.stats.records_enqueued += 1
+            cursor = seg_end
+        self._shadow[extent][offset : offset + len(data)] = data
+        self._soft_pointer[extent] = offset + len(data)
+        return offset, Dependency.on_records(self.tracker, record_ids)
+
+    def reset(self, extent: int, dep: Dependency, label: str = "") -> Dependency:
+        """Queue an extent reset ordered after ``dep`` persists.
+
+        The soft pointer drops to zero immediately (new appends reuse the
+        extent); the durable medium is reset only at writeback time, after
+        the input dependency -- typically "all live chunks evacuated and
+        re-indexed" -- has persisted.
+        """
+        record_id = self.tracker.allocate()
+        record = _PendingRecord(
+            record_id=record_id,
+            extent=extent,
+            offset=0,
+            data=b"",
+            dep=dep,
+            kind="reset",
+            label=label,
+        )
+        self.tracker.record_info[record_id] = RecordInfo(
+            record_id=record_id,
+            label=label or f"reset@{extent}",
+            extent=extent,
+            offset=0,
+            length=0,
+            dep=dep,
+            kind="reset",
+        )
+        self._queues.setdefault(extent, []).append(record)
+        self.stats.records_enqueued += 1
+        self._soft_pointer[extent] = 0
+        self._shadow[extent] = bytearray(self.disk.geometry.extent_size)
+        return Dependency.on_records(self.tracker, [record_id])
+
+    def read(self, extent: int, offset: int, length: int) -> bytes:
+        """Read below the soft pointer, overlaying pending data on durable.
+
+        Durable bytes are read through the disk (so injected read faults
+        fire); pending bytes are served from the in-memory shadow, as they
+        would be from a real write-back cache.
+        """
+        if length < 0 or offset < 0:
+            raise ExtentError("negative read bounds")
+        soft = self._soft_pointer[extent]
+        if offset + length > soft:
+            raise ExtentError(
+                f"read beyond soft write pointer on extent {extent}: "
+                f"[{offset}, {offset + length}) > {soft}"
+            )
+        hard = self.disk.write_pointer(extent)
+        if self._has_pending_reset(extent) or offset >= hard:
+            # The durable image is stale (reset pending) or entirely behind
+            # the requested range; serve purely from the shadow.
+            if offset < hard and not self._has_pending_reset(extent):
+                pass  # unreachable; kept for clarity
+            return bytes(self._shadow[extent][offset : offset + length])
+        durable_end = min(offset + length, hard)
+        out = self.disk.read(extent, offset, durable_end - offset)
+        if durable_end < offset + length:
+            out += bytes(self._shadow[extent][durable_end : offset + length])
+        return out
+
+    def _has_pending_reset(self, extent: int) -> bool:
+        return any(r.kind == "reset" for r in self._queues.get(extent, ()))
+
+    # ------------------------------------------------------------------
+    # writeback
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def pending_record_ids(self) -> List[int]:
+        return [r.record_id for q in self._queues.values() for r in q]
+
+    def eligible_extents(self) -> List[int]:
+        """Extents whose head-of-queue record may be issued right now."""
+        out = []
+        for extent, queue in self._queues.items():
+            if queue and queue[0].dep.is_persistent():
+                out.append(extent)
+        return sorted(out)
+
+    def pump_one(self, extent: Optional[int] = None, *, coalesce: bool = False) -> bool:
+        """Write back one eligible record; returns False if none eligible.
+
+        ``extent`` pins the choice (used by the block-level enumerator);
+        otherwise the seeded RNG picks among eligible extents.
+
+        With ``coalesce=True``, contiguous eligible write records on the
+        chosen extent are merged into one device IO (the paper's Fig. 2:
+        "their writebacks can be coalesced into one IO by the scheduler").
+        Crash-state exploration keeps this off -- coalescing makes the
+        merged pages atomic, coarsening the reachable crash states --
+        while the production drain path uses it.
+        """
+        eligible = self.eligible_extents()
+        if not eligible:
+            return False
+        if extent is None:
+            extent = self.rng.choice(eligible)
+        elif extent not in eligible:
+            raise ExtentError(f"extent {extent} has no eligible record")
+        queue = self._queues[extent]
+        record = queue.pop(0)
+        if coalesce and record.kind == "write":
+            batch = [record]
+            while (
+                queue
+                and queue[0].kind == "write"
+                and queue[0].offset == batch[-1].offset + len(batch[-1].data)
+                and queue[0].dep.is_persistent()
+            ):
+                batch.append(queue.pop(0))
+            if not queue:
+                del self._queues[extent]
+            if len(batch) > 1:
+                merged = b"".join(r.data for r in batch)
+                self.disk.write(extent, batch[0].offset, merged)
+                for merged_record in batch:
+                    self.tracker.mark_durable(merged_record.record_id)
+                self.stats.records_written += len(batch)
+                self.stats.ios_issued += 1
+                return True
+            self._apply(batch[0])
+            return True
+        if not queue:
+            del self._queues[extent]
+        self._apply(record)
+        return True
+
+    def _apply(self, record: _PendingRecord) -> None:
+        if record.kind == "reset":
+            self.disk.reset(record.extent)
+            self.stats.resets_applied += 1
+        else:
+            self.disk.write(record.extent, record.offset, record.data)
+            self.stats.records_written += 1
+        self.stats.ios_issued += 1
+        self.tracker.mark_durable(record.record_id)
+
+    def pump(self, n: int) -> int:
+        """Write back up to ``n`` eligible records; returns how many."""
+        done = 0
+        while done < n and self.pump_one():
+            done += 1
+        return done
+
+    def drain(self) -> None:
+        """Write back everything pending.
+
+        Raises :class:`IoError` if pending records remain but none are
+        eligible -- a dependency that can never be satisfied, i.e. a
+        forward-progress violation (section 5).
+        """
+        while self.pending_count:
+            if not self.pump_one():
+                stuck = [
+                    (r.label or r.kind, r.extent)
+                    for q in self._queues.values()
+                    for r in q
+                ]
+                raise IoError(
+                    f"writeback stuck: {len(stuck)} pending records with "
+                    f"unsatisfiable dependencies: {stuck[:5]}",
+                    transient=False,
+                )
+            # Keep pumping.
+
+    def settle_extent(self, extent: int) -> bool:
+        """Write back until ``extent`` has no pending records.
+
+        Used by the allocator before reusing a freed extent: claiming an
+        extent whose reset is still pending would queue new appends behind
+        it, and cross-extent evacuation dependencies could then form a
+        writeback cycle.  Pumps any eligible record (progress elsewhere can
+        unblock this extent); returns False if writeback gets stuck.
+        """
+        while any(r.extent == extent for q in self._queues.values() for r in q):
+            if not self.pump_one():
+                return False
+        return True
+
+    def drop_pending(self) -> int:
+        """Crash: discard all pending records; returns how many were lost.
+
+        Soft state is resynchronised to the durable medium.  The caller
+        (recovery) then overrides pointers from the superblock.
+        """
+        lost = self.pending_count
+        self._queues.clear()
+        for extent in range(self.disk.geometry.num_extents):
+            hard = self.disk.write_pointer(extent)
+            self._soft_pointer[extent] = hard
+            self._shadow[extent] = bytearray(self.disk.geometry.extent_size)
+            if hard:
+                self._shadow[extent][:hard] = self.disk.read(extent, 0, hard)
+        return lost
+
+    def sync_soft_pointer(self, extent: int, pointer: int) -> None:
+        """Recovery adopts a superblock-recovered soft pointer."""
+        self.disk.set_write_pointer(extent, pointer)
+        self._soft_pointer[extent] = pointer
+        self._shadow[extent] = bytearray(self.disk.geometry.extent_size)
+        if pointer:
+            self._shadow[extent][:pointer] = self.disk.read(extent, 0, pointer)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (block-level crash-state enumeration)
+
+    def snapshot(self) -> dict:
+        return {
+            "queues": {e: list(q) for e, q in self._queues.items()},
+            "soft": list(self._soft_pointer),
+            "shadow": [bytes(s) for s in self._shadow],
+            "rng": self.rng.getstate(),
+        }
+
+    def restore(self, snap: dict) -> None:
+        self._queues = {e: list(q) for e, q in snap["queues"].items()}
+        self._soft_pointer = list(snap["soft"])
+        self._shadow = [bytearray(s) for s in snap["shadow"]]
+        self.rng.setstate(snap["rng"])

@@ -1,0 +1,313 @@
+"""The ShardStore key-value store: one disk, one store (section 2.1).
+
+:class:`ShardStore` wires the substrate together -- disk, IO scheduler,
+superblock, buffer cache, chunk store, LSM index, reclaimer -- and exposes
+the key-value API the rest of S3 sees: ``put``/``get``/``delete`` plus the
+background operations (index flush, superblock flush, compaction, chunk
+reclamation) that the validation alphabets include as no-op-in-the-model
+operations (Fig. 3).
+
+Every mutating operation returns a :class:`Dependency` that can be polled
+with ``is_persistent()`` -- the observable the crash-consistency checker's
+two properties (persistence, forward progress; section 5) are stated over.
+
+:class:`StoreSystem` owns what survives a reboot (the disk and the
+durability tracker) and rebuilds the store object through recovery, giving
+the checkers their ``DirtyReboot(RebootType)`` and clean-reboot operations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .buffer_cache import BufferCache
+from .chunk_store import ChunkStore
+from .config import StoreConfig
+from .dependency import Dependency, DurabilityTracker
+from .disk import InMemoryDisk
+from .errors import InvalidRequestError, NotFoundError
+from .lsm import LsmIndex
+from .reclamation import Reclaimer, ReclaimResult
+from .scheduler import IoScheduler
+from .scrub import Scrubber
+from .superblock import Superblock, SuperblockState
+
+MAX_KEY_LEN = 1024
+
+
+class ShardStore:
+    """A single-disk key-value store over append-only extents."""
+
+    def __init__(
+        self,
+        disk: InMemoryDisk,
+        tracker: DurabilityTracker,
+        config: StoreConfig,
+        *,
+        rng: Optional[random.Random] = None,
+        recover: bool = False,
+    ) -> None:
+        self.disk = disk
+        self.tracker = tracker
+        self.config = config
+        self.rng = rng or random.Random(config.seed)
+        self.scheduler = IoScheduler(disk, tracker, random.Random(self.rng.getrandbits(32)))
+        if recover:
+            self._seal_log_extents()
+            state, slot = Superblock.recover_state(self.scheduler, config)
+            for extent in config.data_extents:
+                pointer = Superblock.recovered_pointer(
+                    state, self.scheduler, extent, config.geometry.page_size
+                )
+                self.scheduler.sync_soft_pointer(extent, pointer)
+            self.superblock = Superblock(
+                self.scheduler, config, recovered=state, recovered_slot=slot
+            )
+        else:
+            self.superblock = Superblock(self.scheduler, config)
+        self.cache = BufferCache(self.scheduler, self.superblock, config)
+        self.chunk_store = ChunkStore(self.cache, self.superblock, config, self.rng)
+        if recover:
+            self.index, self.lost_runs = LsmIndex.recover(
+                self.chunk_store, self.scheduler, config
+            )
+        else:
+            self.index = LsmIndex(self.chunk_store, self.scheduler, config)
+            self.lost_runs: List[int] = []
+        self.reclaimer = Reclaimer(
+            self.chunk_store, self.index, self.cache, self.superblock, config
+        )
+        self.scrubber = Scrubber(self.chunk_store, self.index)
+        self.chunk_store.on_out_of_space = self._reclaim_for_space
+
+    def _seal_log_extents(self) -> None:
+        """Truncate superblock/metadata log extents to their valid prefix.
+
+        A crash can tear a multi-page record, leaving undecodable garbage
+        below the hard pointer.  Appending new records after the garbage
+        would strand them: future recovery scans stop at the tear and never
+        see anything beyond it.  Sealing restores the invariant that a log
+        extent is always a contiguous run of valid records plus at most a
+        torn tail.
+        """
+        from repro.serialization.codec import scan_records_with_end
+
+        from .config import METADATA_EXTENTS, SUPERBLOCK_EXTENTS
+
+        page = self.config.geometry.page_size
+        for extent in (*SUPERBLOCK_EXTENTS, *METADATA_EXTENTS):
+            hard = self.disk.write_pointer(extent)
+            if not hard:
+                continue
+            data = self.disk.read(extent, 0, hard)
+            _, end = scan_records_with_end(data, page)
+            if end < hard:
+                self.scheduler.sync_soft_pointer(extent, end)
+
+    def _reclaim_for_space(self) -> bool:
+        """GC under allocation pressure: reclaim every eligible extent.
+
+        Refuses to run while the index lock is held: the caller is then an
+        LSM-internal write (flush/compaction), and reclamation re-enters the
+        index -- a reentrancy deadlock.  Those writes have allocation
+        priority and the free-extent reserve instead.
+        """
+        if self.index.busy():
+            return False
+        progress = False
+        for extent in self.reclaimer.reclaimable_extents():
+            result = self.reclaimer.reclaim(extent)
+            if result is not None and result.reset_done:
+                progress = True
+        return progress
+
+    # ------------------------------------------------------------------
+    # request plane
+
+    def put(self, key: bytes, value: bytes) -> Dependency:
+        """Store ``value`` under ``key``; returns its durability dependency."""
+        self._check_key(key)
+        locators, data_dep = self.chunk_store.put_shard(key, value)
+        return self.index.put(key, locators, data_dep)
+
+    def get(self, key: bytes) -> bytes:
+        """The value stored under ``key``.
+
+        Raises :class:`NotFoundError` for absent keys and
+        :class:`CorruptionError` when the stored bytes fail validation.
+        """
+        self._check_key(key)
+        locators = self.index.get(key)
+        if locators is None:
+            raise NotFoundError(f"no shard for key {key!r}")
+        return self.chunk_store.get_shard(key, locators)
+
+    def delete(self, key: bytes) -> Dependency:
+        """Remove ``key``; returns the tombstone's durability dependency."""
+        self._check_key(key)
+        return self.index.delete(key)
+
+    def contains(self, key: bytes) -> bool:
+        self._check_key(key)
+        return self.index.get(key) is not None
+
+    def keys(self) -> List[bytes]:
+        return self.index.keys()
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, bytes) or not key:
+            raise InvalidRequestError("key must be non-empty bytes")
+        if len(key) > MAX_KEY_LEN:
+            raise InvalidRequestError("key too long")
+
+    # ------------------------------------------------------------------
+    # background operations (no-ops in the reference model)
+
+    def flush_index(self) -> Dependency:
+        return self.index.flush()
+
+    def flush_superblock(self) -> Dependency:
+        return self.superblock.flush()
+
+    def compact(self) -> Optional[Dependency]:
+        return self.index.compact()
+
+    def reclaim(
+        self, extent: int, *, max_evacuations: Optional[int] = None
+    ) -> Optional[ReclaimResult]:
+        return self.reclaimer.reclaim(extent, max_evacuations=max_evacuations)
+
+    def reclaimable_extents(self) -> List[int]:
+        return self.reclaimer.reclaimable_extents()
+
+    def scrub(self):
+        """Proactively validate every live chunk (no state changes)."""
+        return self.scrubber.scrub()
+
+    # ------------------------------------------------------------------
+    # writeback control (the crash checker drives these)
+
+    def pump(self, n: int) -> int:
+        return self.scheduler.pump(n)
+
+    def drain(self) -> None:
+        """Write back everything pending, flushing the superblock as needed.
+
+        Pending records can wait on pointer-update promises that only a
+        superblock flush resolves, so drain alternates pumping with flushes
+        (the same fixpoint clean shutdown uses).  Raises
+        :class:`~repro.shardstore.errors.IoError` if records remain
+        genuinely stuck -- a forward-progress violation.
+        """
+        for _ in range(self.config.geometry.num_extents + 2):
+            while self.scheduler.pump_one():
+                pass
+            if self.scheduler.pending_count == 0:
+                return
+            self.superblock.flush()
+        self.scheduler.drain()  # raises, listing the stuck records
+
+    @property
+    def pending_io_count(self) -> int:
+        return self.scheduler.pending_count
+
+    def clean_shutdown(self) -> None:
+        """Flush everything and drain; afterwards every dependency returned
+        by this store's operations must report persistent (the section 5
+        forward-progress property).
+
+        Superblock flush and writeback alternate to a fixpoint: each flush
+        publishes pointers for extents whose resets became durable in the
+        previous round (resolving their promise cells), which can make
+        further records eligible.  Chained reclamations need one round per
+        link, so the bound is the extent count; exceeding it means a
+        genuinely unsatisfiable dependency, surfaced via :meth:`drain`.
+        """
+        self.index.shutdown_flush()
+        for _ in range(self.config.geometry.num_extents + 2):
+            self.superblock.flush()
+            while self.scheduler.pump_one():
+                pass
+            if self.scheduler.pending_count == 0:
+                break
+        else:
+            self.scheduler.drain()  # raises with the stuck records
+        # One final flush+pump publishes any pointers that were held back
+        # until the last round's resets persisted.
+        self.superblock.flush()
+        self.scheduler.drain()
+
+
+@dataclass
+class RebootType:
+    """Which volatile state a dirty reboot persists first (section 5).
+
+    ``pump`` selects how many pending writebacks reach the medium before
+    the crash: None drains everything eligible, an int pumps exactly that
+    many (in the scheduler's seeded order).
+    """
+
+    flush_index: bool = False
+    flush_superblock: bool = False
+    pump: Optional[int] = None
+
+
+RebootType.NONE = RebootType()
+
+
+class StoreSystem:
+    """The durable identity of one store across reboots and crashes."""
+
+    def __init__(self, config: Optional[StoreConfig] = None) -> None:
+        self.config = config or StoreConfig()
+        self.disk = InMemoryDisk(self.config.geometry)
+        self.tracker = DurabilityTracker()
+        self.generation = 0
+        self.store = ShardStore(self.disk, self.tracker, self.config)
+
+    def _reboot_rng(self) -> random.Random:
+        self.generation += 1
+        return random.Random((self.config.seed << 16) ^ self.generation)
+
+    def clean_reboot(self) -> ShardStore:
+        """Shut down cleanly and recover; returns the new store object."""
+        self.store.clean_shutdown()
+        self.store = ShardStore(
+            self.disk,
+            self.tracker,
+            self.config,
+            rng=self._reboot_rng(),
+            recover=True,
+        )
+        return self.store
+
+    def dirty_reboot(self, reboot: RebootType = RebootType.NONE) -> ShardStore:
+        """Crash and recover.
+
+        Component flushes selected by ``reboot`` run first (they only queue
+        IO); then up to ``reboot.pump`` pending writebacks reach the medium;
+        everything else pending is lost.
+        """
+        if reboot.flush_index:
+            self.store.flush_index()
+        if reboot.flush_superblock:
+            self.store.flush_superblock()
+        if reboot.pump is None:
+            # Drain everything *eligible*; unlike clean shutdown, records
+            # with unsatisfiable dependencies are simply lost in the crash.
+            while self.store.scheduler.pump_one():
+                pass
+        else:
+            self.store.pump(reboot.pump)
+        self.store.scheduler.drop_pending()
+        self.store = ShardStore(
+            self.disk,
+            self.tracker,
+            self.config,
+            rng=self._reboot_rng(),
+            recover=True,
+        )
+        return self.store

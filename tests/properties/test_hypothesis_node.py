@@ -1,0 +1,122 @@
+"""Hypothesis stateful testing of the storage node's control plane.
+
+Removal/return/migration/bulk operations must never lose or change shards
+-- the property behind the paper's issues #4, #13, and #16 -- checked here
+against the dict model with hypothesis driving the schedule.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.shardstore import (
+    DiskGeometry,
+    NotFoundError,
+    RetryableError,
+    StorageNode,
+    StoreConfig,
+)
+
+KEYS = st.sampled_from([b"na", b"nb", b"nc", b"nd", b"ne"])
+VALUES = st.binary(max_size=200)
+DISKS = st.integers(min_value=0, max_value=2)
+
+
+class NodeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.node = StorageNode(
+            num_disks=3,
+            config=StoreConfig(
+                geometry=DiskGeometry(
+                    num_extents=12, extent_size=4096, page_size=128
+                ),
+                seed=321,
+            ),
+        )
+        self.expected = {}
+
+    def _in_service_count(self):
+        return sum(self.node.in_service(d) for d in range(3))
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.node.put(key, value)
+        self.expected[key] = value
+
+    @rule(key=KEYS)
+    def get(self, key):
+        try:
+            observed = self.node.get(key)
+            assert observed == self.expected.get(key)
+        except NotFoundError:
+            assert key not in self.expected
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        try:
+            self.node.delete(key)
+            self.expected.pop(key, None)
+        except RetryableError:
+            pass  # routed to an out-of-service disk; key unchanged
+
+    @rule(pairs=st.lists(st.tuples(KEYS, VALUES), min_size=1, max_size=3))
+    def bulk_create(self, pairs):
+        self.node.bulk_create(list(pairs))
+        for key, value in pairs:
+            self.expected[key] = value
+
+    @rule(keys=st.lists(KEYS, min_size=1, max_size=3))
+    def bulk_delete(self, keys):
+        self.node.bulk_delete(list(keys))
+        for key in keys:
+            self.expected.pop(key, None)
+
+    @rule(key=KEYS, target_disk=DISKS)
+    def migrate(self, key, target_disk):
+        if not self.node.in_service(target_disk):
+            return
+        moved = self.node.migrate_shard(key, target_disk)
+        assert moved == (key in self.expected)
+
+    @rule(disk=DISKS)
+    def remove_disk(self, disk):
+        from repro.shardstore import InvalidRequestError
+
+        try:
+            self.node.remove_disk(disk)
+        except InvalidRequestError:
+            pass  # already removed or last disk
+
+    @rule(disk=DISKS)
+    def return_disk(self, disk):
+        from repro.shardstore import InvalidRequestError
+
+        try:
+            self.node.return_disk(disk)
+        except InvalidRequestError:
+            pass
+
+    @invariant()
+    def listing_matches_model(self):
+        assert self.node.list_shards() == sorted(self.expected)
+
+    @invariant()
+    def every_shard_readable_with_right_value(self):
+        for key, value in self.expected.items():
+            try:
+                assert self.node.get(key) == value
+            except RetryableError:
+                # Unroutable is availability, not loss; but it must only
+                # happen while the owning disk is out of service.
+                owner = self.node._shard_map.get(key)
+                assert owner is not None and not self.node.in_service(owner)
+
+
+TestNodeControlPlane = NodeMachine.TestCase
+TestNodeControlPlane.settings = settings(
+    max_examples=20,
+    stateful_step_count=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)

@@ -1,0 +1,182 @@
+"""Hypothesis stateful testing of the full store against the dict model.
+
+This is the paper's Fig. 3 pattern expressed in hypothesis's
+RuleBasedStateMachine: rules are the operation alphabet (API calls plus
+background operations that must not change the mapping), and the invariant
+compares the implementation's mapping with the reference model after every
+step.  Hypothesis supplies generation and shrinking -- an independent
+second PBT engine beside our own conformance runner.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.models import ReferenceKvStore
+from repro.shardstore import (
+    DiskGeometry,
+    NotFoundError,
+    RebootType,
+    StoreConfig,
+    StoreSystem,
+)
+
+KEYS = st.sampled_from([b"alpha", b"beta", b"gamma", b"delta", b"epsilon"])
+VALUES = st.binary(max_size=400)
+
+
+class StoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.system = StoreSystem(
+            StoreConfig(
+                geometry=DiskGeometry(
+                    num_extents=12, extent_size=4096, page_size=128
+                ),
+                seed=1234,
+            )
+        )
+        self.model = ReferenceKvStore()
+
+    @property
+    def store(self):
+        return self.system.store
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.store.put(key, value)
+        self.model.put(key, value)
+
+    @rule(key=KEYS)
+    def get(self, key):
+        try:
+            impl = self.store.get(key)
+        except NotFoundError:
+            impl = None
+        try:
+            expected = self.model.get(key)
+        except NotFoundError:
+            expected = None
+        assert impl == expected
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.store.delete(key)
+        self.model.delete(key)
+
+    @rule()
+    def flush_index(self):
+        self.store.flush_index()
+
+    @rule()
+    def flush_superblock(self):
+        self.store.flush_superblock()
+
+    @rule()
+    def compact(self):
+        self.store.compact()
+
+    @rule(n=st.integers(min_value=1, max_value=20))
+    def pump(self, n):
+        self.store.pump(n)
+
+    @rule()
+    def reclaim_one(self):
+        targets = self.store.reclaimable_extents()
+        if targets:
+            self.store.reclaim(targets[0])
+
+    @rule()
+    def clean_reboot(self):
+        self.system.clean_reboot()
+
+    @invariant()
+    def same_mapping(self):
+        assert set(self.store.keys()) == set(self.model.keys())
+
+
+TestStoreConformance = StoreMachine.TestCase
+TestStoreConformance.settings = settings(
+    max_examples=25,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class CrashMachine(RuleBasedStateMachine):
+    """Crash-aware stateful test: dirty reboots with persistence checking.
+
+    The model here is the set of keys *guaranteed* present (persistent
+    puts) and the set possibly present; after each crash the observed state
+    must lie between the two bounds.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.system = StoreSystem(
+            StoreConfig(
+                geometry=DiskGeometry(
+                    num_extents=12, extent_size=4096, page_size=128
+                ),
+                seed=77,
+            )
+        )
+        self.oplog = []  # (key, value-or-None, dep)
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        dep = self.system.store.put(key, value)
+        self.oplog.append((key, value, dep))
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        dep = self.system.store.delete(key)
+        self.oplog.append((key, None, dep))
+
+    @rule()
+    def flush_index(self):
+        self.system.store.flush_index()
+
+    @rule(n=st.integers(min_value=0, max_value=30))
+    def pump(self, n):
+        self.system.store.pump(n)
+
+    @rule(pump=st.sampled_from([0, 3, None]))
+    def dirty_reboot(self, pump):
+        store = self.system.dirty_reboot(RebootType(pump=pump))
+        for key in {entry[0] for entry in self.oplog}:
+            ops = [entry for entry in self.oplog if entry[0] == key]
+            last_persistent = None
+            for index, (_, value, dep) in enumerate(ops):
+                if dep.is_persistent():
+                    last_persistent = index
+            allowed_values = set()
+            absent_ok = last_persistent is None
+            for index, (_, value, dep) in enumerate(ops):
+                if last_persistent is not None and index < last_persistent:
+                    continue
+                if value is None:
+                    absent_ok = True
+                else:
+                    allowed_values.add(value)
+            try:
+                observed = store.get(key)
+                assert observed in allowed_values, (key, len(observed))
+            except NotFoundError:
+                assert absent_ok, f"persistent key {key!r} lost"
+
+
+TestCrashConsistency = CrashMachine.TestCase
+TestCrashConsistency.settings = settings(
+    max_examples=15,
+    stateful_step_count=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)

@@ -1,0 +1,133 @@
+"""Unit tests for operation alphabets, generation, and biasing."""
+
+import random
+
+import pytest
+
+from repro.core.alphabet import (
+    Alphabet,
+    BiasConfig,
+    GenContext,
+    Operation,
+    OpSpec,
+    crash_alphabet,
+    failure_alphabet,
+    gen_key,
+    gen_value_len,
+    node_alphabet,
+    store_alphabet,
+)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        alphabet = store_alphabet()
+        a = alphabet.generate_sequence(random.Random(5), 40, BiasConfig())
+        b = alphabet.generate_sequence(random.Random(5), 40, BiasConfig())
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        alphabet = store_alphabet()
+        a = alphabet.generate_sequence(random.Random(1), 40, BiasConfig())
+        b = alphabet.generate_sequence(random.Random(2), 40, BiasConfig())
+        assert a != b
+
+    def test_length_respected(self):
+        ops = store_alphabet().generate_sequence(random.Random(0), 25, BiasConfig())
+        assert len(ops) == 25
+
+    def test_all_ops_from_alphabet(self):
+        alphabet = crash_alphabet()
+        names = set(alphabet.names())
+        ops = alphabet.generate_sequence(random.Random(3), 200, BiasConfig())
+        assert {op.name for op in ops} <= names
+
+    def test_weights_bias_distribution(self):
+        alphabet = store_alphabet()
+        ops = alphabet.generate_sequence(random.Random(0), 2000, BiasConfig())
+        counts = {}
+        for op in ops:
+            counts[op.name] = counts.get(op.name, 0) + 1
+        assert counts["Get"] > counts["Reboot"]
+        assert counts["Put"] > counts["Compact"]
+
+
+class TestAlphabets:
+    def test_store_alphabet_is_fig3_shaped(self):
+        names = store_alphabet().names()
+        # API operations first, background operations after (section 4.3's
+        # increasing-complexity ordering for minimization).
+        assert names.index("Get") < names.index("Reclaim")
+        assert names.index("Put") < names.index("Reboot")
+
+    def test_crash_alphabet_extends_store(self):
+        assert set(store_alphabet().names()) < set(crash_alphabet().names())
+        assert "DirtyReboot" in crash_alphabet().names()
+
+    def test_failure_alphabet_has_injection_ops(self):
+        names = failure_alphabet().names()
+        assert "FailDiskOnce" in names and "ClearFaults" in names
+
+    def test_node_alphabet_has_control_plane(self):
+        names = node_alphabet().names()
+        for op in ("ListShards", "RemoveDisk", "ReturnDisk", "BulkCreate"):
+            assert op in names
+
+    def test_variant_rank(self):
+        alphabet = store_alphabet()
+        assert alphabet.variant_rank("Get") == 0
+        with pytest.raises(KeyError):
+            alphabet.variant_rank("Nope")
+
+    def test_duplicate_names_rejected(self):
+        spec = OpSpec("X", 1.0, lambda ctx, bias: ())
+        with pytest.raises(ValueError):
+            Alphabet([spec, spec])
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet([])
+
+
+class TestBias:
+    def test_key_reuse_bias(self):
+        ctx = GenContext(rng=random.Random(0))
+        ctx.note_key(b"known")
+        bias = BiasConfig(reuse_key=1.0)
+        assert all(gen_key(ctx, bias) == b"known" for _ in range(20))
+
+    def test_no_reuse_without_bias(self):
+        ctx = GenContext(rng=random.Random(0))
+        ctx.note_key(b"known")
+        bias = BiasConfig(reuse_key=0.0, key_space=1 << 16)
+        keys = {gen_key(ctx, bias) for _ in range(50)}
+        assert b"known" not in keys or len(keys) > 40
+
+    def test_page_boundary_bias(self):
+        ctx = GenContext(rng=random.Random(0), page_size=128)
+        bias = BiasConfig(page_boundary_size=1.0)
+        sizes = [gen_value_len(ctx, bias) for _ in range(100)]
+        assert all(min(abs(s - m * 128) for m in (1, 2, 3)) <= 2 for s in sizes)
+
+    def test_unbiased_uniform_sizes(self):
+        ctx = GenContext(rng=random.Random(0), page_size=128)
+        sizes = [gen_value_len(ctx, BiasConfig.unbiased()) for _ in range(300)]
+        near = sum(1 for s in sizes if min(abs(s - m * 128) for m in (1, 2, 3)) <= 2)
+        assert near < 30  # boundary sizes are rare without bias
+
+    def test_generation_notes_keys_for_reuse(self):
+        alphabet = store_alphabet()
+        rng = random.Random(1)
+        ops = alphabet.generate_sequence(rng, 100, BiasConfig(reuse_key=0.9))
+        keyed = [op.args[0] for op in ops if op.name in ("Get", "Put", "Delete")]
+        assert len(set(keyed)) < len(keyed), "reuse should repeat keys"
+
+
+class TestOperation:
+    def test_str_rendering(self):
+        op = Operation("Put", (b"k", b"v"))
+        assert str(op) == "Put(b'k', b'v')"
+
+    def test_equality_and_hash(self):
+        assert Operation("Get", (b"k",)) == Operation("Get", (b"k",))
+        assert hash(Operation("Get", (b"k",))) == hash(Operation("Get", (b"k",)))

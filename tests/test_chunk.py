@@ -1,0 +1,199 @@
+"""Unit tests for chunk framing and extent scanning (incl. the bug #10
+mechanism)."""
+
+import pytest
+
+from repro.shardstore.chunk import (
+    CHUNK_MAGIC,
+    FRAME_OVERHEAD,
+    KIND_DATA,
+    KIND_RUN,
+    Locator,
+    PagedReader,
+    decode_chunk,
+    encode_chunk,
+    frame_size,
+    scan_chunks,
+)
+from repro.shardstore.errors import CorruptionError, IoError
+
+UUID = bytes(range(16))
+
+
+def _frame(key=b"key", payload=b"payload", kind=KIND_DATA, uuid=UUID):
+    return encode_chunk(kind, key, payload, uuid)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = _frame(payload=b"p" * 100)
+        chunk = decode_chunk(frame)
+        assert chunk.key == b"key"
+        assert chunk.payload == b"p" * 100
+        assert chunk.kind == KIND_DATA
+        assert chunk.frame_length == len(frame)
+        assert chunk.uuid == UUID
+
+    def test_frame_size_matches(self):
+        assert frame_size(b"key", b"abc") == len(_frame(payload=b"abc"))
+
+    def test_empty_payload(self):
+        chunk = decode_chunk(_frame(payload=b""))
+        assert chunk.payload == b""
+
+    def test_run_kind(self):
+        chunk = decode_chunk(_frame(kind=KIND_RUN))
+        assert chunk.kind == KIND_RUN
+
+    def test_bad_uuid_length_rejected_at_encode(self):
+        with pytest.raises(ValueError):
+            encode_chunk(KIND_DATA, b"k", b"p", b"short")
+
+    def test_unknown_kind_rejected_at_encode(self):
+        with pytest.raises(ValueError):
+            encode_chunk(7, b"k", b"p", UUID)
+
+    def test_offset_decoding(self):
+        buf = b"\x00" * 50 + _frame()
+        chunk = decode_chunk(buf, 50)
+        assert chunk.key == b"key"
+
+
+class TestDecodeRejection:
+    def test_bad_magic(self):
+        frame = bytearray(_frame())
+        frame[0] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            decode_chunk(bytes(frame))
+
+    def test_truncated_header(self):
+        with pytest.raises(CorruptionError):
+            decode_chunk(_frame()[:10])
+
+    def test_truncated_body(self):
+        frame = _frame(payload=b"x" * 100)
+        with pytest.raises(CorruptionError):
+            decode_chunk(frame[:-20])
+
+    def test_body_crc(self):
+        frame = bytearray(_frame(payload=b"x" * 50))
+        frame[30] ^= 0x01  # inside the body
+        with pytest.raises(CorruptionError):
+            decode_chunk(bytes(frame))
+
+    def test_trailing_uuid_mismatch(self):
+        frame = bytearray(_frame())
+        frame[-1] ^= 0x01
+        with pytest.raises(CorruptionError):
+            decode_chunk(bytes(frame))
+
+    def test_unknown_kind_on_disk(self):
+        frame = bytearray(_frame())
+        # Flip the kind byte inside the body and fix the CRC by re-encoding:
+        # simpler -- craft with a valid kind then ensure changed kind fails
+        # CRC (defense in depth).
+        body_start = 2 + 16 + 8
+        frame[body_start] = 9
+        with pytest.raises(CorruptionError):
+            decode_chunk(bytes(frame))
+
+    def test_negative_offset(self):
+        with pytest.raises(CorruptionError):
+            decode_chunk(_frame(), -1)
+
+
+def _reader(data: bytes, page=128) -> PagedReader:
+    return PagedReader(lambda off, length: data[off : off + length], len(data), page)
+
+
+class TestScan:
+    def test_back_to_back_chunks(self):
+        data = _frame(key=b"a") + _frame(key=b"b") + _frame(key=b"c")
+        found = scan_chunks(_reader(data), 128)
+        assert [c.key for _, c in found] == [b"a", b"b", b"c"]
+
+    def test_corrupt_chunk_skipped_to_page_boundary(self):
+        first = bytearray(_frame(key=b"a", payload=b"x" * 100))
+        first[5] ^= 0xFF  # corrupt the uuid
+        data = bytes(first).ljust(256, b"\x00") + _frame(key=b"b")
+        found = scan_chunks(_reader(data), 128)
+        assert [c.key for _, c in found] == [b"b"]
+
+    def test_sequential_scan_equivalent_on_clean_extent(self):
+        data = _frame(key=b"a") + _frame(key=b"b", payload=b"y" * 200)
+        fixed = scan_chunks(_reader(data), 128)
+        sequential = scan_chunks(_reader(data), 128, sequential_only=True)
+        assert [(o, c.key) for o, c in fixed] == [(o, c.key) for o, c in sequential]
+
+    def test_uuid_magic_collision_scenario(self):
+        """The paper's section 5 bug #10, byte for byte.
+
+        A chunk whose trailing UUID spills 2 bytes onto the next page is
+        torn by a crash; a second chunk is written at the page boundary.
+        If the lost UUID tail equals the chunk magic, the sequential scan
+        "successfully" decodes the corrupt first chunk and skips the live
+        second chunk; the fixed scan still finds it.
+        """
+        page = 128
+        # Choose payload so the frame ends exactly 2 bytes past page 1.
+        overhead = frame_size(b"k1", b"")
+        payload_len = page + 2 - overhead
+        uuid1 = bytes(14) + CHUNK_MAGIC  # tail == magic: the collision
+        first = encode_chunk(KIND_DATA, b"k1", b"p" * payload_len, uuid1)
+        assert len(first) == page + 2
+        second = _frame(key=b"k2", payload=b"live data")
+        # Crash state: page 0 of chunk 1 persisted; chunk 2 written at the
+        # recovered (page-aligned) pointer.
+        data = first[:page] + second
+        sequential = scan_chunks(_reader(data, page), page, sequential_only=True)
+        fixed = scan_chunks(_reader(data, page), page)
+        seq_keys = [c.key for _, c in sequential]
+        fixed_keys = [c.key for _, c in fixed]
+        assert b"k2" not in seq_keys, "buggy scan must be fooled"
+        assert b"k2" in fixed_keys, "fixed scan must find the live chunk"
+
+    def test_no_collision_means_both_scans_recover(self):
+        page = 128
+        overhead = frame_size(b"k1", b"")
+        payload_len = page + 2 - overhead
+        first = encode_chunk(KIND_DATA, b"k1", b"p" * payload_len, UUID)
+        second = _frame(key=b"k2")
+        data = first[:page] + second
+        sequential = scan_chunks(_reader(data, page), page, sequential_only=True)
+        assert b"k2" in [c.key for _, c in sequential]
+
+    def test_read_error_raises_by_default(self):
+        def failing_read(off, length):
+            if off >= 128:
+                raise IoError("injected")
+            return (_frame(key=b"a") + b"\x00" * 512)[off : off + length]
+
+        reader = PagedReader(failing_read, 512, 128)
+        with pytest.raises(IoError):
+            scan_chunks(reader, 128)
+
+    def test_read_error_truncates_with_fault5_policy(self):
+        data = _frame(key=b"a").ljust(128, b"\x00") + _frame(key=b"b")
+
+        def failing_read(off, length):
+            if off >= 128:
+                raise IoError("injected")
+            return data[off : off + length]
+
+        reader = PagedReader(failing_read, len(data), 128)
+        found = scan_chunks(reader, 128, on_read_error="truncate")
+        assert [c.key for _, c in found] == [b"a"]  # b forgotten: bug #5
+
+
+class TestLocator:
+    def test_value_roundtrip(self):
+        loc = Locator(4, 100, 57)
+        assert Locator.from_value(loc.to_value()) == loc
+
+    @pytest.mark.parametrize("raw", [[1, 2], [1, 2, "x"], "nope", [-1, 0, 3]])
+    def test_malformed_rejected(self, raw):
+        with pytest.raises(CorruptionError):
+            Locator.from_value(raw)
+
+    def test_ordering(self):
+        assert Locator(1, 0, 5) < Locator(1, 10, 5) < Locator(2, 0, 1)

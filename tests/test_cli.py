@@ -1,0 +1,116 @@
+"""Tests for the ``python -m repro`` validation CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestConformanceCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        status = main(["conformance", "--sequences", "5", "--ops", "30"])
+        assert status == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_fault_detection_exits_one(self, capsys):
+        status = main(
+            [
+                "conformance",
+                "--alphabet",
+                "crash",
+                "--fault",
+                "CACHE_WRITE_MISSING_SOFT_PTR_DEP",
+                "--sequences",
+                "10",
+            ]
+        )
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "failing seed" in out
+
+    def test_minimize_flag_prints_reproducer(self, capsys):
+        status = main(
+            [
+                "conformance",
+                "--alphabet",
+                "crash",
+                "--fault",
+                "CACHE_WRITE_MISSING_SOFT_PTR_DEP",
+                "--sequences",
+                "10",
+                "--minimize",
+            ]
+        )
+        assert status == 1
+        assert "minimized" in capsys.readouterr().out
+
+    def test_node_alphabet(self, capsys):
+        status = main(
+            ["conformance", "--alphabet", "node", "--sequences", "5", "--ops", "30"]
+        )
+        assert status == 0
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["conformance", "--fault", "NOT_A_FAULT"])
+
+
+class TestMcCommand:
+    def test_clean_harness_passes(self, capsys):
+        status = main(
+            ["mc", "--harness", "list-remove", "--iterations", "30", "--seed", "3"]
+        )
+        assert status == 0
+
+    def test_injected_race_detected(self, capsys):
+        status = main(
+            [
+                "mc",
+                "--harness",
+                "list-remove",
+                "--fault",
+                "LIST_REMOVE_RACE",
+                "--iterations",
+                "120",
+                "--seed",
+                "3",
+            ]
+        )
+        assert status == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_dfs_strategy(self, capsys):
+        status = main(
+            [
+                "mc",
+                "--harness",
+                "buffer-pool",
+                "--strategy",
+                "dfs",
+                "--iterations",
+                "25000",
+            ]
+        )
+        assert status == 0
+        assert "exhausted=True" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_fuzz(self, capsys):
+        status = main(["fuzz", "--iterations", "500", "--exhaustive-len", "1"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 5
+
+    def test_verify_models(self, capsys):
+        status = main(["verify-models", "--depth", "3"])
+        assert status == 0
+        assert capsys.readouterr().out.count("PASS") == 2
+
+    def test_loc(self, capsys):
+        status = main(["loc"])
+        assert status == 0
+        assert "Implementation" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

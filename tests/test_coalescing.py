@@ -1,0 +1,92 @@
+"""Tests for writeback coalescing (the Fig. 2 scheduler optimisation)."""
+
+import random
+
+import pytest
+
+from repro.shardstore import DiskGeometry, InMemoryDisk, StoreConfig, StoreSystem
+from repro.shardstore.dependency import Dependency, DurabilityTracker
+from repro.shardstore.scheduler import IoScheduler
+
+
+def _scheduler():
+    disk = InMemoryDisk(DiskGeometry(num_extents=6, extent_size=2048, page_size=128))
+    tracker = DurabilityTracker()
+    return disk, tracker, IoScheduler(disk, tracker, random.Random(0))
+
+
+class TestCoalescedPump:
+    def test_contiguous_appends_merge_into_one_io(self):
+        disk, tracker, scheduler = _scheduler()
+        deps = [
+            scheduler.append(4, bytes([i]) * 100, Dependency.root(tracker))[1]
+            for i in range(3)
+        ]
+        assert scheduler.pump_one(coalesce=True)
+        assert disk.stats.writes == 1, "three appends, one device IO"
+        assert all(dep.is_persistent() for dep in deps)
+        assert disk.read(4, 0, 300) == b"\x00" * 100 + b"\x01" * 100 + b"\x02" * 100
+
+    def test_coalescing_stops_at_unsatisfied_dependency(self):
+        disk, tracker, scheduler = _scheduler()
+        _, first = scheduler.append(4, b"a" * 100, Dependency.root(tracker))
+        blocker = Dependency.on_records(tracker, [tracker.allocate()])
+        scheduler.append(4, b"b" * 100, blocker)
+        assert scheduler.pump_one(coalesce=True)
+        assert disk.write_pointer(4) == 100, "the gated record must wait"
+
+    def test_coalescing_stops_at_reset(self):
+        disk, tracker, scheduler = _scheduler()
+        scheduler.append(4, b"a" * 100, Dependency.root(tracker))
+        scheduler.reset(4, Dependency.root(tracker))
+        scheduler.append(4, b"b" * 50, Dependency.root(tracker))
+        assert scheduler.pump_one(coalesce=True)  # the append alone
+        assert disk.write_pointer(4) == 100
+        assert scheduler.pump_one(coalesce=True)  # the reset alone
+        assert disk.write_pointer(4) == 0
+        assert scheduler.pump_one(coalesce=True)
+        assert disk.read(4, 0, 50) == b"b" * 50
+
+    def test_result_identical_with_and_without_coalescing(self):
+        def run(coalesce: bool):
+            disk, tracker, scheduler = _scheduler()
+            for i in range(6):
+                scheduler.append(4, bytes([i]) * 90, Dependency.root(tracker))
+            scheduler.append(5, b"x" * 200, Dependency.root(tracker))
+            while scheduler.pump_one(coalesce=coalesce):
+                pass
+            return disk.snapshot()
+
+        assert run(True) == run(False)
+
+    def test_io_count_reduction(self):
+        def io_count(coalesce: bool) -> int:
+            disk, tracker, scheduler = _scheduler()
+            for i in range(8):
+                scheduler.append(4, bytes([i]) * 120, Dependency.root(tracker))
+            while scheduler.pump_one(coalesce=coalesce):
+                pass
+            return disk.stats.writes
+
+        assert io_count(True) < io_count(False)
+
+
+class TestStoreLevel:
+    def test_store_roundtrip_unaffected(self):
+        system = StoreSystem(
+            StoreConfig(
+                geometry=DiskGeometry(num_extents=12, extent_size=4096, page_size=128)
+            )
+        )
+        store = system.store
+        for i in range(8):
+            store.put(b"k%d" % i, bytes([i]) * 300)
+        while store.scheduler.pump_one(coalesce=True):
+            pass
+        store.flush_index()
+        store.flush_superblock()
+        while store.scheduler.pump_one(coalesce=True):
+            pass
+        store = system.clean_reboot()
+        for i in range(8):
+            assert store.get(b"k%d" % i) == bytes([i]) * 300

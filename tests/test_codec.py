@@ -1,0 +1,158 @@
+"""Unit tests for the untrusted-byte value/record codec."""
+
+import pytest
+
+from repro.serialization.codec import (
+    decode_record,
+    decode_value,
+    encode_record,
+    encode_value,
+    record_size,
+    scan_records,
+    scan_records_with_end,
+)
+from repro.shardstore.errors import CorruptionError
+
+
+class TestValueRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**62),
+            b"",
+            b"\x00\xff" * 100,
+            "",
+            "unicode ☃ text",
+            [],
+            [1, b"two", "three", None, False],
+            {},
+            {"k": 1, b"raw": b"v", 3: [None]},
+            {"nested": {"deep": [{"er": True}]}},
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_dict_encoding_is_canonical(self):
+        a = encode_value({"x": 1, "y": 2})
+        b = encode_value({"y": 2, "x": 1})
+        assert a == b
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+        with pytest.raises(TypeError):
+            encode_value(3.14)
+
+    def test_bool_is_not_confused_with_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+
+class TestValueCorruption:
+    def test_truncated_input(self):
+        data = encode_value([1, 2, 3])
+        for cut in range(len(data)):
+            with pytest.raises(CorruptionError):
+                decode_value(data[:cut])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CorruptionError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_unknown_tag(self):
+        with pytest.raises(CorruptionError):
+            decode_value(b"\x63")
+
+    def test_bad_bool(self):
+        with pytest.raises(CorruptionError):
+            decode_value(bytes([6, 7]))
+
+    def test_invalid_utf8(self):
+        raw = bytearray(encode_value("ab"))
+        raw[-2:] = b"\xff\xfe"
+        with pytest.raises(CorruptionError):
+            decode_value(bytes(raw))
+
+    def test_huge_container_length(self):
+        import struct
+
+        with pytest.raises(CorruptionError):
+            decode_value(b"\x03" + struct.pack("<I", 0xFFFFFFFF))
+
+    def test_deep_nesting_rejected_not_crash(self):
+        data = b"\x03\x01\x00\x00\x00" * 64 + encode_value(None)
+        with pytest.raises(CorruptionError):
+            decode_value(data)
+
+    def test_unhashable_dict_key(self):
+        # dict with a list key: tag 4, one entry, key = list
+        import struct
+
+        data = b"\x04" + struct.pack("<I", 1) + encode_value([1]) + encode_value(2)
+        with pytest.raises(CorruptionError):
+            decode_value(data)
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        record = encode_record({"epoch": 9}, page_size=128)
+        assert len(record) % 128 == 0
+        value, consumed = decode_record(record)
+        assert value == {"epoch": 9}
+        assert consumed <= len(record)
+
+    def test_record_size_matches(self):
+        value = {"a": b"x" * 200}
+        assert record_size(value, 128) == len(encode_record(value, 128))
+
+    def test_bad_magic(self):
+        record = bytearray(encode_record({"epoch": 1}, 128))
+        record[0] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            decode_record(bytes(record))
+
+    def test_crc_detects_flip(self):
+        record = bytearray(encode_record({"epoch": 1}, 128))
+        record[20] ^= 0x01
+        with pytest.raises(CorruptionError):
+            decode_record(bytes(record))
+
+    def test_out_of_bounds_offset(self):
+        record = encode_record({"epoch": 1}, 128)
+        with pytest.raises(CorruptionError):
+            decode_record(record, offset=len(record) - 2)
+        with pytest.raises(CorruptionError):
+            decode_record(record, offset=-5)
+
+
+class TestScan:
+    def test_scan_multiple_records(self):
+        log = b"".join(encode_record({"epoch": i}, 128) for i in range(4))
+        records = scan_records(log, 128)
+        assert [v["epoch"] for _, v in records] == [0, 1, 2, 3]
+
+    def test_scan_stops_at_torn_tail(self):
+        good = encode_record({"epoch": 0}, 128)
+        torn = encode_record({"epoch": 1, "pad": b"x" * 200}, 128)[:128]
+        records, end = scan_records_with_end(good + torn, 128)
+        assert len(records) == 1
+        assert end == len(good)
+
+    def test_scan_of_garbage_is_empty(self):
+        records, end = scan_records_with_end(b"\xde\xad\xbe\xef" * 64, 128)
+        assert records == []
+        assert end == 0
+
+    def test_scan_page_alignment(self):
+        record = encode_record({"epoch": 0, "big": b"z" * 300}, 128)
+        assert len(record) % 128 == 0
+        records = scan_records(record + encode_record({"epoch": 1}, 128), 128)
+        assert len(records) == 2

@@ -1,0 +1,236 @@
+"""Unit tests for the stateless model checking substrate."""
+
+import pytest
+
+from repro.concurrency import (
+    AtomicCell,
+    Condvar,
+    DeadlockError,
+    DfsExplorer,
+    Mutex,
+    TaskFailed,
+    model,
+    replay,
+    spawn,
+)
+
+
+def _counter_race():
+    """Classic lost update: two unsynchronised read-modify-writes."""
+    cell = AtomicCell(0, name="counter")
+
+    def incr():
+        value = cell.load()
+        cell.store(value + 1)
+
+    def body():
+        t1 = spawn(incr, "t1")
+        t2 = spawn(incr, "t2")
+        t1.join()
+        t2.join()
+        assert cell.load() == 2, f"lost update: {cell.load()}"
+
+    return body
+
+
+def _counter_safe():
+    cell = AtomicCell(0, name="counter")
+
+    def incr():
+        cell.fetch_update(lambda v: v + 1)
+
+    def body():
+        t1 = spawn(incr, "t1")
+        t2 = spawn(incr, "t2")
+        t1.join()
+        t2.join()
+        assert cell.load() == 2
+
+    return body
+
+
+def _lock_inversion():
+    a, b = Mutex(None, name="A"), Mutex(None, name="B")
+
+    def t1():
+        with a:
+            with b:
+                pass
+
+    def t2():
+        with b:
+            with a:
+                pass
+
+    def body():
+        h1, h2 = spawn(t1, "t1"), spawn(t2, "t2")
+        h1.join()
+        h2.join()
+
+    return body
+
+
+class TestDfs:
+    def test_finds_lost_update(self):
+        result = model(_counter_race, strategy="dfs")
+        assert not result.passed
+        assert isinstance(result.failure, TaskFailed)
+        assert "lost update" in str(result.failure.original)
+
+    def test_exhausts_safe_program(self):
+        result = model(_counter_safe, strategy="dfs")
+        assert result.passed
+        assert result.exhausted
+        assert result.executions > 1  # several interleavings exist
+
+    def test_finds_deadlock(self):
+        result = model(_lock_inversion, strategy="dfs")
+        assert not result.passed
+        assert isinstance(result.failure, DeadlockError)
+
+    def test_budget_respected(self):
+        result = DfsExplorer(max_executions=3).explore(_counter_safe)
+        assert result.executions <= 3
+        assert not result.exhausted or result.executions <= 3
+
+
+class TestRandomAndPct:
+    @pytest.mark.parametrize("strategy", ["random", "pct"])
+    def test_finds_race(self, strategy):
+        result = model(
+            _counter_race, strategy=strategy, iterations=200, seed=1,
+            pct_steps_hint=16,
+        )
+        assert not result.passed
+
+    @pytest.mark.parametrize("strategy", ["random", "pct"])
+    def test_safe_program_passes(self, strategy):
+        result = model(_counter_safe, strategy=strategy, iterations=50, seed=1)
+        assert result.passed
+        assert result.executions == 50
+
+    def test_deterministic_for_seed(self):
+        a = model(_counter_race, strategy="random", iterations=100, seed=9)
+        b = model(_counter_race, strategy="random", iterations=100, seed=9)
+        assert a.executions == b.executions
+        assert a.failing_schedule == b.failing_schedule
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            model(_counter_safe, strategy="quantum")
+
+
+class TestReplay:
+    def test_failing_schedule_replays(self):
+        result = model(_counter_race, strategy="dfs")
+        with pytest.raises(TaskFailed):
+            replay(_counter_race, result.failing_schedule)
+
+
+class TestPrimitives:
+    def test_mutex_mutual_exclusion(self):
+        def harness():
+            lock = Mutex(None, name="m")
+            log = []
+
+            def critical(tag):
+                def body():
+                    with lock:
+                        log.append((tag, "in"))
+                        log.append((tag, "out"))
+
+                return body
+
+            def body():
+                t1 = spawn(critical("a"), "a")
+                t2 = spawn(critical("b"), "b")
+                t1.join()
+                t2.join()
+                # Critical sections never interleave.
+                for i in range(0, len(log), 2):
+                    assert log[i][0] == log[i + 1][0]
+                    assert log[i][1] == "in" and log[i + 1][1] == "out"
+
+            return body
+
+        result = model(harness, strategy="dfs")
+        assert result.passed and result.exhausted
+
+    def test_condvar_wakeup(self):
+        def harness():
+            flag = AtomicCell(False, name="flag")
+            cond = Condvar("c")
+            seen = []
+
+            def waiter():
+                cond.wait_until(flag.load)
+                seen.append(flag.load())
+
+            def setter():
+                flag.store(True)
+                cond.notify_all()
+
+            def body():
+                t1 = spawn(waiter, "waiter")
+                t2 = spawn(setter, "setter")
+                t1.join()
+                t2.join()
+                assert seen == [True]
+
+            return body
+
+        result = model(harness, strategy="dfs", max_executions=2000)
+        assert result.passed
+
+    def test_primitives_work_without_scheduler(self):
+        """Outside the model checker, primitives are plain thread tools."""
+        cell = AtomicCell(0)
+        lock = Mutex([])
+
+        def work():
+            cell.fetch_update(lambda v: v + 1)
+            with lock as items:
+                items.append(1)
+
+        handles = [spawn(work, f"w{i}") for i in range(4)]
+        for handle in handles:
+            handle.join()
+        assert cell.load() == 4
+        with lock as items:
+            assert len(items) == 4
+
+
+class TestSchedulerMechanics:
+    def test_step_log_records_reasons(self):
+        from repro.concurrency import FixedSchedule, ModelScheduler
+
+        def body_factory():
+            cell = AtomicCell(0, name="x")
+
+            def body():
+                cell.store(1)
+                cell.load()
+
+            return body
+
+        scheduler = ModelScheduler(FixedSchedule([]))
+        scheduler.run(body_factory())
+        assert any("x" in line for line in scheduler.step_log)
+
+    def test_max_steps_guard(self):
+        from repro.concurrency import FixedSchedule, ModelScheduler
+
+        def spinner():
+            cell = AtomicCell(0, name="spin")
+
+            def body():
+                # Bounded (so the thread terminates after release) but far
+                # over the scheduler's step limit.
+                for _ in range(2000):
+                    cell.load()
+
+            return body
+
+        scheduler = ModelScheduler(FixedSchedule([]), max_steps=100)
+        with pytest.raises(RuntimeError):
+            scheduler.run(spinner())

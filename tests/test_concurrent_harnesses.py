@@ -1,0 +1,118 @@
+"""The section 6 harnesses: clean implementations pass, faults are found."""
+
+import pytest
+
+from repro.concurrency import DeadlockError, TaskFailed, model
+from repro.core.concurrent_harnesses import (
+    buffer_pool_harness,
+    bulk_race_harness,
+    compaction_reclaim_harness,
+    linearizability_harness,
+    list_remove_harness,
+    locator_race_harness,
+)
+from repro.shardstore import Fault, FaultSet
+
+CLEAN = FaultSet.none()
+
+
+class TestCleanImplementationPasses:
+    @pytest.mark.parametrize(
+        "harness_factory",
+        [
+            locator_race_harness,
+            list_remove_harness,
+            bulk_race_harness,
+        ],
+    )
+    def test_pct_clean(self, harness_factory):
+        result = model(
+            harness_factory(CLEAN), strategy="pct", iterations=60, seed=3
+        )
+        assert result.passed, result.failure
+
+    def test_buffer_pool_clean_exhaustive(self):
+        result = model(buffer_pool_harness(CLEAN), strategy="dfs")
+        assert result.passed
+        assert result.exhausted, "small harness should be fully enumerable"
+
+    def test_compaction_reclaim_clean(self):
+        result = model(
+            compaction_reclaim_harness(CLEAN),
+            strategy="pct",
+            iterations=60,
+            seed=3,
+            pct_steps_hint=128,
+        )
+        assert result.passed, result.failure
+
+    def test_linearizability_clean(self):
+        result = model(
+            linearizability_harness(CLEAN), strategy="pct", iterations=30, seed=2
+        )
+        assert result.passed, result.failure
+
+
+class TestFaultsDetected:
+    def test_issue_11_locator_race(self):
+        result = model(
+            locator_race_harness(FaultSet.only(Fault.LOCATOR_RACE_WRITE_FLUSH)),
+            strategy="pct",
+            iterations=120,
+            seed=3,
+        )
+        assert not result.passed
+        assert isinstance(result.failure, TaskFailed)
+
+    def test_issue_12_buffer_pool_deadlock(self):
+        result = model(
+            buffer_pool_harness(FaultSet.only(Fault.BUFFER_POOL_DEADLOCK)),
+            strategy="random",
+            iterations=300,
+            seed=3,
+        )
+        assert not result.passed
+        assert isinstance(result.failure, DeadlockError)
+
+    def test_issue_13_list_remove_race(self):
+        result = model(
+            list_remove_harness(FaultSet.only(Fault.LIST_REMOVE_RACE)),
+            strategy="pct",
+            iterations=120,
+            seed=3,
+        )
+        assert not result.passed
+
+    def test_issue_14_compaction_reclaim_race(self):
+        result = model(
+            compaction_reclaim_harness(
+                FaultSet.only(Fault.COMPACTION_RECLAIM_RACE)
+            ),
+            strategy="pct",
+            iterations=300,
+            seed=3,
+            pct_steps_hint=128,
+        )
+        assert not result.passed
+        assert isinstance(result.failure, TaskFailed)
+        assert "lost" in str(result.failure.original)
+
+    def test_issue_16_bulk_race(self):
+        result = model(
+            bulk_race_harness(FaultSet.only(Fault.BULK_CREATE_REMOVE_RACE)),
+            strategy="pct",
+            iterations=120,
+            seed=3,
+        )
+        assert not result.passed
+
+
+class TestSchedulesReplay:
+    def test_issue_13_failing_schedule_replays(self):
+        from repro.concurrency import replay
+
+        factory = list_remove_harness(FaultSet.only(Fault.LIST_REMOVE_RACE))
+        result = model(factory, strategy="pct", iterations=120, seed=3)
+        assert not result.passed
+        with pytest.raises((TaskFailed, DeadlockError)):
+            replay(factory, result.failing_schedule)

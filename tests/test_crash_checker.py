@@ -1,0 +1,82 @@
+"""Tests for block-level crash-state exploration (section 5's variant)."""
+
+import random
+
+from repro.core import (
+    BiasConfig,
+    StoreHarness,
+    coarse_crash_states,
+    explore_block_level,
+    store_alphabet,
+)
+from repro.shardstore import Fault, FaultSet
+
+
+def _advanced_harness(faults, seed=0, ops=20):
+    harness = StoreHarness(faults, seed)
+    alphabet = store_alphabet()
+    rng = random.Random(seed)
+    sequence = [
+        op
+        for op in alphabet.generate_sequence(rng, ops, BiasConfig())
+        if op.name not in ("Reboot", "PumpIo")
+    ]
+    failure = harness.run(sequence)
+    assert failure is None, failure
+    return harness
+
+
+class TestBlockLevel:
+    def test_clean_implementation_has_no_violations(self):
+        harness = _advanced_harness(FaultSet.none())
+        result = explore_block_level(harness, max_states=200)
+        assert result.passed
+        assert result.states_explored > 1
+
+    def test_finds_missing_dependency_bug(self):
+        harness = _advanced_harness(
+            FaultSet.only(Fault.CACHE_WRITE_MISSING_SOFT_PTR_DEP)
+        )
+        result = explore_block_level(harness, max_states=300)
+        assert result.violation is not None
+        assert "persistence" in result.violation
+
+    def test_exploration_restores_harness_state(self):
+        harness = _advanced_harness(FaultSet.none())
+        pending_before = harness.store.pending_io_count
+        keys_before = harness.store.keys()
+        explore_block_level(harness, max_states=60)
+        assert harness.store.pending_io_count == pending_before
+        assert harness.store.keys() == keys_before
+
+    def test_state_budget_truncates(self):
+        harness = _advanced_harness(FaultSet.none(), ops=30)
+        result = explore_block_level(harness, max_states=5)
+        assert result.states_explored <= 5
+
+    def test_states_deduplicated_by_durable_set(self):
+        harness = _advanced_harness(FaultSet.none(), ops=25)
+        result = explore_block_level(harness, max_states=300)
+        # Different pump orders reach identical durable sets.
+        assert result.states_deduplicated > 0
+
+
+class TestCoarse:
+    def test_coarse_sampler_runs(self):
+        harness = _advanced_harness(FaultSet.none())
+        result = coarse_crash_states(harness, samples=6)
+        assert result.passed
+        assert result.states_explored == 6
+
+    def test_coarse_also_finds_the_bug(self):
+        harness = _advanced_harness(
+            FaultSet.only(Fault.CACHE_WRITE_MISSING_SOFT_PTR_DEP), seed=4
+        )
+        result = coarse_crash_states(harness, samples=16, seed=1)
+        assert result.violation is not None
+
+    def test_coarse_restores_state(self):
+        harness = _advanced_harness(FaultSet.none())
+        snapshot = harness.system.disk.snapshot()
+        coarse_crash_states(harness, samples=4)
+        assert harness.system.disk.snapshot() == snapshot

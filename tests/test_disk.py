@@ -1,0 +1,199 @@
+"""Unit tests for the in-memory extent disk."""
+
+import pytest
+
+from repro.shardstore import (
+    DiskGeometry,
+    ExtentError,
+    FailureMode,
+    InMemoryDisk,
+    IoError,
+)
+
+
+@pytest.fixture
+def disk() -> InMemoryDisk:
+    return InMemoryDisk(DiskGeometry(num_extents=4, extent_size=1024, page_size=128))
+
+
+class TestGeometry:
+    def test_defaults_are_consistent(self):
+        geometry = DiskGeometry()
+        assert geometry.extent_size % geometry.page_size == 0
+        assert geometry.pages_per_extent == geometry.extent_size // geometry.page_size
+
+    def test_rejects_too_few_extents(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(num_extents=2)
+
+    def test_rejects_unaligned_extent_size(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(extent_size=1000, page_size=128)
+
+    def test_rejects_nonpositive_page(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(page_size=0)
+
+
+class TestAppendOnlyWrites:
+    def test_write_advances_pointer(self, disk):
+        disk.write(1, 0, b"hello")
+        assert disk.write_pointer(1) == 5
+
+    def test_sequential_writes_accumulate(self, disk):
+        disk.write(1, 0, b"abc")
+        disk.write(1, 3, b"def")
+        assert disk.read(1, 0, 6) == b"abcdef"
+
+    def test_nonsequential_write_rejected(self, disk):
+        disk.write(1, 0, b"abc")
+        with pytest.raises(ExtentError):
+            disk.write(1, 10, b"xyz")
+
+    def test_write_at_stale_offset_rejected(self, disk):
+        disk.write(1, 0, b"abc")
+        with pytest.raises(ExtentError):
+            disk.write(1, 0, b"xyz")
+
+    def test_overrun_rejected(self, disk):
+        with pytest.raises(ExtentError):
+            disk.write(1, 0, b"x" * 2000)
+
+    def test_bad_extent_rejected(self, disk):
+        with pytest.raises(ExtentError):
+            disk.write(9, 0, b"x")
+
+
+class TestReads:
+    def test_read_beyond_pointer_forbidden(self, disk):
+        disk.write(0, 0, b"abc")
+        with pytest.raises(ExtentError):
+            disk.read(0, 0, 4)
+
+    def test_read_of_unwritten_extent_forbidden(self, disk):
+        with pytest.raises(ExtentError):
+            disk.read(2, 0, 1)
+
+    def test_negative_bounds_rejected(self, disk):
+        with pytest.raises(ExtentError):
+            disk.read(0, -1, 1)
+        with pytest.raises(ExtentError):
+            disk.read(0, 0, -1)
+
+    def test_read_returns_written_bytes(self, disk):
+        disk.write(3, 0, bytes(range(100)))
+        assert disk.read(3, 10, 20) == bytes(range(10, 30))
+
+
+class TestReset:
+    def test_reset_zeroes_pointer_and_bumps_generation(self, disk):
+        disk.write(1, 0, b"data")
+        generation = disk.reset_count(1)
+        disk.reset(1)
+        assert disk.write_pointer(1) == 0
+        assert disk.reset_count(1) == generation + 1
+
+    def test_data_unreadable_after_reset(self, disk):
+        disk.write(1, 0, b"data")
+        disk.reset(1)
+        with pytest.raises(ExtentError):
+            disk.read(1, 0, 4)
+
+    def test_extent_reusable_after_reset(self, disk):
+        disk.write(1, 0, b"old")
+        disk.reset(1)
+        disk.write(1, 0, b"new")
+        assert disk.read(1, 0, 3) == b"new"
+
+
+class TestSetWritePointer:
+    def test_truncation_discards_tail(self, disk):
+        disk.write(1, 0, b"abcdef")
+        disk.set_write_pointer(1, 3)
+        assert disk.read(1, 0, 3) == b"abc"
+        # The discarded region reads as zeroes once re-covered.
+        disk.set_write_pointer(1, 6)
+        assert disk.read(1, 3, 3) == b"\x00\x00\x00"
+
+    def test_pointer_above_hard_reads_zeroes(self, disk):
+        disk.set_write_pointer(2, 10)
+        assert disk.read(2, 0, 10) == bytes(10)
+
+    def test_out_of_range_rejected(self, disk):
+        with pytest.raises(ExtentError):
+            disk.set_write_pointer(1, 5000)
+
+
+class TestFailureInjection:
+    def test_once_fault_fires_once(self, disk):
+        disk.write(0, 0, b"abc")
+        disk.arm_fault(0, FailureMode.ONCE)
+        with pytest.raises(IoError) as excinfo:
+            disk.read(0, 0, 3)
+        assert excinfo.value.transient
+        assert disk.read(0, 0, 3) == b"abc"  # disarmed
+
+    def test_permanent_fault_persists(self, disk):
+        disk.write(0, 0, b"abc")
+        disk.arm_fault(0, FailureMode.PERMANENT)
+        for _ in range(3):
+            with pytest.raises(IoError) as excinfo:
+                disk.read(0, 0, 1)
+            assert not excinfo.value.transient
+
+    def test_write_fault(self, disk):
+        disk.arm_fault(1, FailureMode.ONCE, reads=False)
+        with pytest.raises(IoError):
+            disk.write(1, 0, b"x")
+        disk.write(1, 0, b"x")  # disarmed
+
+    def test_read_only_fault_spares_writes(self, disk):
+        disk.arm_fault(1, FailureMode.ONCE, writes=False)
+        disk.write(1, 0, b"x")  # unaffected
+        with pytest.raises(IoError):
+            disk.read(1, 0, 1)
+
+    def test_clear_faults(self, disk):
+        disk.arm_fault(0, FailureMode.PERMANENT)
+        disk.arm_fault(1, FailureMode.PERMANENT)
+        disk.clear_faults(0)
+        assert not disk.has_armed_fault(0)
+        assert disk.has_armed_fault(1)
+        disk.clear_faults()
+        assert not disk.has_armed_fault(1)
+
+    def test_fault_counter(self, disk):
+        disk.arm_fault(0, FailureMode.ONCE, reads=False)
+        with pytest.raises(IoError):
+            disk.write(0, 0, b"x")
+        assert disk.stats.injected_failures == 1
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self, disk):
+        disk.write(1, 0, b"payload")
+        disk.reset(2)
+        snap = disk.snapshot()
+        disk.write(1, 7, b"more")
+        disk.reset(1)
+        disk.restore(snap)
+        assert disk.write_pointer(1) == 7
+        assert disk.read(1, 0, 7) == b"payload"
+        assert disk.reset_count(2) == 1
+
+    def test_geometry_mismatch_rejected(self, disk):
+        other = InMemoryDisk(DiskGeometry(num_extents=6, extent_size=1024, page_size=128))
+        with pytest.raises(ValueError):
+            disk.restore(other.snapshot())
+
+
+class TestStats:
+    def test_counters_track_io(self, disk):
+        disk.write(0, 0, b"abcd")
+        disk.read(0, 0, 2)
+        disk.reset(0)
+        assert disk.stats.writes == 1
+        assert disk.stats.bytes_written == 4
+        assert disk.stats.reads == 1
+        assert disk.stats.bytes_read == 2
+        assert disk.stats.resets == 1

@@ -1,0 +1,75 @@
+"""Panic-freedom tests for every untrusted-byte decoder (section 7)."""
+
+import pytest
+
+from repro.serialization.fuzz import (
+    check_exhaustive,
+    check_fuzz,
+    standard_corpus,
+    standard_decoders,
+)
+from repro.shardstore.errors import CorruptionError
+
+
+class TestExhaustiveTier:
+    """The Crux-shaped tier: a real proof for a small size bound."""
+
+    @pytest.mark.parametrize("name,decoder", standard_decoders())
+    def test_panic_free_up_to_two_bytes(self, name, decoder):
+        report = check_exhaustive(decoder, max_len=2, name=name)
+        assert report.passed, (
+            f"{name} panicked on {report.panic_input!r}: {report.panic!r}"
+        )
+        assert report.inputs_tried == 1 + 256 + 256 * 256
+
+
+class TestFuzzTier:
+    @pytest.mark.parametrize("name,decoder", standard_decoders())
+    def test_random_fuzz(self, name, decoder):
+        report = check_fuzz(decoder, iterations=3000, seed=1, name=name)
+        assert report.passed, (
+            f"{name} panicked on {report.panic_input!r}: {report.panic!r}"
+        )
+
+    @pytest.mark.parametrize("name,decoder", standard_decoders())
+    def test_mutation_fuzz_with_corpus(self, name, decoder):
+        report = check_fuzz(
+            decoder,
+            iterations=3000,
+            seed=2,
+            corpus=standard_corpus(),
+            name=name,
+        )
+        assert report.passed
+        # Structure-aware mutation reaches successful decodes too.
+        if name == "decode_value":
+            assert report.decoded_ok > 0
+
+    def test_fuzz_is_deterministic(self):
+        name, decoder = standard_decoders()[0]
+        a = check_fuzz(decoder, iterations=500, seed=7, name=name)
+        b = check_fuzz(decoder, iterations=500, seed=7, name=name)
+        assert (a.decoded_ok, a.rejected) == (b.decoded_ok, b.rejected)
+
+
+class TestHarnessCatchesPanics:
+    def test_panicky_decoder_is_caught(self):
+        def bad_decoder(data: bytes):
+            if len(data) >= 3 and data[0] == 0x41:
+                raise IndexError("boom")  # a panic, not CorruptionError
+            raise CorruptionError("rejected")
+
+        report = check_fuzz(bad_decoder, iterations=5000, seed=0, name="bad")
+        assert not report.passed
+        assert isinstance(report.panic, IndexError)
+        assert report.panic_input is not None and report.panic_input[0] == 0x41
+
+    def test_exhaustive_catches_small_panic(self):
+        def bad_decoder(data: bytes):
+            if data == b"\x07\x07":
+                raise ZeroDivisionError("boom")
+            raise CorruptionError("rejected")
+
+        report = check_exhaustive(bad_decoder, max_len=2, name="bad")
+        assert not report.passed
+        assert report.panic_input == b"\x07\x07"

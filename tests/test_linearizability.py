@@ -1,0 +1,122 @@
+"""Unit tests for the Wing-Gong linearizability checker."""
+
+import pytest
+
+from repro.core.linearizability import (
+    HistoryOp,
+    HistoryRecorder,
+    check_linearizable,
+    kv_fingerprint,
+    kv_model_apply,
+    kv_model_factory,
+)
+
+
+def _op(op_id, name, args, result, invoked, returned):
+    return HistoryOp(op_id, name, args, result, invoked, returned)
+
+
+def _check(history):
+    return check_linearizable(
+        history, kv_model_factory, kv_model_apply, fingerprint=kv_fingerprint
+    )
+
+
+class TestSequentialHistories:
+    def test_empty_history(self):
+        assert _check([])
+
+    def test_simple_put_get(self):
+        history = [
+            _op(0, "put", (b"k", b"v"), None, 1, 2),
+            _op(1, "get", (b"k",), b"v", 3, 4),
+        ]
+        assert _check(history)
+
+    def test_wrong_read_rejected(self):
+        history = [
+            _op(0, "put", (b"k", b"v"), None, 1, 2),
+            _op(1, "get", (b"k",), b"other", 3, 4),
+        ]
+        assert not _check(history)
+
+    def test_stale_read_after_overwrite_rejected(self):
+        history = [
+            _op(0, "put", (b"k", b"v1"), None, 1, 2),
+            _op(1, "put", (b"k", b"v2"), None, 3, 4),
+            _op(2, "get", (b"k",), b"v1", 5, 6),
+        ]
+        assert not _check(history)
+
+    def test_delete_then_get_none(self):
+        history = [
+            _op(0, "put", (b"k", b"v"), None, 1, 2),
+            _op(1, "delete", (b"k",), None, 3, 4),
+            _op(2, "get", (b"k",), None, 5, 6),
+        ]
+        assert _check(history)
+
+
+class TestConcurrentHistories:
+    def test_concurrent_put_get_either_value_ok(self):
+        # The get overlaps the put, so both old (None) and new are legal.
+        for observed in (None, b"v"):
+            history = [
+                _op(0, "put", (b"k", b"v"), None, 1, 4),
+                _op(1, "get", (b"k",), observed, 2, 3),
+            ]
+            assert _check(history), observed
+
+    def test_real_time_order_is_respected(self):
+        # The put returned before the get was invoked: None is illegal.
+        history = [
+            _op(0, "put", (b"k", b"v"), None, 1, 2),
+            _op(1, "get", (b"k",), None, 3, 4),
+        ]
+        assert not _check(history)
+
+    def test_two_concurrent_writers_and_reader(self):
+        # Reader overlapping both writers may see either write.
+        for observed in (b"a", b"b"):
+            history = [
+                _op(0, "put", (b"k", b"a"), None, 1, 10),
+                _op(1, "put", (b"k", b"b"), None, 2, 9),
+                _op(2, "get", (b"k",), observed, 3, 8),
+            ]
+            assert _check(history), observed
+
+    def test_classic_nonlinearizable_reads(self):
+        # Two sequential reads observing values in an order inconsistent
+        # with any single linearization of two sequential writes.
+        history = [
+            _op(0, "put", (b"k", b"a"), None, 1, 2),
+            _op(1, "put", (b"k", b"b"), None, 3, 4),
+            _op(2, "get", (b"k",), b"b", 5, 6),
+            _op(3, "get", (b"k",), b"a", 7, 8),
+        ]
+        assert not _check(history)
+
+
+class TestRecorder:
+    def test_recorder_orders_by_invocation(self):
+        recorder = HistoryRecorder()
+        recorder.record("put", (b"k", b"v"), lambda: None)
+        recorder.record("get", (b"k",), lambda: b"v")
+        history = recorder.history()
+        assert [op.name for op in history] == ["put", "get"]
+        assert history[0].returned_at < history[1].invoked_at
+        assert _check(history)
+
+    def test_budget_exceeded_raises(self):
+        history = [
+            _op(i, "put", (b"k%d" % (i % 3), b"v"), None, 1, 100)
+            for i in range(12)
+        ]
+        with pytest.raises(RuntimeError):
+            check_linearizable(
+                history,
+                kv_model_factory,
+                kv_model_apply,
+                fingerprint=kv_fingerprint,
+                max_nodes=10,
+            )

@@ -1,0 +1,272 @@
+"""Unit tests for the LSM-tree index."""
+
+import pytest
+
+from repro.shardstore import (
+    DiskGeometry,
+    Fault,
+    FaultSet,
+    StoreConfig,
+    StoreSystem,
+)
+from repro.shardstore.chunk import Locator
+from repro.shardstore.lsm import LsmIndex
+
+
+def _system(faults=None, **kwargs):
+    config = StoreConfig(
+        geometry=DiskGeometry(num_extents=10, extent_size=2048, page_size=128),
+        faults=faults or FaultSet.none(),
+        memtable_flush_threshold=kwargs.pop("memtable_flush_threshold", 50),
+        **kwargs,
+    )
+    return StoreSystem(config)
+
+
+def _put(store, key, payload=b"v"):
+    locators, data_dep = store.chunk_store.put_shard(key, payload)
+    return store.index.put(key, locators, data_dep)
+
+
+class TestKeyValueSurface:
+    def test_put_get(self):
+        store = _system().store
+        _put(store, b"k1", b"hello")
+        locators = store.index.get(b"k1")
+        assert store.chunk_store.get_shard(b"k1", locators) == b"hello"
+
+    def test_absent_key_is_none(self):
+        store = _system().store
+        assert store.index.get(b"missing") is None
+
+    def test_overwrite_takes_latest(self):
+        store = _system().store
+        _put(store, b"k", b"old")
+        _put(store, b"k", b"new")
+        locators = store.index.get(b"k")
+        assert store.chunk_store.get_shard(b"k", locators) == b"new"
+
+    def test_delete_tombstones(self):
+        store = _system().store
+        _put(store, b"k")
+        store.index.delete(b"k")
+        assert store.index.get(b"k") is None
+
+    def test_tombstone_shadows_flushed_value(self):
+        store = _system().store
+        _put(store, b"k", b"value")
+        store.index.flush()
+        store.index.delete(b"k")
+        assert store.index.get(b"k") is None
+        store.index.flush()
+        assert store.index.get(b"k") is None
+
+    def test_keys_resolves_tombstones(self):
+        store = _system().store
+        _put(store, b"a")
+        _put(store, b"b")
+        store.index.flush()
+        store.index.delete(b"a")
+        assert store.index.keys() == [b"b"]
+
+
+class TestFlush:
+    def test_threshold_triggers_flush(self):
+        store = _system(memtable_flush_threshold=3).store
+        for i in range(3):
+            _put(store, b"k%d" % i)
+        assert store.index.memtable_len == 0
+        assert store.index.run_count == 1
+
+    def test_flush_resolves_put_promises(self):
+        store = _system().store
+        dep = _put(store, b"k", b"v")
+        assert not dep.is_persistent()
+        store.index.flush()
+        store.superblock.flush()
+        store.drain()
+        assert dep.is_persistent()
+
+    def test_empty_flush_is_noop(self):
+        store = _system().store
+        runs_before = store.index.run_count
+        store.index.flush()
+        assert store.index.run_count == runs_before
+
+    def test_newer_run_shadows_older(self):
+        store = _system().store
+        _put(store, b"k", b"first")
+        store.index.flush()
+        _put(store, b"k", b"second")
+        store.index.flush()
+        locators = store.index.get(b"k")
+        assert store.chunk_store.get_shard(b"k", locators) == b"second"
+
+    def test_superseded_memtable_entry_promise_still_resolves(self):
+        store = _system().store
+        dep_old = _put(store, b"k", b"old")
+        dep_new = _put(store, b"k", b"new")
+        store.index.flush()
+        store.superblock.flush()
+        store.drain()
+        assert dep_new.is_persistent()
+        assert dep_old.is_persistent(), "superseded op resolves via superseder"
+
+
+class TestCompaction:
+    def test_compact_merges_runs(self):
+        store = _system().store
+        for i in range(4):
+            _put(store, b"k%d" % i)
+            store.index.flush()
+        assert store.index.run_count == 4
+        store.index.compact()
+        assert store.index.run_count == 1
+        assert len(store.index.keys()) == 4
+
+    def test_compact_drops_tombstones(self):
+        store = _system().store
+        _put(store, b"k")
+        store.index.flush()
+        store.index.delete(b"k")
+        store.index.flush()
+        store.index.compact()
+        run_locators = store.index.run_locators()
+        assert store.index.get(b"k") is None
+        assert store.index.run_count == 1
+
+    def test_compact_preserves_values(self):
+        store = _system().store
+        values = {b"k%d" % i: bytes([i]) * 50 for i in range(6)}
+        for key, value in values.items():
+            _put(store, key, value)
+            store.index.flush()
+        store.index.compact()
+        for key, value in values.items():
+            assert store.chunk_store.get_shard(key, store.index.get(key)) == value
+
+    def test_compact_on_empty_index(self):
+        store = _system().store
+        assert store.index.compact() is None
+
+
+class TestRecovery:
+    def test_roundtrip_through_recovery(self):
+        system = _system()
+        store = system.store
+        values = {b"key%d" % i: bytes([i + 1]) * 80 for i in range(5)}
+        for key, value in values.items():
+            _put(store, key, value)
+        store.index.flush()
+        store.superblock.flush()
+        store.drain()
+        recovered, lost = LsmIndex.recover(
+            store.chunk_store, store.scheduler, system.config
+        )
+        assert lost == []
+        for key, value in values.items():
+            locators = recovered.get(key)
+            assert store.chunk_store.get_shard(key, locators) == value
+
+    def test_unflushed_memtable_lost_on_recovery(self):
+        system = _system()
+        store = system.store
+        _put(store, b"volatile")
+        store.drain()
+        recovered, _ = LsmIndex.recover(
+            store.chunk_store, store.scheduler, system.config
+        )
+        assert recovered.get(b"volatile") is None
+
+    def test_run_id_continuity(self):
+        system = _system()
+        store = system.store
+        _put(store, b"a")
+        store.index.flush()
+        store.superblock.flush()
+        store.drain()
+        recovered, _ = LsmIndex.recover(
+            store.chunk_store, store.scheduler, system.config
+        )
+        assert recovered._next_run_id == store.index._next_run_id
+
+    def test_meta_rotation_survives_recovery(self):
+        system = _system(memtable_flush_threshold=1)
+        store = system.store
+        # Enough flushes to overflow the first metadata extent.
+        for i in range(40):
+            _put(store, b"k%d" % (i % 4), bytes([i]))
+        store.superblock.flush()
+        store.drain()
+        assert store.index.meta_switched
+        recovered, lost = LsmIndex.recover(
+            store.chunk_store, store.scheduler, system.config
+        )
+        assert lost == []
+        assert len(recovered.keys()) == 4
+
+
+class TestShutdownFault3:
+    def test_correct_shutdown_persists_final_memtable(self):
+        system = _system(memtable_flush_threshold=1)
+        store = system.store
+        for i in range(40):  # force a metadata-extent switch
+            _put(store, b"k%d" % (i % 4), bytes([i]))
+        # Make the final put sit in the memtable at shutdown time.
+        system.config.memtable_flush_threshold = 100
+        _put(store, b"final", b"F")
+        store = system.clean_reboot()
+        assert store.index.get(b"final") is not None
+
+    def test_fault3_loses_final_memtable_after_switch(self):
+        system = _system(
+            memtable_flush_threshold=1,
+            faults=FaultSet.only(Fault.SHUTDOWN_SKIPS_METADATA_AFTER_RESET),
+        )
+        system.config = system.config  # keep flake8 quiet
+        store = system.store
+        for i in range(40):
+            _put(store, b"k%d" % (i % 4), bytes([i]))
+        assert store.index.meta_switched
+        # The final put sits in the memtable at shutdown time.
+        system.config.memtable_flush_threshold = 100
+        _put(store, b"final", b"F")
+        store = system.clean_reboot()
+        assert store.index.get(b"final") is None, "fault #3 loses the entry"
+
+
+class TestReclamationSupport:
+    def test_replace_data_locator(self):
+        store = _system().store
+        _put(store, b"k", b"data" * 30)
+        old = store.index.get(b"k")[0]
+        new_loc, write_dep = store.chunk_store.put_chunk(0, b"k", b"data" * 30)
+        dep = store.index.replace_data_locator(b"k", old, new_loc, write_dep)
+        assert dep is not None
+        assert store.index.get(b"k")[0] == new_loc
+
+    def test_replace_missing_locator_returns_none(self):
+        store = _system().store
+        _put(store, b"k")
+        bogus = Locator(9, 999, 10)
+        new_loc, write_dep = store.chunk_store.put_chunk(0, b"k", b"x")
+        assert store.index.replace_data_locator(b"k", bogus, new_loc, write_dep) is None
+
+    def test_run_liveness_and_relocation(self):
+        store = _system().store
+        _put(store, b"k")
+        store.index.flush()
+        old = store.index.run_locators()[0]
+        assert store.index.is_run_live(old)
+        new_loc, dep = store.chunk_store.put_chunk(1, b"run:0", b"copy")
+        store.index.relocate_run(old, new_loc, dep)
+        assert not store.index.is_run_live(old)
+        assert store.index.is_run_live(new_loc)
+
+    def test_relocate_unknown_run_raises(self):
+        from repro.shardstore import ShardStoreError
+
+        store = _system().store
+        new_loc, dep = store.chunk_store.put_chunk(1, b"run:9", b"copy")
+        with pytest.raises(ShardStoreError):
+            store.index.relocate_run(Locator(9, 0, 10), new_loc, dep)

@@ -1,0 +1,102 @@
+"""Unit tests for test-case minimization (section 4.3)."""
+
+import pytest
+
+from repro.core.alphabet import Operation
+from repro.core.minimize import (
+    Minimizer,
+    minimize,
+    sequence_bytes,
+    sequence_crashes,
+)
+
+
+def _ops(*names):
+    return [Operation(name) for name in names]
+
+
+class TestRemoval:
+    def test_removes_irrelevant_operations(self):
+        # Fails iff the sequence contains a "Bad" op.
+        fails = lambda ops: any(op.name == "Bad" for op in ops)  # noqa: E731
+        sequence = _ops("A", "B", "Bad", "C", "D", "E")
+        reduced, stats = minimize(sequence, fails)
+        assert reduced == _ops("Bad")
+        assert stats.initial_ops == 6
+        assert stats.final_ops == 1
+
+    def test_preserves_required_pair(self):
+        def fails(ops):
+            names = [op.name for op in ops]
+            return "First" in names and "Second" in names and (
+                names.index("First") < names.index("Second")
+            )
+
+        sequence = _ops("X", "First", "Y", "Z", "Second", "W")
+        reduced, _ = minimize(sequence, fails)
+        assert [op.name for op in reduced] == ["First", "Second"]
+
+    def test_rejects_non_failing_input(self):
+        with pytest.raises(ValueError):
+            minimize(_ops("A"), lambda ops: False)
+
+
+class TestArgumentShrinking:
+    def test_ints_shrink_toward_zero(self):
+        # Fails iff some op has an int arg >= 10.
+        fails = lambda ops: any(  # noqa: E731
+            isinstance(a, int) and a >= 10 for op in ops for a in op.args
+        )
+        sequence = [Operation("N", (1000,))]
+        reduced, _ = minimize(sequence, fails)
+        assert reduced[0].args[0] < 1000
+        assert fails(reduced)
+
+    def test_bytes_shrink(self):
+        fails = lambda ops: any(  # noqa: E731
+            isinstance(a, bytes) and len(a) >= 4 for op in ops for a in op.args
+        )
+        sequence = [Operation("B", (b"x" * 500,))]
+        reduced, _ = minimize(sequence, fails)
+        assert len(reduced[0].args[0]) < 500
+
+    def test_bools_shrink_to_false(self):
+        fails = lambda ops: bool(ops)  # noqa: E731  (any nonempty fails)
+        sequence = [Operation("F", (True, 7))]
+        reduced, _ = minimize(sequence, fails)
+        assert reduced[0].args in ((False, 0), (False, 7), (True, 0))
+        # at least one simplification applied
+        assert reduced[0].args != (True, 7)
+
+    def test_mixed_payload_shrinks_bytes_metric(self):
+        fails = lambda ops: any(op.name == "Put" for op in ops)  # noqa: E731
+        sequence = [Operation("Put", (b"key", b"v" * 100)), Operation("Noise")]
+        reduced, stats = minimize(sequence, fails)
+        assert stats.final_bytes_written < stats.initial_bytes_written
+
+
+class TestBudget:
+    def test_candidate_budget_respected(self):
+        calls = []
+
+        def fails(ops):
+            calls.append(1)
+            return True
+
+        minimizer = Minimizer(fails, max_candidates=10)
+        minimizer.minimize(_ops(*"ABCDEFGHIJ"))
+        assert minimizer.stats.candidates_tried <= 10
+
+
+class TestMetrics:
+    def test_sequence_bytes_counts_put_payloads(self):
+        ops = [
+            Operation("Put", (b"k", b"12345")),
+            Operation("Get", (b"k",)),
+            Operation("BulkCreate", (((b"a", b"xy"),),)),
+        ]
+        assert sequence_bytes(ops) == 7
+
+    def test_sequence_crashes(self):
+        ops = _ops("Put", "DirtyReboot", "Get", "Reboot", "DirtyReboot")
+        assert sequence_crashes(ops) == 3

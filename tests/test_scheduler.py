@@ -1,0 +1,223 @@
+"""Unit tests for the soft-updates IO scheduler."""
+
+import random
+
+import pytest
+
+from repro.shardstore import DiskGeometry, ExtentError, InMemoryDisk, IoError
+from repro.shardstore.dependency import Dependency, DurabilityTracker
+from repro.shardstore.scheduler import IoScheduler
+
+
+@pytest.fixture
+def system():
+    disk = InMemoryDisk(DiskGeometry(num_extents=6, extent_size=1024, page_size=128))
+    tracker = DurabilityTracker()
+    scheduler = IoScheduler(disk, tracker, random.Random(0))
+    return disk, tracker, scheduler
+
+
+def _root(tracker):
+    return Dependency.root(tracker)
+
+
+class TestAppend:
+    def test_append_returns_offset_and_dep(self, system):
+        disk, tracker, scheduler = system
+        offset, dep = scheduler.append(2, b"hello", _root(tracker))
+        assert offset == 0
+        assert not dep.is_persistent()
+        assert scheduler.soft_pointer(2) == 5
+
+    def test_appends_are_sequential_per_extent(self, system):
+        _, tracker, scheduler = system
+        off1, _ = scheduler.append(2, b"abc", _root(tracker))
+        off2, _ = scheduler.append(2, b"defg", _root(tracker))
+        assert (off1, off2) == (0, 3)
+
+    def test_page_splitting(self, system):
+        """One logical append spanning pages becomes several records."""
+        _, tracker, scheduler = system
+        _, dep = scheduler.append(2, b"x" * 300, _root(tracker))
+        # 300 bytes from offset 0 with 128-byte pages -> 3 records.
+        assert len(dep.record_ids()) == 3
+
+    def test_split_honours_misaligned_start(self, system):
+        _, tracker, scheduler = system
+        scheduler.append(2, b"x" * 100, _root(tracker))
+        _, dep = scheduler.append(2, b"y" * 100, _root(tracker))
+        # 100..200 crosses one boundary -> 2 records.
+        assert len(dep.record_ids()) == 2
+
+    def test_empty_append_rejected(self, system):
+        _, tracker, scheduler = system
+        with pytest.raises(ExtentError):
+            scheduler.append(2, b"", _root(tracker))
+
+    def test_overrun_rejected(self, system):
+        _, tracker, scheduler = system
+        with pytest.raises(ExtentError):
+            scheduler.append(2, b"x" * 2000, _root(tracker))
+
+
+class TestWriteback:
+    def test_drain_makes_durable(self, system):
+        disk, tracker, scheduler = system
+        _, dep = scheduler.append(2, b"payload", _root(tracker))
+        scheduler.drain()
+        assert dep.is_persistent()
+        assert disk.read(2, 0, 7) == b"payload"
+
+    def test_dependency_ordering_enforced(self, system):
+        disk, tracker, scheduler = system
+        _, dep_a = scheduler.append(2, b"first", _root(tracker))
+        _, dep_b = scheduler.append(3, b"second", dep_a)
+        # Only extent 2's record is eligible until dep_a persists.
+        assert scheduler.eligible_extents() == [2]
+        assert scheduler.pump_one()
+        assert dep_a.is_persistent()
+        assert scheduler.eligible_extents() == [3]
+
+    def test_fifo_within_extent(self, system):
+        disk, tracker, scheduler = system
+        scheduler.append(2, b"a" * 128, _root(tracker))
+        scheduler.append(2, b"b" * 128, _root(tracker))
+        scheduler.pump(1)
+        assert disk.read(2, 0, 128) == b"a" * 128
+        assert disk.write_pointer(2) == 128
+
+    def test_pump_respects_budget(self, system):
+        _, tracker, scheduler = system
+        scheduler.append(2, b"x" * 500, _root(tracker))
+        assert scheduler.pump(2) == 2
+        assert scheduler.pending_count == 2  # 4 page records total
+
+    def test_torn_append_prefix_persistence(self, system):
+        """A crash can persist a prefix of an append's pages (section 5)."""
+        disk, tracker, scheduler = system
+        _, dep = scheduler.append(2, b"z" * 300, _root(tracker))
+        scheduler.pump(1)
+        scheduler.drop_pending()
+        assert disk.write_pointer(2) == 128  # first page only
+        assert not dep.is_persistent()
+
+    def test_drain_raises_on_unsatisfiable_dependency(self, system):
+        from repro.shardstore.dependency import FutureCell
+
+        _, tracker, scheduler = system
+        cell = FutureCell("never")
+        scheduler.append(2, b"stuck", Dependency.on_future(tracker, cell))
+        with pytest.raises(IoError):
+            scheduler.drain()
+
+
+class TestReads:
+    def test_read_overlays_pending_data(self, system):
+        _, tracker, scheduler = system
+        scheduler.append(2, b"pending!", _root(tracker))
+        assert scheduler.read(2, 0, 8) == b"pending!"
+
+    def test_read_mixes_durable_and_pending(self, system):
+        disk, tracker, scheduler = system
+        scheduler.append(2, b"a" * 128, _root(tracker))
+        scheduler.drain()
+        scheduler.append(2, b"b" * 64, _root(tracker))
+        assert scheduler.read(2, 100, 60) == b"a" * 28 + b"b" * 32
+
+    def test_read_beyond_soft_pointer_forbidden(self, system):
+        _, tracker, scheduler = system
+        scheduler.append(2, b"abc", _root(tracker))
+        with pytest.raises(ExtentError):
+            scheduler.read(2, 0, 4)
+
+
+class TestReset:
+    def test_reset_zeroes_soft_pointer_immediately(self, system):
+        _, tracker, scheduler = system
+        scheduler.append(2, b"old", _root(tracker))
+        scheduler.reset(2, _root(tracker))
+        assert scheduler.soft_pointer(2) == 0
+
+    def test_appends_after_reset_restart_at_zero(self, system):
+        disk, tracker, scheduler = system
+        scheduler.append(2, b"old data", _root(tracker))
+        scheduler.reset(2, _root(tracker))
+        offset, _ = scheduler.append(2, b"new", _root(tracker))
+        assert offset == 0
+        scheduler.drain()
+        assert disk.read(2, 0, 3) == b"new"
+        assert disk.reset_count(2) == 1
+
+    def test_reset_waits_for_dependency(self, system):
+        disk, tracker, scheduler = system
+        _, dep = scheduler.append(3, b"evacuated copy", _root(tracker))
+        scheduler.append(2, b"victim", _root(tracker))
+        scheduler.pump(1)  # persist either 2 or 3 first per rng; force both:
+        scheduler.drain()
+        reset_dep = scheduler.reset(2, dep)
+        scheduler.drain()
+        assert reset_dep.is_persistent()
+        assert disk.write_pointer(2) == 0
+
+
+class TestCrashAndRecoverySupport:
+    def test_drop_pending_discards_queue(self, system):
+        disk, tracker, scheduler = system
+        scheduler.append(2, b"will be lost", _root(tracker))
+        lost = scheduler.drop_pending()
+        assert lost == 1
+        assert scheduler.pending_count == 0
+        assert scheduler.soft_pointer(2) == 0
+        assert disk.write_pointer(2) == 0
+
+    def test_sync_soft_pointer_truncates(self, system):
+        disk, tracker, scheduler = system
+        scheduler.append(2, b"x" * 200, _root(tracker))
+        scheduler.drain()
+        scheduler.sync_soft_pointer(2, 100)
+        assert scheduler.soft_pointer(2) == 100
+        assert disk.write_pointer(2) == 100
+
+    def test_settle_extent_clears_pending(self, system):
+        _, tracker, scheduler = system
+        scheduler.append(2, b"a" * 300, _root(tracker))
+        assert scheduler.settle_extent(2)
+        assert scheduler.pending_count == 0
+
+    def test_settle_reports_stuck(self, system):
+        from repro.shardstore.dependency import FutureCell
+
+        _, tracker, scheduler = system
+        cell = FutureCell("never")
+        scheduler.append(2, b"stuck", Dependency.on_future(tracker, cell))
+        assert not scheduler.settle_extent(2)
+
+    def test_snapshot_restore_roundtrip(self, system):
+        disk, tracker, scheduler = system
+        scheduler.append(2, b"kept", _root(tracker))
+        snap = scheduler.snapshot()
+        disk_snap = disk.snapshot()
+        tracker_snap = tracker.snapshot()
+        scheduler.drain()
+        scheduler.append(3, b"extra", _root(tracker))
+        scheduler.restore(snap)
+        disk.restore(disk_snap)
+        tracker.restore(tracker_snap)
+        assert scheduler.pending_count == 1
+        assert scheduler.read(2, 0, 4) == b"kept"
+
+
+class TestDeterminism:
+    def test_same_seed_same_writeback_order(self):
+        def run(seed):
+            disk = InMemoryDisk(DiskGeometry(num_extents=6, extent_size=1024, page_size=128))
+            tracker = DurabilityTracker()
+            scheduler = IoScheduler(disk, tracker, random.Random(seed))
+            for extent in (2, 3, 4, 5):
+                scheduler.append(extent, bytes([extent]) * 64, Dependency.root(tracker))
+            order = []
+            while scheduler.pump_one():
+                order.append(tracker.durable_count)
+            return disk.snapshot()
+
+        assert run(7) == run(7)

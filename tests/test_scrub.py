@@ -1,0 +1,141 @@
+"""Unit tests for the scrubber and the node-level control-plane additions."""
+
+import pytest
+
+from repro.shardstore import (
+    DiskGeometry,
+    FailureMode,
+    Fault,
+    FaultSet,
+    NotFoundError,
+    RetryableError,
+    StorageNode,
+    StoreConfig,
+    StoreSystem,
+)
+
+
+def _system(faults=None):
+    return StoreSystem(
+        StoreConfig(
+            geometry=DiskGeometry(num_extents=10, extent_size=2048, page_size=128),
+            faults=faults or FaultSet.none(),
+        )
+    )
+
+
+class TestScrubber:
+    def test_clean_store_scrubs_clean(self):
+        store = _system().store
+        for i in range(5):
+            store.put(b"k%d" % i, bytes([i]) * 140)
+        store.flush_index()
+        report = store.scrub()
+        assert report.clean
+        assert report.keys_checked == 5
+        assert report.chunks_checked >= 5
+        assert report.runs_checked >= 1
+
+    def test_scrub_is_read_only(self):
+        system = _system()
+        store = system.store
+        store.put(b"k", b"v" * 100)
+        pending = store.pending_io_count
+        store.scrub()
+        assert store.pending_io_count == pending
+        assert store.get(b"k") == b"v" * 100
+
+    def test_scrub_finds_fault1_truncation(self):
+        from repro.shardstore.chunk import frame_size
+
+        store = _system(FaultSet.only(Fault.RECLAIM_OFF_BY_ONE)).store
+        overhead = frame_size(b"edge", b"")
+        store.put(b"edge", b"E" * (2 * 128 - overhead))
+        store.flush_index()
+        victim = store.chunk_store.rotate_open()
+        store.reclaim(victim)
+        report = store.scrub()
+        # The evacuated copy is re-encoded with its truncated payload, so
+        # the scrub sees consistent (but wrong) data; conformance catches
+        # the value change.  Scrub specifically catches fault #2 staleness:
+        assert report.keys_checked >= 1
+
+    def test_scrub_finds_stale_cache_corruption(self):
+        store = _system(FaultSet.only(Fault.CACHE_NOT_DRAINED_ON_RESET)).store
+        for i in range(4):
+            store.put(b"key%d" % i, bytes([0x41 + i]) * 200)
+        store.flush_index()
+        # Warm the cache over the victim extent's pages.
+        store.scrub()
+        victim = store.chunk_store.rotate_open()
+        store.reclaim(victim)
+        # Reuse the extent: new chunks land where stale pages linger.
+        for i in range(4, 10):
+            store.put(b"key%d" % i, bytes([0x41 + i]) * 200)
+        store.flush_index()
+        report = store.scrub()
+        assert not report.clean, "stale cache pages must surface as corruption"
+
+    def test_scrub_tolerates_transient_io_errors(self):
+        system = _system()
+        store = system.store
+        store.put(b"k", b"v" * 200)
+        store.flush_index()
+        store.drain()
+        store.cache.invalidate_all()
+        extent = store.index.get(b"k")[0].extent
+        system.disk.arm_fault(extent, FailureMode.ONCE, writes=False)
+        report = store.scrub()
+        assert report.io_errors >= 1
+        assert report.clean  # errors are counted, not corruption
+
+
+class TestNodeControlPlane:
+    def _node(self):
+        return StorageNode(
+            num_disks=3,
+            config=StoreConfig(
+                geometry=DiskGeometry(
+                    num_extents=10, extent_size=2048, page_size=128
+                )
+            ),
+        )
+
+    def test_migrate_shard_moves_data(self):
+        node = self._node()
+        node.put(b"shard", b"payload")
+        source = node._shard_map[b"shard"]
+        target = (source + 1) % 3
+        assert node.migrate_shard(b"shard", target)
+        assert node._shard_map[b"shard"] == target
+        assert node.get(b"shard") == b"payload"
+        with pytest.raises(NotFoundError):
+            node.systems[source].store.get(b"shard")
+
+    def test_migrate_unknown_shard(self):
+        node = self._node()
+        assert not node.migrate_shard(b"nope", 0)
+
+    def test_migrate_to_same_disk_is_noop(self):
+        node = self._node()
+        node.put(b"shard", b"v")
+        source = node._shard_map[b"shard"]
+        assert node.migrate_shard(b"shard", source)
+        assert node.get(b"shard") == b"v"
+
+    def test_migrate_to_removed_disk_rejected(self):
+        node = self._node()
+        node.put(b"shard", b"v")
+        node.remove_disk((node._shard_map[b"shard"] + 1) % 3)
+        removed = next(d for d in range(3) if not node.in_service(d))
+        with pytest.raises(RetryableError):
+            node.migrate_shard(b"shard", removed)
+
+    def test_scrub_all_covers_in_service_disks(self):
+        node = self._node()
+        for i in range(9):
+            node.put(b"s%d" % i, bytes([i]) * 60)
+        node.remove_disk(0)
+        reports = node.scrub_all()
+        assert set(reports) == {1, 2}
+        assert all(report.clean for report in reports.values())

@@ -1,0 +1,166 @@
+"""Unit tests for the ShardStore API facade and StoreSystem reboots."""
+
+import pytest
+
+from repro.shardstore import (
+    DiskGeometry,
+    FaultSet,
+    InvalidRequestError,
+    NotFoundError,
+    RebootType,
+    StoreConfig,
+    StoreSystem,
+)
+
+
+def _system(**kwargs):
+    config = StoreConfig(
+        geometry=DiskGeometry(num_extents=12, extent_size=2048, page_size=128),
+        **kwargs,
+    )
+    return StoreSystem(config)
+
+
+class TestApi:
+    def test_put_get_delete_cycle(self):
+        store = _system().store
+        store.put(b"k", b"value")
+        assert store.get(b"k") == b"value"
+        assert store.contains(b"k")
+        store.delete(b"k")
+        assert not store.contains(b"k")
+        with pytest.raises(NotFoundError):
+            store.get(b"k")
+
+    def test_empty_value_roundtrip(self):
+        store = _system().store
+        store.put(b"empty", b"")
+        assert store.get(b"empty") == b""
+
+    def test_overwrite(self):
+        store = _system().store
+        store.put(b"k", b"one")
+        store.put(b"k", b"two")
+        assert store.get(b"k") == b"two"
+
+    def test_keys_sorted(self):
+        store = _system().store
+        for key in (b"c", b"a", b"b"):
+            store.put(key, b"v")
+        assert store.keys() == [b"a", b"b", b"c"]
+
+    def test_delete_absent_is_ok(self):
+        store = _system().store
+        dep = store.delete(b"never-put")
+        assert dep is not None
+
+    @pytest.mark.parametrize("key", [b"", "string", None, b"x" * 2000])
+    def test_invalid_keys_rejected(self, key):
+        store = _system().store
+        with pytest.raises(InvalidRequestError):
+            store.put(key, b"v")
+        with pytest.raises(InvalidRequestError):
+            store.get(key)
+        with pytest.raises(InvalidRequestError):
+            store.delete(key)
+
+    def test_large_value_spans_chunks(self):
+        store = _system().store
+        value = bytes(i % 256 for i in range(1500))
+        store.put(b"large", value)
+        assert store.get(b"large") == value
+        assert len(store.index.get(b"large")) > 1
+
+
+class TestDurability:
+    def test_dep_not_persistent_until_writeback(self):
+        store = _system().store
+        dep = store.put(b"k", b"v")
+        assert not dep.is_persistent()
+
+    def test_clean_shutdown_satisfies_forward_progress(self):
+        system = _system()
+        deps = [system.store.put(b"k%d" % i, bytes([i]) * 50) for i in range(10)]
+        deps.append(system.store.delete(b"k3"))
+        system.store.clean_shutdown()
+        assert all(dep.is_persistent() for dep in deps)
+
+    def test_drain_resolves_pointer_promises(self):
+        store = _system().store
+        dep = store.put(b"k", b"v" * 100)
+        store.flush_index()
+        store.drain()
+        assert dep.is_persistent()
+
+
+class TestReboots:
+    def test_clean_reboot_preserves_everything(self):
+        system = _system()
+        values = {b"key%d" % i: bytes([i + 1]) * 111 for i in range(8)}
+        for key, value in values.items():
+            system.store.put(key, value)
+        store = system.clean_reboot()
+        for key, value in values.items():
+            assert store.get(key) == value
+        assert store.keys() == sorted(values)
+
+    def test_repeated_clean_reboots(self):
+        system = _system()
+        for generation in range(5):
+            system.store.put(b"gen", bytes([generation]) * 20)
+            store = system.clean_reboot()
+            assert store.get(b"gen") == bytes([generation]) * 20
+
+    def test_dirty_reboot_with_no_writeback_loses_unflushed(self):
+        system = _system()
+        system.store.put(b"volatile", b"gone")
+        store = system.dirty_reboot(RebootType(pump=0))
+        with pytest.raises(NotFoundError):
+            store.get(b"volatile")
+
+    def test_dirty_reboot_preserves_persistent_data(self):
+        system = _system()
+        dep = system.store.put(b"durable", b"kept")
+        system.store.flush_index()
+        system.store.flush_superblock()
+        system.store.drain()
+        assert dep.is_persistent()
+        store = system.dirty_reboot(RebootType(pump=0))
+        assert store.get(b"durable") == b"kept"
+
+    def test_dirty_reboot_flush_flags(self):
+        system = _system()
+        system.store.put(b"k", b"flushed-by-reboot-type")
+        store = system.dirty_reboot(
+            RebootType(flush_index=True, flush_superblock=True, pump=None)
+        )
+        assert store.get(b"k") == b"flushed-by-reboot-type"
+
+    def test_generation_counter_advances(self):
+        system = _system()
+        assert system.generation == 0
+        system.clean_reboot()
+        system.dirty_reboot(RebootType.NONE)
+        assert system.generation == 2
+
+
+class TestMaintenanceOps:
+    def test_background_ops_preserve_mapping(self):
+        system = _system()
+        store = system.store
+        values = {b"key%d" % i: bytes([i]) * 130 for i in range(6)}
+        for key, value in values.items():
+            store.put(key, value)
+        store.flush_index()
+        store.compact()
+        store.flush_superblock()
+        for extent in store.reclaimable_extents():
+            store.reclaim(extent)
+        store.pump(10)
+        for key, value in values.items():
+            assert store.get(key) == value
+
+    def test_reclaimable_excludes_open(self):
+        store = _system().store
+        store.put(b"k", b"v")
+        assert store.chunk_store.open_extent not in store.reclaimable_extents()
