@@ -27,7 +27,7 @@ from repro.core import (
     verify_chunkstore_model,
     verify_kv_model,
 )
-from repro.core.alphabet import Alphabet, OpSpec, crash_alphabet, _dirty_reboot_args
+from repro.core.alphabet import Alphabet, OpSpec, crash_alphabet
 from repro.core.concurrent_harnesses import compaction_reclaim_harness
 from repro.shardstore import Fault, FaultSet
 

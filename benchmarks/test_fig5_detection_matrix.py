@@ -6,162 +6,57 @@ via :mod:`repro.shardstore.faults`, hunts it with the checker the paper
 attributes it to (conformance PBT, crash-consistency PBT, or stateless
 model checking), and regenerates the Fig. 5 table with a Detected column.
 
-Seeds are pinned to the known-detecting region so the matrix completes in
-benchmark time; the unpinned pay-as-you-go behaviour (run longer, find the
-same bugs from any seed) is exercised by ``test_pbt_throughput.py`` and
-the integration tests.
+The hunt plans (alphabet, pinned seed, strategy per fault) are the
+canonical ones in :mod:`repro.campaign.fault_matrix` -- the same plans the
+``repro campaign`` fault-matrix phase runs in parallel in CI.  Seeds are
+pinned to the known-detecting region so the matrix completes in benchmark
+time; the unpinned pay-as-you-go behaviour (run longer, find the same
+bugs from any seed) is exercised by ``test_pbt_throughput.py`` and the
+integration tests.
 """
 
-from __future__ import annotations
-
-from typing import Callable, Dict, List, Tuple
+from typing import List
 
 import pytest
 
-from repro.concurrency import model
+from repro.campaign.fault_matrix import (
+    PBT_PLAN,
+    fault_matrix_shards,
+    run_shard,
+)
+from repro.campaign.spec import smoke_spec
 from repro.core import (
     BiasConfig,
-    ChunkStoreModelHarness,
     DetectionOutcome,
-    NodeHarness,
     StoreHarness,
     crash_alphabet,
     detection_matrix,
     failure_alphabet,
-    node_alphabet,
     run_conformance,
     store_alphabet,
 )
-from repro.core.concurrent_harnesses import (
-    buffer_pool_harness,
-    bulk_race_harness,
-    compaction_reclaim_harness,
-    list_remove_harness,
-    locator_race_harness,
-)
-from repro.shardstore import Fault, FaultSet, detector_for
+from repro.shardstore import Fault, FaultSet
 
-# fault -> (alphabet factory, pinned base seed, uuid bias)
-_PBT_PLAN: Dict[Fault, Tuple[Callable, int, float]] = {
-    Fault.RECLAIM_OFF_BY_ONE: (store_alphabet, 15, 0.0),
-    Fault.CACHE_NOT_DRAINED_ON_RESET: (store_alphabet, 0, 0.0),
-    Fault.SHUTDOWN_SKIPS_METADATA_AFTER_RESET: (store_alphabet, 23, 0.0),
-    Fault.RECLAIM_FORGETS_ON_READ_ERROR: (failure_alphabet, 394, 0.0),
-    Fault.SUPERBLOCK_WRONG_DEP_AFTER_REBOOT: (crash_alphabet, 0, 0.0),
-    Fault.SOFT_HARD_POINTER_MISMATCH_ON_RESET: (crash_alphabet, 20, 0.0),
-    Fault.CACHE_WRITE_MISSING_SOFT_PTR_DEP: (crash_alphabet, 0, 0.0),
-    Fault.MODEL_STALE_AFTER_CRASH_RECLAIM: (crash_alphabet, 3, 0.0),
-    Fault.UUID_MAGIC_COLLISION_SCAN: (crash_alphabet, 174, 0.25),
+_ALPHABETS = {
+    "store": store_alphabet,
+    "crash": crash_alphabet,
+    "failure": failure_alphabet,
 }
-
-# fault -> (harness factory, strategy, kwargs)
-_MC_PLAN: Dict[Fault, Tuple[Callable, str, dict]] = {
-    Fault.LOCATOR_RACE_WRITE_FLUSH: (
-        locator_race_harness,
-        "pct",
-        dict(iterations=120, seed=3),
-    ),
-    Fault.BUFFER_POOL_DEADLOCK: (
-        buffer_pool_harness,
-        "random",
-        dict(iterations=300, seed=3),
-    ),
-    Fault.LIST_REMOVE_RACE: (
-        list_remove_harness,
-        "pct",
-        dict(iterations=120, seed=3),
-    ),
-    Fault.COMPACTION_RECLAIM_RACE: (
-        compaction_reclaim_harness,
-        "pct",
-        dict(iterations=300, seed=3, pct_steps_hint=128),
-    ),
-    Fault.BULK_CREATE_REMOVE_RACE: (
-        bulk_race_harness,
-        "pct",
-        dict(iterations=120, seed=3),
-    ),
-}
-
-
-def _hunt_pbt(fault: Fault) -> DetectionOutcome:
-    alphabet_factory, seed, bias = _PBT_PLAN[fault]
-    if fault is Fault.DISK_RETURN_DROPS_SHARDS:
-        raise AssertionError("handled separately")
-    report = run_conformance(
-        lambda s: StoreHarness(FaultSet.only(fault), s, uuid_magic_bias=bias),
-        alphabet_factory(),
-        sequences=8,
-        ops_per_sequence=80,
-        bias=BiasConfig(),
-        base_seed=seed,
-    )
-    return DetectionOutcome(
-        fault=fault,
-        detected=not report.passed,
-        detector=detector_for(fault),
-        evidence=str(report.failure) if report.failure else "",
-        sequences_or_executions=report.sequences_run,
-    )
-
-
-def _hunt_node(fault: Fault) -> DetectionOutcome:
-    report = run_conformance(
-        lambda s: NodeHarness(FaultSet.only(fault), s),
-        node_alphabet(),
-        sequences=8,
-        ops_per_sequence=60,
-        base_seed=0,
-        ctx_kwargs={"num_disks": 3},
-    )
-    return DetectionOutcome(
-        fault=fault,
-        detected=not report.passed,
-        detector=detector_for(fault),
-        evidence=str(report.failure) if report.failure else "",
-        sequences_or_executions=report.sequences_run,
-    )
-
-
-def _hunt_model_fault(fault: Fault) -> DetectionOutcome:
-    report = run_conformance(
-        lambda s: ChunkStoreModelHarness(FaultSet.only(fault), s),
-        store_alphabet(),
-        sequences=8,
-        ops_per_sequence=60,
-        base_seed=0,
-    )
-    return DetectionOutcome(
-        fault=fault,
-        detected=not report.passed,
-        detector="PBT invariant check (model artifact)",
-        evidence=str(report.failure) if report.failure else "",
-        sequences_or_executions=report.sequences_run,
-    )
-
-
-def _hunt_mc(fault: Fault) -> DetectionOutcome:
-    harness_factory, strategy, kwargs = _MC_PLAN[fault]
-    result = model(
-        harness_factory(FaultSet.only(fault)), strategy=strategy, **kwargs
-    )
-    return DetectionOutcome(
-        fault=fault,
-        detected=not result.passed,
-        detector=detector_for(fault),
-        evidence=type(result.failure).__name__ if result.failure else "",
-        sequences_or_executions=result.executions,
-    )
 
 
 def _run_matrix() -> List[DetectionOutcome]:
     outcomes: List[DetectionOutcome] = []
-    for fault in _PBT_PLAN:
-        outcomes.append(_hunt_pbt(fault))
-    outcomes.append(_hunt_node(Fault.DISK_RETURN_DROPS_SHARDS))
-    outcomes.append(_hunt_model_fault(Fault.MODEL_REUSES_LOCATORS))
-    for fault in _MC_PLAN:
-        outcomes.append(_hunt_mc(fault))
+    for shard in fault_matrix_shards(smoke_spec(), 0):
+        result = run_shard(shard)
+        outcomes.append(
+            DetectionOutcome(
+                fault=Fault[result.fault],
+                detected=result.detected,
+                detector=result.detector,
+                evidence=result.failures[0].detail if result.failures else "",
+                sequences_or_executions=result.cases,
+            )
+        )
     return outcomes
 
 
@@ -175,13 +70,13 @@ def test_fig5_detection_matrix(benchmark):
     assert len(outcomes) == 16
 
 
-@pytest.mark.parametrize("fault", list(_PBT_PLAN))
+@pytest.mark.parametrize("fault", list(PBT_PLAN))
 def test_fig5_baseline_clean_for_pbt_alphabets(fault):
     """Sanity: with the fault OFF, the same pinned region finds nothing."""
-    alphabet_factory, seed, bias = _PBT_PLAN[fault]
+    alphabet_name, seed, bias = PBT_PLAN[fault]
     report = run_conformance(
         lambda s: StoreHarness(FaultSet.none(), s, uuid_magic_bias=bias),
-        alphabet_factory(),
+        _ALPHABETS[alphabet_name](),
         sequences=4,
         ops_per_sequence=80,
         base_seed=seed,

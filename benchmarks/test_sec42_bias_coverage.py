@@ -26,7 +26,6 @@ from repro.core import (
     run_conformance,
     store_alphabet,
 )
-from repro.core.alphabet import GenContext
 from repro.shardstore import Fault, FaultSet, NotFoundError
 
 

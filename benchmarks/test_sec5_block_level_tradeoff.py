@@ -21,9 +21,7 @@ from repro.core import (
     BiasConfig,
     StoreHarness,
     coarse_crash_states,
-    crash_alphabet,
     explore_block_level,
-    run_conformance,
     store_alphabet,
 )
 from repro.shardstore import Fault, FaultSet

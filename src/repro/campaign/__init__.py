@@ -1,0 +1,43 @@
+"""Parallel validation-campaign runner (section 4.4's CI loop).
+
+The paper's checks only pay off because they run *continuously at scale*:
+conformance checking runs on every code submission and executes millions
+of test cases nightly in S3's CI.  This package is that loop for the
+reproduction: a campaign fans the validation stack out across a process
+pool -- conformance runs over every alphabet, crash-consistency
+exploration, deserializer fuzzing, and the Fig. 5 fault-injection matrix
+(each of the 16 re-injected bugs as an independent work unit) -- and
+merges per-shard results into one JSON artifact that CI uploads.
+
+Determinism is the design constraint throughout: every shard carries its
+own seed derived from the campaign base seed (``base_seed + shard_id``),
+so the artifact is byte-identical across reruns and worker counts (modulo
+the ``timing`` section), and any failure replays from a single ``--seed``.
+"""
+
+from .aggregate import CampaignResult, aggregate, result_to_json
+from .fault_matrix import fault_matrix_shards
+from .runner import build_shards, run_campaign
+from .spec import (
+    SCHEMA_VERSION,
+    CampaignSpec,
+    ShardFailure,
+    ShardResult,
+    ShardSpec,
+    smoke_spec,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CampaignResult",
+    "CampaignSpec",
+    "ShardFailure",
+    "ShardResult",
+    "ShardSpec",
+    "aggregate",
+    "build_shards",
+    "fault_matrix_shards",
+    "result_to_json",
+    "run_campaign",
+    "smoke_spec",
+]

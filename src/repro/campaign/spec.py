@@ -1,0 +1,176 @@
+"""Campaign and shard specifications (the picklable work-unit contract).
+
+A campaign is compiled into a flat list of :class:`ShardSpec` work units
+before any process is spawned.  Each spec is plain data -- strings, ints,
+floats -- so it pickles across a ``ProcessPoolExecutor`` boundary, and each
+carries its own ``seed`` (``base_seed + shard_id``), so the unit replays
+deterministically no matter which worker runs it or in what order.
+
+Checkers consume specs through their module-level
+``run_shard(spec) -> ShardResult`` entry points (see
+:func:`repro.core.conformance.run_shard` and friends); the campaign runner
+only dispatches on ``spec.kind``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Version stamp for the campaign JSON artifact (documented in
+#: EXPERIMENTS.md).  Bump when the schema changes shape.
+SCHEMA_VERSION = 1
+
+#: Shard kinds, dispatched by the runner to the owning checker module.
+KIND_CONFORMANCE = "conformance"
+KIND_CRASH = "crash"
+KIND_FUZZ = "fuzz"
+KIND_FAULT_MATRIX = "fault-matrix"
+
+ALL_KINDS = (KIND_CONFORMANCE, KIND_CRASH, KIND_FUZZ, KIND_FAULT_MATRIX)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One picklable unit of campaign work.
+
+    ``params`` holds only plain data (the checker interprets it); ``seed``
+    is the single number needed to replay the shard by hand.
+    """
+
+    shard_id: int
+    kind: str
+    seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @staticmethod
+    def make(
+        shard_id: int, kind: str, seed: int, **params: Any
+    ) -> "ShardSpec":
+        """Build a spec from keyword params (sorted for determinism)."""
+        return ShardSpec(
+            shard_id=shard_id,
+            kind=kind,
+            seed=seed,
+            params=tuple(sorted(params.items())),
+        )
+
+
+@dataclass
+class ShardFailure:
+    """One check violation found by a shard, ready for the artifact."""
+
+    kind: str
+    seed: int
+    detail: str
+    fault: Optional[str] = None  # injected fault name, if any
+    minimized: Optional[List[str]] = None  # minimized op reproducer
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "seed": self.seed,
+            "detail": self.detail,
+        }
+        if self.fault is not None:
+            out["fault"] = self.fault
+        if self.minimized is not None:
+            out["minimized"] = list(self.minimized)
+        return out
+
+
+@dataclass
+class ShardResult:
+    """What one shard reports back to the aggregator.
+
+    ``cases`` counts whatever the shard's checker calls a test case
+    (sequences, fuzz inputs, crash states, schedules); ``ops`` counts
+    individual operations where that is meaningful.  ``expected_failure``
+    marks fault-matrix shards, where *finding* the injected bug is the
+    passing outcome.
+    """
+
+    shard_id: int
+    kind: str
+    seed: int
+    cases: int = 0
+    ops: int = 0
+    failures: List[ShardFailure] = field(default_factory=list)
+    expected_failure: bool = False
+    detector: str = ""  # fault-matrix: which checker hunted the fault
+    fault: Optional[str] = None  # fault-matrix: the injected fault name
+    coverage_lines: Optional[List[Tuple[str, int]]] = None
+    skipped: bool = False  # budget exhausted before this shard ran
+
+    @property
+    def detected(self) -> bool:
+        """Fault-matrix verdict: did the checker find the injected bug?"""
+        return bool(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        """Did this shard meet its goal (no bug found, or bug detected)?"""
+        if self.skipped:
+            return True
+        if self.expected_failure:
+            return self.detected
+        return not self.failures
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to compile and run one campaign."""
+
+    profile: str = "full"
+    workers: int = 2
+    base_seed: int = 0
+    budget_seconds: Optional[float] = None
+    # conformance phase
+    conformance_shards_per_alphabet: int = 4
+    sequences_per_shard: int = 25
+    ops_per_sequence: int = 60
+    # crash phase
+    crash_shards: int = 4
+    crash_prefix_ops: int = 24
+    crash_max_states: int = 96
+    # fuzz phase
+    fuzz_iterations: int = 4000
+    fuzz_exhaustive_len: int = 1
+    # fault matrix
+    fault_matrix: bool = True
+    fault_matrix_sequences: int = 8
+    # coverage is collected on the first store-alphabet shard only
+    # (sys.settrace costs ~10x; one shard is enough for blind-spot stats)
+    coverage: bool = True
+
+
+def smoke_spec(
+    workers: int = 2,
+    base_seed: int = 0,
+    budget_seconds: Optional[float] = None,
+) -> CampaignSpec:
+    """The per-commit CI profile: every phase, small budgets (~tens of
+    seconds on two workers), still detecting all 16 Fig. 5 bugs."""
+    return CampaignSpec(
+        profile="smoke",
+        workers=workers,
+        base_seed=base_seed,
+        budget_seconds=budget_seconds,
+        conformance_shards_per_alphabet=1,
+        sequences_per_shard=6,
+        ops_per_sequence=40,
+        crash_shards=1,
+        crash_prefix_ops=14,
+        crash_max_states=48,
+        fuzz_iterations=600,
+        fuzz_exhaustive_len=1,
+        fault_matrix=True,
+        fault_matrix_sequences=8,
+        coverage=True,
+    )

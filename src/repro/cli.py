@@ -11,6 +11,7 @@ is that knob — each subcommand is one checker with its budget exposed:
     python -m repro verify-models --depth 4
     python -m repro fig5
     python -m repro loc
+    python -m repro campaign --smoke --workers 2 --seed 7 --output out.json
 
 Exit status is 0 when every check passed and 1 when any found an issue,
 so the commands drop straight into CI gates.
@@ -120,7 +121,7 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     }[args.harness]
     faults = _parse_fault(args.fault)
     result = model(
-        factory_fn(faults),
+        factory_fn(faults, args.harness_seed),
         strategy=args.strategy,
         iterations=args.iterations,
         seed=args.seed,
@@ -191,20 +192,74 @@ def _cmd_verify_models(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
-    sys.path.insert(
-        0, os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
-            os.path.abspath(__file__)))), "benchmarks")
-    )
-    try:
-        from test_fig5_detection_matrix import _run_matrix  # type: ignore
-    except ImportError:
-        print("fig5 requires the repository checkout (benchmarks/ on disk)")
-        return 2
     from repro.core import detection_matrix
 
-    outcomes = _run_matrix()
+    if args.from_artifact:
+        import json
+
+        from repro.core import outcomes_from_campaign
+
+        try:
+            with open(args.from_artifact, "r", encoding="utf-8") as handle:
+                artifact = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load artifact {args.from_artifact}: {exc}")
+            return 2
+        outcomes = outcomes_from_campaign(artifact)
+        if not outcomes:
+            print(f"no fault_matrix section in {args.from_artifact}")
+            return 2
+    else:
+        from repro.campaign import fault_matrix_shards, smoke_spec
+        from repro.campaign.fault_matrix import run_shard
+        from repro.core import DetectionOutcome
+        from repro.shardstore import Fault
+
+        outcomes = []
+        for shard in fault_matrix_shards(smoke_spec(), 0):
+            result = run_shard(shard)
+            outcomes.append(
+                DetectionOutcome(
+                    fault=Fault[result.fault],
+                    detected=result.detected,
+                    detector=result.detector,
+                    evidence=(
+                        result.failures[0].detail if result.failures else ""
+                    ),
+                    sequences_or_executions=result.cases,
+                )
+            )
     print(detection_matrix(outcomes))
     return 0 if all(outcome.detected for outcome in outcomes) else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign import CampaignSpec, run_campaign, smoke_spec
+    from repro.core import campaign_summary
+
+    if args.smoke:
+        spec = smoke_spec(
+            workers=args.workers,
+            base_seed=args.seed,
+            budget_seconds=args.budget_seconds,
+        )
+    else:
+        spec = CampaignSpec(
+            workers=args.workers,
+            base_seed=args.seed,
+            budget_seconds=args.budget_seconds,
+        )
+    result = run_campaign(spec, log=print)
+    artifact = result.to_json()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+            handle.write("\n")
+        print(f"artifact written to {args.output}")
+    print(campaign_summary(artifact))
+    return 0 if artifact["passed"] else 1
 
 
 def _cmd_loc(args: argparse.Namespace) -> int:
@@ -241,9 +296,37 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--strategy", choices=("dfs", "random", "pct"), default="pct")
     mc.add_argument("--iterations", type=int, default=200)
     mc.add_argument("--seed", type=int, default=0)
+    mc.add_argument(
+        "--harness-seed",
+        type=int,
+        default=0,
+        help="seed for the harness's own state (explorer seed is --seed)",
+    )
     mc.add_argument("--pct-steps-hint", type=int, default=128)
     mc.add_argument("--fault", help="inject one Fault by name")
     mc.set_defaults(fn=_cmd_mc)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="parallel validation campaign (all checkers, JSON artifact)",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=2, help="process-pool size"
+    )
+    campaign.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="stop dispatching new shards after this many seconds",
+    )
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--output", help="write the JSON artifact here")
+    campaign.add_argument(
+        "--smoke",
+        action="store_true",
+        help="per-commit CI profile: small budgets, every phase",
+    )
+    campaign.set_defaults(fn=_cmd_campaign)
 
     fuzz = sub.add_parser("fuzz", help="deserializer panic-freedom checking")
     fuzz.add_argument("--iterations", type=int, default=10_000)
@@ -258,6 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify.set_defaults(fn=_cmd_verify_models)
 
     fig5 = sub.add_parser("fig5", help="regenerate the Fig. 5 detection matrix")
+    fig5.add_argument(
+        "--from-artifact",
+        help="rebuild the table from a campaign JSON artifact instead of "
+        "re-running the hunts",
+    )
     fig5.set_defaults(fn=_cmd_fig5)
 
     loc = sub.add_parser("loc", help="regenerate the Fig. 6 lines-of-code table")

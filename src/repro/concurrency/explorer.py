@@ -17,7 +17,7 @@ Two families, matching the paper's tool split:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
 from .scheduler import DeadlockError, FixedSchedule, ModelScheduler, Strategy, TaskFailed

@@ -14,7 +14,7 @@ harnesses that DFS cannot scale to).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from .explorer import (
     DfsExplorer,

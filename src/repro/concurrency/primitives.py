@@ -21,7 +21,7 @@ the paper's key requirement that checking not fork the code base.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Generic, List, Optional, TypeVar
+from typing import Any, Callable, Generic, Optional, TypeVar
 
 T = TypeVar("T")
 

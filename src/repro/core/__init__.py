@@ -56,9 +56,11 @@ from .minimize import (
 )
 from .report import (
     DetectionOutcome,
+    campaign_summary,
     count_lines,
     detection_matrix,
     loc_table,
+    outcomes_from_campaign,
 )
 
 __all__ = [
@@ -82,6 +84,7 @@ __all__ = [
     "Operation",
     "StoreHarness",
     "VerifyResult",
+    "campaign_summary",
     "check_linearizable",
     "coarse_crash_states",
     "count_lines",
@@ -96,6 +99,7 @@ __all__ = [
     "measure",
     "minimize",
     "node_alphabet",
+    "outcomes_from_campaign",
     "replay_fails",
     "run_conformance",
     "sequence_bytes",

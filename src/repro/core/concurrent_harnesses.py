@@ -29,7 +29,6 @@ from .linearizability import (
     check_linearizable,
     kv_fingerprint,
     kv_model_apply,
-    kv_model_factory,
 )
 
 BodyFactory = Callable[[], Callable[[], None]]

@@ -30,9 +30,13 @@ operation sequence itself, so a failing sequence replays and minimizes
 
 from __future__ import annotations
 
+import os
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.campaign.spec import ShardResult, ShardSpec
 
 from repro.models.chunkstore import ReferenceChunkStore
 from repro.models.crash import CrashAwareModel
@@ -413,7 +417,10 @@ class StoreHarness(Harness):
                 f"key sets diverge: missing {sorted(missing)!r}, "
                 f"extra {sorted(extra)!r}",
             )
-        for key in model_keys - uncertain:
+        # Sorted so the first-reported divergence is independent of the
+        # per-process hash seed -- campaign artifacts must be
+        # byte-identical across runs and worker counts.
+        for key in sorted(model_keys - uncertain):
             try:
                 impl_value = self.store.get(key)
             except IoError:
@@ -764,6 +771,115 @@ def replay_fails(
         return harness.run(list(ops)) is not None
 
     return fails
+
+
+# ----------------------------------------------------------------------
+# campaign shard entry point
+
+
+def run_shard(spec: "ShardSpec") -> "ShardResult":
+    """Picklable campaign entry point: one conformance work unit.
+
+    ``spec.params`` select the harness (``store``/``node``/``model``), the
+    alphabet, an optional injected fault, and the sequence budget; all
+    randomness derives from ``spec.seed``, so rerunning the spec is
+    byte-identical and any failure replays from its recorded seed alone
+    (``repro conformance --seed <failing_seed> --sequences 1``).
+    """
+    from repro.campaign.spec import ShardFailure, ShardResult
+    from repro.shardstore.faults import Fault, FaultSet
+
+    from .alphabet import crash_alphabet, failure_alphabet, node_alphabet, store_alphabet
+    from .coverage import LineCoverage
+    from .minimize import minimize
+
+    fault_name = spec.param("fault")
+    faults = (
+        FaultSet.only(Fault[fault_name]) if fault_name else FaultSet.none()
+    )
+    uuid_bias = spec.param("uuid_bias", 0.0)
+    harness_kind = spec.param("harness", "store")
+    alphabet = {
+        "store": store_alphabet,
+        "crash": crash_alphabet,
+        "failure": failure_alphabet,
+        "node": node_alphabet,
+    }[spec.param("alphabet", "store")]()
+    ctx_kwargs = None
+    if harness_kind == "node":
+        num_disks = spec.param("num_disks", 3)
+        factory: Callable[[int], Harness] = lambda s: NodeHarness(  # noqa: E731
+            faults, s, num_disks=num_disks
+        )
+        ctx_kwargs = {"num_disks": num_disks}
+    elif harness_kind == "model":
+        factory = lambda s: ChunkStoreModelHarness(faults, s)  # noqa: E731
+    else:
+        factory = lambda s: StoreHarness(  # noqa: E731
+            faults, s, uuid_magic_bias=uuid_bias
+        )
+    bias = (
+        BiasConfig.unbiased() if spec.param("unbiased", False) else BiasConfig()
+    )
+
+    collector = LineCoverage() if spec.param("coverage", False) else None
+    run = lambda: run_conformance(  # noqa: E731
+        factory,
+        alphabet,
+        sequences=spec.param("sequences", 25),
+        ops_per_sequence=spec.param("ops", 60),
+        bias=bias,
+        base_seed=spec.seed,
+        ctx_kwargs=ctx_kwargs,
+    )
+    if collector is not None:
+        with collector:
+            report = run()
+    else:
+        report = run()
+
+    failures = []
+    if report.failure is not None:
+        minimized: Optional[List[str]] = None
+        if spec.param("minimize", True) and report.failing_sequence:
+            fails = replay_fails(factory, report.failing_seed)
+            reduced, _ = minimize(report.failing_sequence, fails)
+            minimized = [str(op) for op in reduced]
+        failures.append(
+            ShardFailure(
+                kind=spec.kind,
+                seed=report.failing_seed,
+                detail=str(report.failure),
+                fault=fault_name,
+                minimized=minimized,
+            )
+        )
+    coverage_lines: Optional[List[Tuple[str, int]]] = None
+    if collector is not None:
+        coverage_lines = sorted(
+            (os.path.basename(filename), lineno)
+            for filename, lineno in collector.report.lines
+        )
+    return ShardResult(
+        shard_id=spec.shard_id,
+        kind=spec.kind,
+        seed=spec.seed,
+        cases=report.sequences_run,
+        ops=report.ops_run,
+        failures=failures,
+        expected_failure=bool(fault_name),
+        detector=spec.param("detector") or _default_detector(fault_name),
+        fault=fault_name,
+        coverage_lines=coverage_lines,
+    )
+
+
+def _default_detector(fault_name: Optional[str]) -> str:
+    if not fault_name:
+        return ""
+    from repro.shardstore.faults import Fault, detector_for
+
+    return detector_for(Fault[fault_name])
 
 
 def _valid_key(key) -> bool:

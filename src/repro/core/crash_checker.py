@@ -25,12 +25,15 @@ harness's crash-aware model.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Set
 
-from repro.shardstore.store import ShardStore, StoreSystem
+from repro.shardstore.store import ShardStore
 
 from .conformance import StoreHarness
+
+if TYPE_CHECKING:
+    from repro.campaign.spec import ShardResult, ShardSpec
 
 
 @dataclass
@@ -141,6 +144,77 @@ def _persistence_violation(
                 f"{'<absent>' if observed is None else f'<{len(observed)} bytes>'}"
             )
     return None
+
+
+def run_shard(spec: "ShardSpec") -> "ShardResult":
+    """Picklable campaign entry point: one crash-consistency work unit.
+
+    Each unit applies a random operation prefix (store alphabet, seeded
+    from ``spec.seed + i``) to a fresh harness, then enumerates the crash
+    states reachable from that point -- block-level
+    (:func:`explore_block_level`) or coarse sampling
+    (:func:`coarse_crash_states`) per ``spec.params['mode']`` -- and
+    checks the section 5 persistence property in every state.
+    """
+    from repro.campaign.spec import ShardFailure, ShardResult
+    from repro.shardstore.faults import Fault, FaultSet
+
+    from .alphabet import BiasConfig, store_alphabet
+
+    fault_name = spec.param("fault")
+    faults = (
+        FaultSet.only(Fault[fault_name]) if fault_name else FaultSet.none()
+    )
+    mode = spec.param("mode", "block")
+    sequences = spec.param("sequences", 2)
+    prefix_ops = spec.param("prefix_ops", 20)
+    max_states = spec.param("max_states", 128)
+    alphabet = store_alphabet()
+    bias = BiasConfig()
+
+    result = ShardResult(
+        shard_id=spec.shard_id,
+        kind=spec.kind,
+        seed=spec.seed,
+        expected_failure=bool(fault_name),
+        detector="crash-consistency PBT" if fault_name else "",
+        fault=fault_name,
+    )
+    for index in range(sequences):
+        seed = spec.seed + index
+        rng = random.Random(seed)
+        ops = alphabet.generate_sequence(rng, prefix_ops, bias)
+        harness = StoreHarness(faults, seed)
+        prefix_failure = harness.run(ops)
+        result.ops += len(ops)
+        if prefix_failure is not None:
+            result.failures.append(
+                ShardFailure(
+                    kind=spec.kind,
+                    seed=seed,
+                    detail=f"prefix violation: {prefix_failure}",
+                    fault=fault_name,
+                )
+            )
+            return result
+        if mode == "coarse":
+            exploration = coarse_crash_states(
+                harness, samples=max_states, seed=seed
+            )
+        else:
+            exploration = explore_block_level(harness, max_states=max_states)
+        result.cases += exploration.states_explored
+        if exploration.violation is not None:
+            result.failures.append(
+                ShardFailure(
+                    kind=spec.kind,
+                    seed=seed,
+                    detail=exploration.violation,
+                    fault=fault_name,
+                )
+            )
+            return result
+    return result
 
 
 def coarse_crash_states(

@@ -16,7 +16,7 @@ every source of randomness from the sequence itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from .alphabet import Operation

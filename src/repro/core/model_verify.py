@@ -21,7 +21,7 @@ the exact sequence of operations applied so far.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.alphabet import Operation

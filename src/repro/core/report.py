@@ -14,8 +14,8 @@ Fig. 6 is the artifact-size table (implementation vs models vs checks);
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
 
 from repro.shardstore.faults import FAULT_CATALOG, Fault, detector_for
 
@@ -56,6 +56,91 @@ def detection_matrix(outcomes: Iterable[DetectionOutcome]) -> str:
     total = sum(1 for o in by_fault.values() if o.detected)
     lines.append("-" * len(header))
     lines.append(f"detected: {total}/{len(by_fault)} injected issues")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# campaign artifacts (repro campaign --output)
+
+
+def outcomes_from_campaign(artifact: Dict) -> List[DetectionOutcome]:
+    """Rebuild Fig. 5 :class:`DetectionOutcome` rows from a campaign
+    artifact's ``fault_matrix`` section (see EXPERIMENTS.md for the
+    schema).  This is how ``repro fig5 --from-artifact`` reproduces the
+    paper's headline table from CI output alone."""
+    outcomes = []
+    for row in artifact.get("fault_matrix", []):
+        outcomes.append(
+            DetectionOutcome(
+                fault=Fault[row["fault"]],
+                detected=bool(row["detected"]),
+                detector=row.get("detector", ""),
+                evidence=row.get("evidence", ""),
+                sequences_or_executions=int(row.get("cases", 0)),
+            )
+        )
+    return outcomes
+
+
+def campaign_summary(artifact: Dict) -> str:
+    """Human-readable digest of a campaign artifact (CLI output)."""
+    campaign = artifact.get("campaign", {})
+    totals = artifact.get("totals", {})
+    timing = artifact.get("timing", {})
+    lines: List[str] = []
+    lines.append(
+        f"campaign profile={campaign.get('profile')} "
+        f"base_seed={campaign.get('base_seed')} "
+        f"workers={campaign.get('workers')} "
+        f"shards={campaign.get('shard_count')}"
+    )
+    header = f"{'phase':<14} {'shards':>6} {'cases':>9} {'ops':>9} {'failures':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for kind, phase in artifact.get("phases", {}).items():
+        lines.append(
+            f"{kind:<14} {phase['shards']:>6} {phase['cases']:>9,} "
+            f"{phase['ops']:>9,} {phase['failures']:>8}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<14} {campaign.get('shard_count', 0):>6} "
+        f"{totals.get('cases', 0):>9,} {totals.get('ops', 0):>9,} "
+        f"{totals.get('failures', 0):>8}"
+    )
+    detected = totals.get("faults_detected", 0)
+    matrix_size = len(artifact.get("fault_matrix", []))
+    if matrix_size:
+        lines.append(
+            f"fault matrix: {detected}/{matrix_size} injected issues detected"
+        )
+        for fault_name in artifact.get("missed_faults", []):
+            lines.append(f"  MISSED: {fault_name}")
+        for row in artifact.get("fault_matrix", []):
+            if row.get("skipped"):
+                lines.append(f"  SKIPPED (budget): {row['fault']}")
+    coverage = artifact.get("coverage", {})
+    if coverage.get("lines"):
+        lines.append(
+            f"coverage: {coverage['lines']} implementation lines across "
+            f"{len(coverage.get('by_file', {}))} files"
+        )
+    for failure in artifact.get("failures", []):
+        lines.append(
+            f"FAILURE shard={failure.get('shard_id')} "
+            f"seed={failure.get('seed')}: {failure.get('detail')}"
+        )
+        for op in failure.get("minimized") or []:
+            lines.append(f"    {op}")
+    skipped = totals.get("shards_skipped", 0)
+    if skipped:
+        lines.append(f"budget exhausted: {skipped} shard(s) skipped")
+    if timing:
+        lines.append(
+            f"wall clock {timing.get('wall_clock_seconds')}s, "
+            f"{timing.get('cases_per_second')} cases/sec"
+        )
+    lines.append("PASS" if artifact.get("passed") else "FAIL")
     return "\n".join(lines)
 
 

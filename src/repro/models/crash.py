@@ -29,8 +29,8 @@ paper describes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
 
 from repro.shardstore.dependency import Dependency
 from repro.shardstore.faults import Fault, FaultSet

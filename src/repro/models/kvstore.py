@@ -18,7 +18,7 @@ of these instead of a real ShardStore.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from repro.shardstore.errors import InvalidRequestError, NotFoundError
 from repro.shardstore.store import MAX_KEY_LEN

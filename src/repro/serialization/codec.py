@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.errors import CorruptionError
 

@@ -24,8 +24,11 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.campaign.spec import ShardResult, ShardSpec
 
 from repro.shardstore.errors import CorruptionError
 
@@ -137,6 +140,62 @@ def _mutate(rng: random.Random, base: bytes, max_len: int) -> bytes:
                     ]
                 )
     return bytes(data)
+
+
+def run_shard(spec: "ShardSpec") -> "ShardResult":
+    """Picklable campaign entry point: one deserializer fuzzing unit.
+
+    ``spec.params['decoder']`` names one decoder from
+    :func:`standard_decoders` (or ``"all"``); the unit runs the exhaustive
+    tier up to ``exhaustive_len`` bytes plus ``iterations`` seeded
+    mutation-fuzz inputs.  A panic is reported with its input rendered in
+    hex so the artifact is self-contained.
+    """
+    from repro.campaign.spec import ShardFailure, ShardResult
+
+    wanted = spec.param("decoder", "all")
+    decoders = [
+        (name, decoder)
+        for name, decoder in standard_decoders()
+        if wanted in ("all", name)
+    ]
+    if not decoders:
+        raise ValueError(f"unknown decoder {wanted!r}")
+    result = ShardResult(
+        shard_id=spec.shard_id, kind=spec.kind, seed=spec.seed
+    )
+    corpus = standard_corpus()
+    for name, decoder in decoders:
+        reports = [
+            check_exhaustive(
+                decoder,
+                max_len=spec.param("exhaustive_len", 1),
+                name=name,
+            ),
+            check_fuzz(
+                decoder,
+                iterations=spec.param("iterations", 2000),
+                seed=spec.seed,
+                corpus=corpus,
+                name=name,
+            ),
+        ]
+        for report in reports:
+            result.cases += report.inputs_tried
+            if not report.passed:
+                data = report.panic_input or b""
+                result.failures.append(
+                    ShardFailure(
+                        kind=spec.kind,
+                        seed=spec.seed,
+                        detail=(
+                            f"{name} panicked with "
+                            f"{type(report.panic).__name__} on "
+                            f"{len(data)}-byte input {data.hex()!r}"
+                        ),
+                    )
+                )
+    return result
 
 
 def standard_decoders() -> List[Tuple[str, Decoder]]:

@@ -18,7 +18,7 @@ a regular cadence").
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Tuple
 
 from .config import StoreConfig
 from .dependency import Dependency

@@ -29,12 +29,10 @@ from .buffer_cache import BufferCache
 from .chunk import (
     CHUNK_MAGIC,
     KIND_DATA,
-    KIND_RUN,
     DecodedChunk,
     Locator,
     decode_chunk,
     encode_chunk,
-    frame_size,
 )
 from .config import StoreConfig
 from .dependency import Dependency

@@ -27,7 +27,7 @@ enumerator, which needs to rewind the medium while exploring crash states.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .errors import ExtentError, IoError

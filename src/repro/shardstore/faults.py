@@ -17,7 +17,7 @@ parallel-safe.
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable
 
 
 class Fault(enum.Enum):

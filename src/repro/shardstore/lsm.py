@@ -24,8 +24,8 @@ into is what keeps reclamation from destroying the not-yet-referenced chunk
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.concurrency.primitives import Mutex, yield_point
 from repro.serialization.codec import encode_record, scan_records

@@ -19,8 +19,8 @@ dict with an ``op``/``status`` discriminator and per-operation fields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.serialization.codec import decode_record, encode_record
 

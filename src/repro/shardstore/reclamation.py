@@ -36,7 +36,7 @@ from .chunk import KIND_DATA, KIND_RUN, Locator, PagedReader, scan_chunks
 from .chunk_store import ChunkStore
 from .config import StoreConfig
 from .dependency import Dependency
-from .errors import IoError, ShardStoreError
+from .errors import ShardStoreError
 from .faults import Fault
 from .lsm import LsmIndex
 from .superblock import Superblock

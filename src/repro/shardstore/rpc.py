@@ -18,9 +18,8 @@ live in:
 
 from __future__ import annotations
 
-import random
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.concurrency.primitives import Mutex, yield_point

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .buffer_cache import BufferCache
 from .chunk_store import ChunkStore
@@ -32,7 +32,7 @@ from .lsm import LsmIndex
 from .reclamation import Reclaimer, ReclaimResult
 from .scheduler import IoScheduler
 from .scrub import Scrubber
-from .superblock import Superblock, SuperblockState
+from .superblock import Superblock
 
 MAX_KEY_LEN = 1024
 

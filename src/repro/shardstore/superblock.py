@@ -38,9 +38,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.concurrency.primitives import Condvar, Mutex, yield_point
 from repro.serialization.codec import encode_record, scan_records
 
-from .config import METADATA_EXTENTS, SUPERBLOCK_EXTENTS, StoreConfig
+from .config import SUPERBLOCK_EXTENTS, StoreConfig
 from .dependency import Dependency, DurabilityTracker, FutureCell
-from .errors import ExtentError
 from .faults import Fault
 from .scheduler import IoScheduler
 

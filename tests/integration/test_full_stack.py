@@ -10,6 +10,8 @@ import random
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.shardstore import (
     DiskGeometry,
     NotFoundError,

@@ -6,7 +6,7 @@ and decoders never raise anything but CorruptionError on arbitrary bytes
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.serialization.codec import (
@@ -37,6 +37,8 @@ values = st.recursive(
     ),
     max_leaves=20,
 )
+
+pytestmark = pytest.mark.slow
 
 
 class TestValueProperties:

@@ -7,6 +7,8 @@ directly -- flushes, compactions, metadata recovery -- against the simple
 dict specification, below the ShardStore API layer.
 """
 
+import pytest
+
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, settings
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
@@ -100,3 +102,5 @@ TestLsmComponent.settings = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
+
+pytestmark = pytest.mark.slow

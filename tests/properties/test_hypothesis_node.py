@@ -5,9 +5,11 @@ Removal/return/migration/bulk operations must never lose or change shards
 against the dict model with hypothesis driving the schedule.
 """
 
+import pytest
+
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, settings
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.shardstore import (
     DiskGeometry,
@@ -120,3 +122,5 @@ TestNodeControlPlane.settings = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
+
+pytestmark = pytest.mark.slow

@@ -8,15 +8,11 @@ step.  Hypothesis supplies generation and shrinking -- an independent
 second PBT engine beside our own conformance runner.
 """
 
-import hypothesis.strategies as st
 import pytest
+
+import hypothesis.strategies as st
 from hypothesis import HealthCheck, settings
-from hypothesis.stateful import (
-    RuleBasedStateMachine,
-    initialize,
-    invariant,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.models import ReferenceKvStore
 from repro.shardstore import (
@@ -180,3 +176,5 @@ TestCrashConsistency.settings = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
+
+pytestmark = pytest.mark.slow

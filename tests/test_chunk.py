@@ -5,7 +5,6 @@ import pytest
 
 from repro.shardstore.chunk import (
     CHUNK_MAGIC,
-    FRAME_OVERHEAD,
     KIND_DATA,
     KIND_RUN,
     Locator,

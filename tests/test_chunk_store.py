@@ -6,7 +6,6 @@ from repro.shardstore import (
     CorruptionError,
     DiskGeometry,
     ExtentError,
-    Fault,
     FaultSet,
     StoreConfig,
     StoreSystem,

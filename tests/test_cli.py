@@ -78,6 +78,7 @@ class TestMcCommand:
         assert status == 1
         assert "FAIL" in capsys.readouterr().out
 
+    @pytest.mark.slow
     def test_dfs_strategy(self, capsys):
         status = main(
             [

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.shardstore import DiskGeometry, InMemoryDisk, StoreConfig, StoreSystem
 from repro.shardstore.dependency import Dependency, DurabilityTracker

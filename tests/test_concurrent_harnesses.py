@@ -31,6 +31,7 @@ class TestCleanImplementationPasses:
         )
         assert result.passed, result.failure
 
+    @pytest.mark.slow
     def test_buffer_pool_clean_exhaustive(self):
         result = model(buffer_pool_harness(CLEAN), strategy="dfs")
         assert result.passed

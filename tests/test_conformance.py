@@ -1,6 +1,5 @@
 """Tests for the conformance engine itself (runner, relaxation, replay)."""
 
-import pytest
 
 from repro.core import (
     BiasConfig,

@@ -10,7 +10,7 @@ from repro.core import (
     measure,
 )
 from repro.core.coverage import CoverageReport
-from repro.shardstore import Fault, FaultSet, StoreConfig, StoreSystem
+from repro.shardstore import Fault, StoreConfig, StoreSystem
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 

@@ -1,6 +1,5 @@
 """Tests for the Fig. 5 fault registry itself."""
 
-import pytest
 
 from repro.shardstore import FAULT_CATALOG, Fault, FaultSet, detector_for
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.alphabet import Operation
 from repro.core.model_verify import (
-    VerifyResult,
     kv_universe,
     removed_iff_deleted,
     verify_chunkstore_model,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.serialization.codec import encode_record
 from repro.shardstore import (
     SUPERBLOCK_EXTENTS,
     DiskGeometry,

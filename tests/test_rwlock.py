@@ -1,6 +1,5 @@
 """Unit and model-checked tests for the readers-writer lock."""
 
-import pytest
 
 from repro.concurrency import model, spawn
 from repro.concurrency.primitives import RwLock

@@ -4,7 +4,6 @@ import pytest
 
 from repro.shardstore import (
     DiskGeometry,
-    FaultSet,
     InvalidRequestError,
     NotFoundError,
     RebootType,

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.shardstore import (
     SUPERBLOCK_EXTENTS,
