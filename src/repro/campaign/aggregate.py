@@ -11,7 +11,7 @@ bytes for any worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from .spec import (
     ALL_KINDS,
@@ -86,6 +86,10 @@ class CampaignResult:
     def to_json(self) -> Dict[str, Any]:
         return result_to_json(self)
 
+    def merged_metrics(self) -> Optional[Dict[str, Any]]:
+        """Campaign-wide metrics (None unless the campaign was traced)."""
+        return _merged_metrics(self.results)
+
 
 def aggregate(
     spec: CampaignSpec,
@@ -141,23 +145,38 @@ def _fault_matrix_rows(results: List[ShardResult]) -> List[Dict[str, Any]]:
     for result in sorted(matrix, key=lambda r: Fault[r.fault or ""].value):
         fault = Fault[result.fault or ""]
         meta = FAULT_CATALOG[fault]
-        rows.append(
-            {
-                "id": fault.value,
-                "fault": fault.name,
-                "component": meta["component"],
-                "property": meta["property"],
-                "detector": result.detector,
-                "detected": result.detected,
-                "skipped": result.skipped,
-                "seed": result.seed,
-                "cases": result.cases,
-                "evidence": (
-                    result.failures[0].detail if result.failures else ""
-                ),
-            }
-        )
+        row: Dict[str, Any] = {
+            "id": fault.value,
+            "fault": fault.name,
+            "component": meta["component"],
+            "property": meta["property"],
+            "detector": result.detector,
+            "detected": result.detected,
+            "skipped": result.skipped,
+            "seed": result.seed,
+            "cases": result.cases,
+            "evidence": (
+                result.failures[0].detail if result.failures else ""
+            ),
+        }
+        if result.fault_events is not None:
+            row["fault_events"] = result.fault_events
+        if result.trace is not None:
+            row["trace"] = result.trace
+        rows.append(row)
     return rows
+
+
+def _merged_metrics(results: List[ShardResult]) -> Optional[Dict[str, Any]]:
+    """Merge every traced shard's metrics snapshot (None when untraced)."""
+    from repro.shardstore.observability import merge_metrics
+
+    snapshots = [
+        result.metrics for result in results if result.metrics is not None
+    ]
+    if not snapshots:
+        return None
+    return merge_metrics(snapshots)
 
 
 def result_to_json(outcome: CampaignResult) -> Dict[str, Any]:
@@ -200,6 +219,7 @@ def result_to_json(outcome: CampaignResult) -> Dict[str, Any]:
         "missed_faults": list(outcome.missed_faults),
         "fault_matrix": _fault_matrix_rows(results),
         "coverage": _coverage_summary(results),
+        "traced": spec.trace,
         "skipped_shards": [r.shard_id for r in results if r.skipped],
         "passed": outcome.passed,
         "timing": {
@@ -213,4 +233,7 @@ def result_to_json(outcome: CampaignResult) -> Dict[str, Any]:
             },
         },
     }
+    metrics = _merged_metrics(results)
+    if metrics is not None:
+        artifact["metrics"] = metrics
     return artifact

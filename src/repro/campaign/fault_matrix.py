@@ -27,7 +27,7 @@ if TYPE_CHECKING:
 #: fault -> (alphabet name, pinned base seed, uuid magic bias).  Hunted by
 #: conformance/crash-consistency PBT over a single-store harness.
 PBT_PLAN: Dict[Fault, Tuple[str, int, float]] = {
-    Fault.RECLAIM_OFF_BY_ONE: ("store", 15, 0.0),
+    Fault.RECLAIM_OFF_BY_ONE: ("store", 42, 0.0),
     Fault.CACHE_NOT_DRAINED_ON_RESET: ("store", 0, 0.0),
     Fault.SHUTDOWN_SKIPS_METADATA_AFTER_RESET: ("store", 23, 0.0),
     Fault.RECLAIM_FORGETS_ON_READ_ERROR: ("failure", 394, 0.0),
@@ -80,6 +80,7 @@ def fault_matrix_shards(
                     uuid_bias=bias,
                     sequences=spec.fault_matrix_sequences,
                     ops=80,
+                    trace=spec.trace,
                 )
             )
         elif fault in SPECIAL_PLAN:
@@ -101,6 +102,7 @@ def fault_matrix_shards(
                     detector=detector,
                     sequences=spec.fault_matrix_sequences,
                     ops=60,
+                    trace=spec.trace,
                 )
             )
         else:
@@ -117,6 +119,7 @@ def fault_matrix_shards(
                     strategy=strategy,
                     iterations=iterations,
                     pct_steps_hint=steps_hint,
+                    trace=spec.trace,
                 )
             )
         shard_id += 1
@@ -136,7 +139,8 @@ def _run_mc_shard(spec: "ShardSpec") -> "ShardResult":
     """Stateless model checking of one injected concurrency fault."""
     from repro.concurrency import model
     from repro.core import concurrent_harnesses as harnesses
-    from repro.shardstore.faults import FaultSet
+    from repro.shardstore.faults import FaultSet, component_of
+    from repro.shardstore.observability import RingRecorder
 
     from .spec import ShardFailure, ShardResult
 
@@ -149,6 +153,19 @@ def _run_mc_shard(spec: "ShardSpec") -> "ShardResult":
         "linearizability": harnesses.linearizability_harness,
     }[spec.param("harness")]
     fault = Fault[spec.param("fault")]
+    # Model-checked harnesses replay thousands of schedules; rather than
+    # trace every execution, the shard recorder logs the exploration itself
+    # plus the armed fault, so traced artifacts stay deterministic and
+    # bounded while every matrix row still carries observability evidence.
+    recorder = RingRecorder() if spec.param("trace", False) else None
+    if recorder is not None:
+        recorder.event(
+            "mc.explore",
+            harness=spec.param("harness"),
+            strategy=spec.param("strategy", "pct"),
+            iterations=spec.param("iterations", 200),
+        )
+        recorder.fault_event(fault, component_of(fault), "armed for this shard")
     result = model(
         factory_fn(FaultSet.only(fault), spec.param("harness_seed", 0)),
         strategy=spec.param("strategy", "pct"),
@@ -160,18 +177,29 @@ def _run_mc_shard(spec: "ShardSpec") -> "ShardResult":
     if not result.passed:
         # Evidence stays deterministic: exception type plus schedule
         # length, never object reprs (which embed addresses).
+        detail = (
+            f"{type(result.failure).__name__} after "
+            f"{result.executions} executions "
+            f"({len(result.failing_schedule or [])}-decision schedule)"
+        )
+        if recorder is not None:
+            recorder.event(
+                "mc.violation",
+                failure=type(result.failure).__name__,
+                executions=result.executions,
+            )
+        snap = recorder.snapshot() if recorder is not None else None
         failures.append(
             ShardFailure(
                 kind=spec.kind,
                 seed=spec.seed,
-                detail=(
-                    f"{type(result.failure).__name__} after "
-                    f"{result.executions} executions "
-                    f"({len(result.failing_schedule or [])}-decision schedule)"
-                ),
+                detail=detail,
                 fault=fault.name,
+                trace=snap["trace"] if snap else None,
+                fault_events=snap["fault_events"] if snap else None,
             )
         )
+    shard_snap = recorder.snapshot() if recorder is not None else None
     return ShardResult(
         shard_id=spec.shard_id,
         kind=spec.kind,
@@ -182,4 +210,7 @@ def _run_mc_shard(spec: "ShardSpec") -> "ShardResult":
         expected_failure=True,
         detector=detector_for(fault),
         fault=fault.name,
+        metrics=shard_snap["metrics"] if shard_snap else None,
+        fault_events=shard_snap["fault_events"] if shard_snap else None,
+        trace=shard_snap["trace"] if shard_snap else None,
     )

@@ -82,6 +82,7 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
                     sequences=spec.sequences_per_shard,
                     ops=spec.ops_per_sequence,
                     coverage=coverage,
+                    trace=spec.trace,
                 )
             )
     for _ in range(spec.crash_shards):
@@ -94,6 +95,7 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
                 sequences=2,
                 prefix_ops=spec.crash_prefix_ops,
                 max_states=spec.crash_max_states,
+                trace=spec.trace,
             )
         )
     from repro.serialization.fuzz import standard_decoders

@@ -19,7 +19,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 #: Version stamp for the campaign JSON artifact (documented in
 #: EXPERIMENTS.md).  Bump when the schema changes shape.
-SCHEMA_VERSION = 1
+#: v2: adds the observability sections -- top-level ``metrics``, per-shard
+#: and per-failure ``trace``/``fault_events``.
+SCHEMA_VERSION = 2
 
 #: Shard kinds, dispatched by the runner to the owning checker module.
 KIND_CONFORMANCE = "conformance"
@@ -71,6 +73,10 @@ class ShardFailure:
     detail: str
     fault: Optional[str] = None  # injected fault name, if any
     minimized: Optional[List[str]] = None  # minimized op reproducer
+    #: Observability evidence from a focused replay of the failing input
+    #: (present when the campaign ran with tracing enabled).
+    trace: Optional[List[Dict[str, Any]]] = None
+    fault_events: Optional[List[Dict[str, Any]]] = None
 
     def to_json(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -82,6 +88,10 @@ class ShardFailure:
             out["fault"] = self.fault
         if self.minimized is not None:
             out["minimized"] = list(self.minimized)
+        if self.trace is not None:
+            out["trace"] = list(self.trace)
+        if self.fault_events is not None:
+            out["fault_events"] = list(self.fault_events)
         return out
 
 
@@ -107,6 +117,12 @@ class ShardResult:
     fault: Optional[str] = None  # fault-matrix: the injected fault name
     coverage_lines: Optional[List[Tuple[str, int]]] = None
     skipped: bool = False  # budget exhausted before this shard ran
+    #: Observability sections (present when the campaign traced this shard):
+    #: a metrics snapshot, the structured fault-event log, and the tail of
+    #: the shard's ring-buffer trace.
+    metrics: Optional[Dict[str, Any]] = None
+    fault_events: Optional[List[Dict[str, Any]]] = None
+    trace: Optional[List[Dict[str, Any]]] = None
 
     @property
     def detected(self) -> bool:
@@ -148,12 +164,17 @@ class CampaignSpec:
     # coverage is collected on the first store-alphabet shard only
     # (sys.settrace costs ~10x; one shard is enough for blind-spot stats)
     coverage: bool = True
+    # observability: thread a RingRecorder through every store/node built
+    # by conformance, crash, and fault-matrix shards; the artifact then
+    # carries metrics, fault-event logs, and failure traces
+    trace: bool = False
 
 
 def smoke_spec(
     workers: int = 2,
     base_seed: int = 0,
     budget_seconds: Optional[float] = None,
+    trace: bool = False,
 ) -> CampaignSpec:
     """The per-commit CI profile: every phase, small budgets (~tens of
     seconds on two workers), still detecting all 16 Fig. 5 bugs."""
@@ -162,6 +183,7 @@ def smoke_spec(
         workers=workers,
         base_seed=base_seed,
         budget_seconds=budget_seconds,
+        trace=trace,
         conformance_shards_per_alphabet=1,
         sequences_per_shard=6,
         ops_per_sequence=40,

@@ -11,7 +11,9 @@ is that knob — each subcommand is one checker with its budget exposed:
     python -m repro verify-models --depth 4
     python -m repro fig5
     python -m repro loc
-    python -m repro campaign --smoke --workers 2 --seed 7 --output out.json
+    python -m repro campaign --smoke --trace --output out.json
+    python -m repro stats --from-artifact out.json
+    python -m repro trace --from-artifact out.json
 
 Exit status is 0 when every check passed and 1 when any found an issue,
 so the commands drop straight into CI gates.
@@ -244,12 +246,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             workers=args.workers,
             base_seed=args.seed,
             budget_seconds=args.budget_seconds,
+            trace=args.trace,
         )
     else:
         spec = CampaignSpec(
             workers=args.workers,
             base_seed=args.seed,
             budget_seconds=args.budget_seconds,
+            trace=args.trace,
         )
     result = run_campaign(spec, log=print)
     artifact = result.to_json()
@@ -260,6 +264,127 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"artifact written to {args.output}")
     print(campaign_summary(artifact))
     return 0 if artifact["passed"] else 1
+
+
+def _load_artifact(path: str):
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load artifact {path}: {exc}")
+        return None
+
+
+def _demo_snapshot(seed: int):
+    """Run a small traced workload and return the recorder snapshot.
+
+    Backs ``repro stats`` / ``repro trace`` when no artifact is given: a
+    deterministic put/get/delete/flush/reboot exercise over a fresh store
+    with tracing on, so the commands are usable without a campaign run.
+    """
+    import random
+
+    from repro.core.alphabet import BiasConfig, store_alphabet
+    from repro.core.conformance import StoreHarness
+    from repro.shardstore import FaultSet, RingRecorder
+
+    recorder = RingRecorder()
+    harness = StoreHarness(FaultSet.none(), seed, recorder=recorder)
+    ops = store_alphabet().generate_sequence(
+        random.Random(seed), 40, BiasConfig()
+    )
+    failure = harness.run(ops)
+    if failure is not None:  # pragma: no cover - fault-free demo run
+        print(f"demo workload diverged: {failure}")
+    return recorder.snapshot()
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.shardstore.observability import (
+        render_fault_events,
+        render_metrics,
+    )
+
+    if args.from_artifact:
+        artifact = _load_artifact(args.from_artifact)
+        if artifact is None:
+            return 2
+        metrics = artifact.get("metrics")
+        if not metrics:
+            print(
+                f"no metrics section in {args.from_artifact} "
+                "(rerun the campaign with --trace)"
+            )
+            return 2
+        print(render_metrics(metrics))
+        events = []
+        for row in artifact.get("fault_matrix", []):
+            events.extend(row.get("fault_events") or [])
+        if events:
+            print()
+            print("fault events (fault matrix):")
+            print(render_fault_events(events))
+        return 0
+    snapshot = _demo_snapshot(args.seed)
+    print(render_metrics(snapshot["metrics"]))
+    print()
+    print("fault events:")
+    print(render_fault_events(snapshot["fault_events"]))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.shardstore.observability import (
+        render_fault_events,
+        render_trace,
+    )
+
+    if args.from_artifact:
+        artifact = _load_artifact(args.from_artifact)
+        if artifact is None:
+            return 2
+        if not artifact.get("traced"):
+            print(
+                f"{args.from_artifact} was not traced "
+                "(rerun the campaign with --trace)"
+            )
+            return 2
+        sections = 0
+        for failure in artifact.get("failures", []):
+            if failure.get("trace") is None:
+                continue
+            sections += 1
+            print(
+                f"== failure shard={failure.get('shard_id')} "
+                f"seed={failure.get('seed')}: {failure.get('detail')}"
+            )
+            print(render_trace(failure["trace"]))
+            if failure.get("fault_events"):
+                print("fault events:")
+                print(render_fault_events(failure["fault_events"]))
+            print()
+        for row in artifact.get("fault_matrix", []):
+            if args.fault and row.get("fault") != args.fault:
+                continue
+            if row.get("trace") is None:
+                continue
+            sections += 1
+            detected = "detected" if row.get("detected") else "MISSED"
+            print(f"== fault #{row['id']} {row['fault']} ({detected})")
+            print(render_trace(row["trace"]))
+            if row.get("fault_events"):
+                print("fault events:")
+                print(render_fault_events(row["fault_events"]))
+            print()
+        if not sections:
+            print("no trace sections matched")
+            return 2
+        return 0
+    snapshot = _demo_snapshot(args.seed)
+    print(render_trace(snapshot["trace"]))
+    return 0
 
 
 def _cmd_loc(args: argparse.Namespace) -> int:
@@ -326,7 +451,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="per-commit CI profile: small budgets, every phase",
     )
+    campaign.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-shard metrics, fault events, and op traces in "
+        "the artifact (schema v2 observability sections)",
+    )
     campaign.set_defaults(fn=_cmd_campaign)
+
+    stats = sub.add_parser(
+        "stats", help="render observability metrics and fault events"
+    )
+    stats.add_argument(
+        "--from-artifact",
+        help="read the merged metrics block from a traced campaign artifact",
+    )
+    stats.add_argument(
+        "--seed", type=int, default=0, help="seed for the live demo workload"
+    )
+    stats.set_defaults(fn=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="render recorded op traces (spans, events, faults)"
+    )
+    trace.add_argument(
+        "--from-artifact",
+        help="render failure and fault-matrix traces from a traced "
+        "campaign artifact",
+    )
+    trace.add_argument(
+        "--fault", help="only render the matrix row for this Fault name"
+    )
+    trace.add_argument(
+        "--seed", type=int, default=0, help="seed for the live demo workload"
+    )
+    trace.set_defaults(fn=_cmd_trace)
 
     fuzz = sub.add_parser("fuzz", help="deserializer panic-freedom checking")
     fuzz.add_argument("--iterations", type=int, default=10_000)

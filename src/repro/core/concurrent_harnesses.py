@@ -117,7 +117,7 @@ def buffer_pool_harness(faults: FaultSet, seed: int = 0) -> BodyFactory:
 
 
 def list_remove_harness(faults: FaultSet, seed: int = 0) -> BodyFactory:
-    """list_shards concurrent with a delete must stay a legal snapshot."""
+    """keys() concurrent with a delete must stay a legal snapshot."""
 
     def factory() -> Callable[[], None]:
         node = StorageNode(num_disks=2, config=_mc_config(faults, seed))
@@ -127,7 +127,7 @@ def list_remove_harness(faults: FaultSet, seed: int = 0) -> BodyFactory:
         listing_box: List[Optional[List[bytes]]] = [None]
 
         def lister() -> None:
-            listing_box[0] = node.list_shards()
+            listing_box[0] = node.keys()
 
         def remover() -> None:
             node.delete(b"beta")

@@ -49,11 +49,13 @@ from repro.shardstore.errors import (
     ExtentError,
     InvalidRequestError,
     IoError,
+    KeyNotFoundError,
     NotFoundError,
     RetryableError,
     ShardStoreError,
 )
 from repro.shardstore.faults import FaultSet
+from repro.shardstore.observability import NULL_RECORDER, Recorder
 from repro.shardstore.rpc import StorageNode
 from repro.shardstore.store import RebootType, StoreSystem
 
@@ -86,13 +88,19 @@ class Harness:
         return None
 
 
-def _small_test_config(faults: FaultSet, seed: int, uuid_magic_bias: float) -> StoreConfig:
+def _small_test_config(
+    faults: FaultSet,
+    seed: int,
+    uuid_magic_bias: float,
+    recorder: Recorder = NULL_RECORDER,
+) -> StoreConfig:
     """A store config sized so tests reach reclamation/rotation paths fast."""
     return StoreConfig(
         geometry=DiskGeometry(num_extents=12, extent_size=4096, page_size=128),
         faults=faults,
         seed=seed,
         uuid_magic_bias=uuid_magic_bias,
+        recorder=recorder,
     )
 
 
@@ -106,10 +114,12 @@ class StoreHarness(Harness):
         *,
         uuid_magic_bias: float = 0.0,
         config: Optional[StoreConfig] = None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.faults = faults or FaultSet.none()
         self.system = StoreSystem(
-            config or _small_test_config(self.faults, seed, uuid_magic_bias)
+            config
+            or _small_test_config(self.faults, seed, uuid_magic_bias, recorder)
         )
         self.model = ReferenceKvStore()
         self.crash_model = CrashAwareModel(self.faults)
@@ -225,11 +235,32 @@ class StoreHarness(Harness):
     def _op_delete(self, key: bytes) -> Optional[str]:
         try:
             dep = self.store.delete(key)
+        except KeyNotFoundError:
+            # The KVNode contract: deleting an absent key raises.  That is
+            # conformant iff the model also lacks the key (or its state is
+            # legitimately uncertain and may be absent); no tombstone was
+            # written, so the crash model records nothing.
+            if key in self._uncertain:
+                if None not in self._uncertain[key]:
+                    return (
+                        "delete raised KeyNotFoundError for a key that "
+                        "cannot be absent"
+                    )
+                self._uncertain.pop(key, None)
+                if self.model.contains(key):
+                    self.model.delete(key)
+                return None
+            if self.model.contains(key):
+                return "delete raised KeyNotFoundError but the model has the key"
+            return None
         except (IoError, ExtentError):
             self.has_failed = True
             self._note_uncertain(key, None)
             return None
-        self.model.delete(key)
+        if self.model.contains(key):
+            self.model.delete(key)
+        elif key not in self._uncertain:
+            return "delete succeeded but the model lacks the key"
         self.crash_model.record_delete(key, dep)
         if key in self._uncertain:
             del self._uncertain[key]
@@ -456,11 +487,12 @@ class NodeHarness(Harness):
         num_disks: int = 3,
         *,
         wire: bool = False,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.faults = faults or FaultSet.none()
         self.node = StorageNode(
             num_disks=num_disks,
-            config=_small_test_config(self.faults, seed, 0.0),
+            config=_small_test_config(self.faults, seed, 0.0, recorder),
         )
         self.model = ReferenceKvStore()
         self.wire = wire
@@ -546,10 +578,16 @@ class NodeHarness(Harness):
                 self.node.delete(key)
             except RetryableError:
                 return None  # target out of service; model keeps the key
+            except KeyNotFoundError:
+                if self.model.contains(key):
+                    return "delete raised KeyNotFoundError but the model has the key"
+                return None
+            if not self.model.contains(key):
+                return "delete succeeded but the model lacks the key"
             self.model.delete(key)
             return None
         if name == "ListShards":
-            listed = set(self.node.list_shards())
+            listed = set(self.node.keys())
             expected = set(self.model.keys())
             if listed != expected:
                 return (
@@ -567,7 +605,8 @@ class NodeHarness(Harness):
             (keys,) = args
             self.node.bulk_delete(list(keys))
             for key in keys:
-                self.model.delete(key)
+                if self.model.contains(key):
+                    self.model.delete(key)
             return None
         if name == "MigrateShard":
             key, target = args
@@ -632,8 +671,14 @@ class NodeHarness(Harness):
             response = self._wire(Request(op="delete", key=key))
             if response.status == "retry":
                 return None  # out-of-service target; model keeps the key
+            if response.status == "not_found":
+                if self.model.contains(key):
+                    return f"wire delete lost the key: {response}"
+                return None
             if not response.ok:
                 return f"wire delete failed: {response}"
+            if not self.model.contains(key):
+                return "wire delete succeeded but the model lacks the key"
             self.model.delete(key)
             return None
         if name == "ListShards":
@@ -787,7 +832,8 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
     (``repro conformance --seed <failing_seed> --sequences 1``).
     """
     from repro.campaign.spec import ShardFailure, ShardResult
-    from repro.shardstore.faults import Fault, FaultSet
+    from repro.shardstore.faults import Fault, FaultSet, component_of
+    from repro.shardstore.observability import RingRecorder
 
     from .alphabet import crash_alphabet, failure_alphabet, node_alphabet, store_alphabet
     from .coverage import LineCoverage
@@ -806,18 +852,36 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
         "node": node_alphabet,
     }[spec.param("alphabet", "store")]()
     ctx_kwargs = None
+    num_disks = spec.param("num_disks", 3)
     if harness_kind == "node":
-        num_disks = spec.param("num_disks", 3)
-        factory: Callable[[int], Harness] = lambda s: NodeHarness(  # noqa: E731
-            faults, s, num_disks=num_disks
-        )
         ctx_kwargs = {"num_disks": num_disks}
-    elif harness_kind == "model":
-        factory = lambda s: ChunkStoreModelHarness(faults, s)  # noqa: E731
-    else:
-        factory = lambda s: StoreHarness(  # noqa: E731
-            faults, s, uuid_magic_bias=uuid_bias
+
+    def make_factory(recorder: Recorder) -> Callable[[int], Harness]:
+        if harness_kind == "node":
+            return lambda s: NodeHarness(
+                faults, s, num_disks=num_disks, recorder=recorder
+            )
+        if harness_kind == "model":
+            return lambda s: ChunkStoreModelHarness(faults, s)
+        return lambda s: StoreHarness(
+            faults, s, uuid_magic_bias=uuid_bias, recorder=recorder
         )
+
+    def seed_recorder(recorder: RingRecorder) -> RingRecorder:
+        """Stamp shard identity (and the armed fault) into a fresh trace."""
+        recorder.event(
+            "shard", kind=spec.kind, harness=harness_kind, seed=spec.seed
+        )
+        if fault_name:
+            fault = Fault[fault_name]
+            recorder.fault_event(
+                fault, component_of(fault), "armed for this shard"
+            )
+        return recorder
+
+    trace_enabled = bool(spec.param("trace", False))
+    shard_recorder = seed_recorder(RingRecorder()) if trace_enabled else None
+    factory = make_factory(shard_recorder if trace_enabled else NULL_RECORDER)
     bias = (
         BiasConfig.unbiased() if spec.param("unbiased", False) else BiasConfig()
     )
@@ -841,10 +905,22 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
     failures = []
     if report.failure is not None:
         minimized: Optional[List[str]] = None
+        reduced = report.failing_sequence
         if spec.param("minimize", True) and report.failing_sequence:
             fails = replay_fails(factory, report.failing_seed)
             reduced, _ = minimize(report.failing_sequence, fails)
             minimized = [str(op) for op in reduced]
+        failure_trace: Optional[List] = None
+        failure_events: Optional[List] = None
+        if trace_enabled and reduced:
+            # Focused evidence: replay the (minimized) failing sequence on a
+            # fresh recorder, so the failure record's trace covers exactly
+            # the reproducer rather than the whole shard.
+            focus = seed_recorder(RingRecorder())
+            make_factory(focus)(report.failing_seed).run(list(reduced))
+            focus_snap = focus.snapshot()
+            failure_trace = focus_snap["trace"]
+            failure_events = focus_snap["fault_events"]
         failures.append(
             ShardFailure(
                 kind=spec.kind,
@@ -852,6 +928,8 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
                 detail=str(report.failure),
                 fault=fault_name,
                 minimized=minimized,
+                trace=failure_trace,
+                fault_events=failure_events,
             )
         )
     coverage_lines: Optional[List[Tuple[str, int]]] = None
@@ -860,6 +938,7 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
             (os.path.basename(filename), lineno)
             for filename, lineno in collector.report.lines
         )
+    shard_snap = shard_recorder.snapshot() if shard_recorder else None
     return ShardResult(
         shard_id=spec.shard_id,
         kind=spec.kind,
@@ -871,6 +950,9 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
         detector=spec.param("detector") or _default_detector(fault_name),
         fault=fault_name,
         coverage_lines=coverage_lines,
+        metrics=shard_snap["metrics"] if shard_snap else None,
+        fault_events=shard_snap["fault_events"] if shard_snap else None,
+        trace=shard_snap["trace"] if shard_snap else None,
     )
 
 

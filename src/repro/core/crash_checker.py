@@ -157,7 +157,8 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
     checks the section 5 persistence property in every state.
     """
     from repro.campaign.spec import ShardFailure, ShardResult
-    from repro.shardstore.faults import Fault, FaultSet
+    from repro.shardstore.faults import Fault, FaultSet, component_of
+    from repro.shardstore.observability import NULL_RECORDER, RingRecorder
 
     from .alphabet import BiasConfig, store_alphabet
 
@@ -171,6 +172,14 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
     max_states = spec.param("max_states", 128)
     alphabet = store_alphabet()
     bias = BiasConfig()
+    recorder = RingRecorder() if spec.param("trace", False) else None
+    if recorder is not None:
+        recorder.event("shard", kind=spec.kind, mode=mode, seed=spec.seed)
+        if fault_name:
+            fault = Fault[fault_name]
+            recorder.fault_event(
+                fault, component_of(fault), "armed for this shard"
+            )
 
     result = ShardResult(
         shard_id=spec.shard_id,
@@ -180,11 +189,25 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
         detector="crash-consistency PBT" if fault_name else "",
         fault=fault_name,
     )
+
+    def finish() -> ShardResult:
+        if recorder is not None:
+            snap = recorder.snapshot()
+            result.metrics = snap["metrics"]
+            result.fault_events = snap["fault_events"]
+            result.trace = snap["trace"]
+            for failure in result.failures:
+                failure.trace = snap["trace"]
+                failure.fault_events = snap["fault_events"]
+        return result
+
     for index in range(sequences):
         seed = spec.seed + index
         rng = random.Random(seed)
         ops = alphabet.generate_sequence(rng, prefix_ops, bias)
-        harness = StoreHarness(faults, seed)
+        harness = StoreHarness(
+            faults, seed, recorder=recorder if recorder else NULL_RECORDER
+        )
         prefix_failure = harness.run(ops)
         result.ops += len(ops)
         if prefix_failure is not None:
@@ -196,7 +219,11 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
                     fault=fault_name,
                 )
             )
-            return result
+            return finish()
+        if recorder is not None:
+            recorder.event(
+                "crash.explore", sequence=index, pending=harness.store.pending_io_count
+            )
         if mode == "coarse":
             exploration = coarse_crash_states(
                 harness, samples=max_states, seed=seed
@@ -205,6 +232,12 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
             exploration = explore_block_level(harness, max_states=max_states)
         result.cases += exploration.states_explored
         if exploration.violation is not None:
+            if recorder is not None:
+                recorder.event(
+                    "crash.violation",
+                    sequence=index,
+                    states=exploration.states_explored,
+                )
             result.failures.append(
                 ShardFailure(
                     kind=spec.kind,
@@ -213,8 +246,8 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
                     fault=fault_name,
                 )
             )
-            return result
-    return result
+            return finish()
+    return finish()
 
 
 def coarse_crash_states(

@@ -166,6 +166,22 @@ def background_ops_are_noops(model, history: Sequence[Operation]) -> Optional[st
     return None
 
 
+def _apply_kv(model: object, op: Operation) -> None:
+    """KV-model dispatch honouring the KVNode delete contract.
+
+    Delete of an absent key raises :class:`KeyNotFoundError` by contract
+    and leaves the mapping unchanged, so within the closed universe it is
+    a legal (no-op) step, not a verification failure.
+    """
+    from repro.errors import KeyNotFoundError
+
+    try:
+        _apply_by_name(model, op)
+    except KeyNotFoundError:
+        if op.name != "Delete":
+            raise
+
+
 def verify_kv_model(depth: int = 4) -> VerifyResult:
     """Bounded-exhaustively verify the shipped KV reference model."""
     from repro.models import ReferenceKvStore
@@ -178,6 +194,7 @@ def verify_kv_model(depth: int = 4) -> VerifyResult:
             ("background-noops", background_ops_are_noops),
         ],
         depth=depth,
+        apply_fn=_apply_kv,
     )
 
 

@@ -125,6 +125,16 @@ def campaign_summary(artifact: Dict) -> str:
             f"coverage: {coverage['lines']} implementation lines across "
             f"{len(coverage.get('by_file', {}))} files"
         )
+    metrics = artifact.get("metrics")
+    if metrics:
+        counters = metrics.get("counters", {})
+        fault_event_count = int(counters.get("faults.events", 0))
+        lines.append(
+            f"metrics: {len(counters)} counters, "
+            f"{len(metrics.get('histograms', {}))} histograms, "
+            f"{fault_event_count} fault events "
+            "(inspect with `repro stats --from-artifact`)"
+        )
     for failure in artifact.get("failures", []):
         lines.append(
             f"FAILURE shard={failure.get('shard_id')} "

@@ -31,6 +31,14 @@ class NotFoundError(ShardStoreError):
     """The requested key or locator does not exist."""
 
 
+class KeyNotFoundError(NotFoundError):
+    """A mutation (e.g. ``delete``) targeted a key that does not exist.
+
+    Both `KVNode` surfaces raise this uniformly so callers never have to
+    branch on a store-vs-node ``Optional`` return.
+    """
+
+
 class ExtentError(ShardStoreError):
     """Invalid extent operation (bounds, overfull append, bad reset)."""
 

@@ -20,12 +20,16 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List
 
-from repro.shardstore.errors import InvalidRequestError, NotFoundError
-from repro.shardstore.store import MAX_KEY_LEN
+from repro.shardstore.errors import KeyNotFoundError, NotFoundError, validate_key
 
 
 class ReferenceKvStore:
-    """The executable specification of the ShardStore key-value API."""
+    """The executable specification of the ShardStore key-value API.
+
+    Structurally conforms to :class:`repro.shardstore.protocol.KVNode`, so
+    it can stand in wherever a real store or node is expected -- including
+    the uniform ``delete``-of-absent-key :class:`KeyNotFoundError` contract.
+    """
 
     def __init__(self) -> None:
         self._mapping: Dict[bytes, bytes] = {}
@@ -33,34 +37,35 @@ class ReferenceKvStore:
     # -- API operations (mirror ShardStore's signatures) ----------------
 
     def put(self, key: bytes, value: bytes) -> None:
-        self._check_key(key)
+        validate_key(key)
         self._mapping[key] = value
 
     def get(self, key: bytes) -> bytes:
-        self._check_key(key)
+        validate_key(key)
         if key not in self._mapping:
             raise NotFoundError(f"no shard for key {key!r}")
         return self._mapping[key]
 
     def delete(self, key: bytes) -> None:
-        self._check_key(key)
-        self._mapping.pop(key, None)
+        validate_key(key)
+        if key not in self._mapping:
+            raise KeyNotFoundError(f"no shard for key {key!r}")
+        del self._mapping[key]
 
     def contains(self, key: bytes) -> bool:
-        self._check_key(key)
+        validate_key(key)
         return key in self._mapping
 
     def keys(self) -> List[bytes]:
         return sorted(self._mapping)
 
-    @staticmethod
-    def _check_key(key: bytes) -> None:
-        if not isinstance(key, bytes) or not key:
-            raise InvalidRequestError("key must be non-empty bytes")
-        if len(key) > MAX_KEY_LEN:
-            raise InvalidRequestError("key too long")
-
     # -- background operations: no-ops in the specification -------------
+
+    def flush(self) -> None:
+        """No-op: the specification is immediately durable."""
+
+    def drain(self) -> None:
+        """No-op: the specification has no pending IO."""
 
     def flush_index(self) -> None:
         """No-op: flushing must not change the key-value mapping."""

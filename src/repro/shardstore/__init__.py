@@ -23,19 +23,31 @@ from .config import (
 from .dependency import Dependency, DurabilityTracker, FutureCell
 from .disk import DiskGeometry, FailureMode, InMemoryDisk
 from .errors import (
+    MAX_KEY_LEN,
     CorruptionError,
     ExtentError,
     InvalidRequestError,
     IoError,
+    KeyNotFoundError,
     NotFoundError,
     RetryableError,
     ShardStoreError,
+    validate_key,
 )
-from .faults import FAULT_CATALOG, Fault, FaultSet, detector_for
+from .faults import FAULT_CATALOG, Fault, FaultSet, component_of, detector_for
 from .lsm import LsmIndex, Run
+from .observability import (
+    NULL_RECORDER,
+    Metrics,
+    NullRecorder,
+    Recorder,
+    RingRecorder,
+    merge_metrics,
+    render_snapshot,
+)
 from .reclamation import Reclaimer, ReclaimResult
-from .protocol import Request, Response, decode_request, decode_response, dispatch, encode_request, encode_response
-from .rpc import StorageNode
+from .protocol import KVNode, Request, Response, decode_request, decode_response, dispatch, encode_request, encode_response
+from .rpc import NodeDependency, StorageNode
 from .scrub import ScrubReport, Scrubber
 from .scheduler import IoScheduler
 from .store import RebootType, ShardStore, StoreSystem
@@ -62,11 +74,20 @@ __all__ = [
     "IoScheduler",
     "KIND_DATA",
     "KIND_RUN",
+    "KVNode",
+    "KeyNotFoundError",
     "Locator",
     "LsmIndex",
+    "MAX_KEY_LEN",
     "METADATA_EXTENTS",
+    "Metrics",
+    "NULL_RECORDER",
+    "NodeDependency",
     "NotFoundError",
+    "NullRecorder",
     "RebootType",
+    "Recorder",
+    "RingRecorder",
     "Request",
     "Response",
     "ReclaimResult",
@@ -83,6 +104,7 @@ __all__ = [
     "StoreSystem",
     "Superblock",
     "SuperblockState",
+    "component_of",
     "decode_chunk",
     "decode_request",
     "decode_response",
@@ -92,5 +114,8 @@ __all__ = [
     "encode_request",
     "encode_response",
     "frame_size",
+    "merge_metrics",
+    "render_snapshot",
     "scan_chunks",
+    "validate_key",
 ]

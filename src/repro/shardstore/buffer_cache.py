@@ -38,6 +38,7 @@ class BufferCache:
         self.superblock = superblock
         self.config = config
         self.faults = config.faults
+        self.recorder = config.recorder
         self._page_size = config.geometry.page_size
         # (extent, page index) -> (page bytes so far, valid length)
         self._pages: "OrderedDict[Tuple[int, int], Tuple[bytes, int]]" = OrderedDict()
@@ -76,8 +77,12 @@ class BufferCache:
         if cached is not None and cached[1] >= need:
             self._pages.move_to_end(key)
             self.hits += 1
+            if self.recorder.enabled:
+                self.recorder.count("cache.hits")
             return cached[0]
         self.misses += 1
+        if self.recorder.enabled:
+            self.recorder.count("cache.misses")
         page_start = page_idx * self._page_size
         soft = self.scheduler.soft_pointer(extent)
         valid = min(self._page_size, soft - page_start)
@@ -107,6 +112,12 @@ class BufferCache:
         pointer_dep = self.superblock.note_append(extent)
         self.superblock.maybe_flush()
         if self.faults.enabled(Fault.CACHE_WRITE_MISSING_SOFT_PTR_DEP):
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.CACHE_WRITE_MISSING_SOFT_PTR_DEP,
+                    "Buffer cache",
+                    f"append@{extent} returned without the soft-pointer promise",
+                )
             return offset, data_dep
         return offset, data_dep.and_(pointer_dep)
 
@@ -159,10 +170,18 @@ class BufferCache:
         the extent can serve to readers.
         """
         if self.faults.enabled(Fault.CACHE_NOT_DRAINED_ON_RESET):
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.CACHE_NOT_DRAINED_ON_RESET,
+                    "Buffer cache",
+                    f"reset of extent {extent} left cached pages in place",
+                )
             return
         stale = [key for key in self._pages if key[0] == extent]
         for key in stale:
             del self._pages[key]
+        if self.recorder.enabled:
+            self.recorder.count("cache.invalidated_pages", len(stale))
 
     def invalidate_all(self) -> None:
         self._pages.clear()

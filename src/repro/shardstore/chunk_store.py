@@ -29,6 +29,7 @@ from .buffer_cache import BufferCache
 from .chunk import (
     CHUNK_MAGIC,
     KIND_DATA,
+    KIND_RUN,
     DecodedChunk,
     Locator,
     decode_chunk,
@@ -55,6 +56,7 @@ class ChunkStore:
         self.superblock = superblock
         self.config = config
         self.faults = config.faults
+        self.recorder = config.recorder
         self.rng = rng
         self._open_extent: Optional[int] = None
         self._pinned: Set[int] = set()
@@ -222,12 +224,23 @@ class ChunkStore:
     def _append_frame(
         self, kind: int, frame: bytes, dep: Dependency, *, pin: bool, priority: bool
     ) -> Tuple[Locator, Dependency]:
+        if self.recorder.enabled:
+            self.recorder.count("chunks.put")
+            if kind == KIND_RUN:
+                self.recorder.count("chunks.run_writes")
         if self.faults.enabled(Fault.LOCATOR_RACE_WRITE_FLUSH):
             # Fault #11: sample the offset for the locator before appending.
             # A concurrent writer can append in between, leaving the locator
             # pointing at the other writer's bytes.
             extent = self._extent_for(len(frame), priority=priority)
             predicted = self.cache.scheduler.soft_pointer(extent)
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.LOCATOR_RACE_WRITE_FLUSH,
+                    "Chunk store",
+                    f"locator offset {predicted} sampled before the append "
+                    f"to extent {extent}",
+                )
             yield_point("locator sampled before append")
             offset, write_dep = self.cache.append(
                 extent, frame, dep, label=f"chunk@{extent}"
@@ -297,6 +310,10 @@ class ChunkStore:
             raise CorruptionError(f"frame length mismatch at {locator}")
         if expected_key is not None and chunk.key != expected_key:
             raise CorruptionError(f"key mismatch at {locator}")
+        if self.recorder.enabled:
+            self.recorder.count("chunks.get")
+            if chunk.kind == KIND_RUN:
+                self.recorder.count("lsm.run_reads")
         return chunk
 
     # ------------------------------------------------------------------

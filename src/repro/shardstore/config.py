@@ -7,6 +7,7 @@ from typing import Tuple
 
 from .disk import DiskGeometry
 from .faults import FaultSet
+from .observability import NULL_RECORDER, Recorder
 
 #: Extents 0 and 1 alternate as the superblock log (section 2.1's extent 0).
 SUPERBLOCK_EXTENTS: Tuple[int, int] = (0, 1)
@@ -45,6 +46,10 @@ class StoreConfig:
     #: chunk magic -- an argument *bias* (section 4.2) that makes the paper's
     #: bug #10 scenario reachable in reasonable test budgets.  Zero disables.
     uuid_magic_bias: float = 0.0
+    #: Trace/metrics sink threaded through every component.  The default
+    #: :class:`NullRecorder` keeps hot paths allocation-free; pass a
+    #: :class:`~repro.shardstore.observability.RingRecorder` to capture.
+    recorder: Recorder = field(default=NULL_RECORDER)
 
     def __post_init__(self) -> None:
         if self.geometry.num_extents < FIRST_DATA_EXTENT + 2:

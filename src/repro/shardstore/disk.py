@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .errors import ExtentError, IoError
+from .observability import NULL_RECORDER, Recorder
 
 
 class FailureMode(enum.Enum):
@@ -98,7 +99,11 @@ class DiskStats:
 class InMemoryDisk:
     """The durable medium: append-only extents with page-granular writes."""
 
-    def __init__(self, geometry: Optional[DiskGeometry] = None) -> None:
+    def __init__(
+        self,
+        geometry: Optional[DiskGeometry] = None,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
         self.geometry = geometry or DiskGeometry()
         self._extents: List[ExtentState] = [
             ExtentState(data=bytearray(self.geometry.extent_size))
@@ -106,6 +111,7 @@ class InMemoryDisk:
         ]
         self._faults: Dict[int, _ArmedFault] = {}
         self.stats = DiskStats()
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
     # basic geometry helpers
@@ -170,6 +176,9 @@ class InMemoryDisk:
             del self._faults[extent]
         self.stats.injected_failures += 1
         kind = "read" if is_read else "write"
+        if self.recorder.enabled:
+            self.recorder.count("disk.injected_failures")
+            self.recorder.event("disk.injected_failure", extent=extent, kind=kind)
         raise IoError(
             f"injected {kind} failure on extent {extent}",
             transient=fault.mode is FailureMode.ONCE,
@@ -197,6 +206,10 @@ class InMemoryDisk:
         state.write_pointer = offset + len(data)
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+        if self.recorder.enabled:
+            self.recorder.count("disk.writes")
+            self.recorder.count("disk.bytes_written", len(data))
+            self.recorder.observe("disk.write_bytes", len(data))
 
     def read(self, extent: int, offset: int, length: int) -> bytes:
         """Read ``length`` durable bytes; reads beyond the pointer are forbidden."""
@@ -211,6 +224,9 @@ class InMemoryDisk:
         self._maybe_fail(extent, is_read=True)
         self.stats.reads += 1
         self.stats.bytes_read += length
+        if self.recorder.enabled:
+            self.recorder.count("disk.reads")
+            self.recorder.count("disk.bytes_read", length)
         return bytes(state.data[offset : offset + length])
 
     def reset(self, extent: int) -> None:
@@ -224,6 +240,9 @@ class InMemoryDisk:
         state.write_pointer = 0
         state.reset_count += 1
         self.stats.resets += 1
+        if self.recorder.enabled:
+            self.recorder.count("disk.resets")
+            self.recorder.event("disk.reset", extent=extent)
 
     def set_write_pointer(self, extent: int, pointer: int) -> None:
         """Recovery-only escape hatch: adopt a recovered soft write pointer.

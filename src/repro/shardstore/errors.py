@@ -1,8 +1,17 @@
-"""Typed error hierarchy (re-exported from :mod:`repro.errors`).
+"""Typed error hierarchy (re-exported from :mod:`repro.errors`) plus the
+shared request validators.
 
-The canonical definitions live in :mod:`repro.errors` so that low-level
-modules (e.g. the serialization codec) can use them without importing the
-:mod:`repro.shardstore` package, which would create an import cycle.
+The canonical exception definitions live in :mod:`repro.errors` so that
+low-level modules (e.g. the serialization codec) can use them without
+importing the :mod:`repro.shardstore` package, which would create an
+import cycle.  Every shardstore exception subclasses one
+:class:`ShardStoreError` base, so harnesses can catch a single type.
+
+:func:`validate_key` is the one key validator both public surfaces
+(:class:`~repro.shardstore.store.ShardStore` and
+:class:`~repro.shardstore.rpc.StorageNode`) share -- previously each
+carried its own ``_check_key`` copy, which is exactly the kind of drift
+the `KVNode` protocol exists to prevent.
 """
 
 from repro.errors import (
@@ -10,17 +19,38 @@ from repro.errors import (
     ExtentError,
     InvalidRequestError,
     IoError,
+    KeyNotFoundError,
     NotFoundError,
     RetryableError,
     ShardStoreError,
 )
+
+#: Longest accepted key, in bytes (S3 object-key limit).
+MAX_KEY_LEN = 1024
+
+
+def validate_key(key: object) -> None:
+    """Reject malformed keys with :class:`InvalidRequestError`.
+
+    Keys must be non-empty ``bytes`` of at most :data:`MAX_KEY_LEN` bytes.
+    """
+    if not isinstance(key, bytes):
+        raise InvalidRequestError(f"key must be bytes, got {type(key).__name__}")
+    if not key:
+        raise InvalidRequestError("key must be non-empty")
+    if len(key) > MAX_KEY_LEN:
+        raise InvalidRequestError(f"key exceeds {MAX_KEY_LEN} bytes")
+
 
 __all__ = [
     "CorruptionError",
     "ExtentError",
     "InvalidRequestError",
     "IoError",
+    "KeyNotFoundError",
     "NotFoundError",
     "RetryableError",
     "ShardStoreError",
+    "MAX_KEY_LEN",
+    "validate_key",
 ]

@@ -219,6 +219,11 @@ class FaultSet:
         return f"FaultSet({names})"
 
 
+def component_of(fault: Fault) -> str:
+    """The paper's Fig. 5 component for ``fault`` (fault-event log labels)."""
+    return FAULT_CATALOG[fault]["component"]
+
+
 def detector_for(fault: Fault) -> str:
     """Which checker in this repo demonstrates the fault (Fig. 5 bench)."""
     prop = FAULT_CATALOG[fault]["property"]

@@ -80,6 +80,7 @@ class LsmIndex:
         self.tracker: DurabilityTracker = scheduler.tracker
         self.config = config
         self.faults = config.faults
+        self.recorder = config.recorder
         self._memtable: Dict[bytes, _MemEntry] = {}
         self._runs: List[Run] = list(runs or [])  # oldest first
         self._next_run_id = next_run_id
@@ -193,6 +194,9 @@ class LsmIndex:
         )
         run = Run(run_id=run_id, locator=locator, entries=entries, dep=run_dep)
         self._runs.append(run)
+        if self.recorder.enabled:
+            self.recorder.count("lsm.flushes")
+            self.recorder.observe("lsm.flush_entries", len(entries))
         if write_meta:
             meta_dep = self._write_meta_locked(run_dep)
             resolve_dep = run_dep.and_(meta_dep)
@@ -217,6 +221,13 @@ class LsmIndex:
                 self.faults.enabled(Fault.SHUTDOWN_SKIPS_METADATA_AFTER_RESET)
                 and self._meta_switched
             )
+            if skip_meta and self.recorder.enabled and self._memtable:
+                self.recorder.fault_event(
+                    Fault.SHUTDOWN_SKIPS_METADATA_AFTER_RESET,
+                    "Index",
+                    "shutdown flush skipped the metadata record after a "
+                    "metadata-extent switch",
+                )
             return self._flush_locked(write_meta=not skip_meta)
 
     # ------------------------------------------------------------------
@@ -244,6 +255,15 @@ class LsmIndex:
         payload = _encode_run(merged)
         yield_point("compaction: writing merged run")
         pin = not self.faults.enabled(Fault.COMPACTION_RECLAIM_RACE)
+        if self.recorder.enabled:
+            self.recorder.count("lsm.compactions")
+            if not pin:
+                self.recorder.fault_event(
+                    Fault.COMPACTION_RECLAIM_RACE,
+                    "Index",
+                    "compaction writing the merged run without pinning its "
+                    "extent",
+                )
         locator, run_dep = self.chunk_store.put_chunk(
             KIND_RUN, _run_key(run_id), payload, pin=pin, priority=True
         )

@@ -1,0 +1,203 @@
+"""Zero-dependency metric primitives: counters, gauges, histograms.
+
+Every value here is a plain int so that snapshots are JSON-able and --
+critically for the campaign runner -- deterministic: metrics from a traced
+campaign shard must be byte-identical across reruns and worker counts, so
+nothing in this module may consult wall-clock time or object identity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+#: Histogram bucket upper bounds (inclusive), powers of two.  The final
+#: bucket is open-ended and keyed ``"inf"`` in snapshots.
+HISTOGRAM_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time level; the snapshot keeps the last and peak values."""
+
+    __slots__ = ("last", "max")
+
+    def __init__(self) -> None:
+        self.last = 0
+        self.max = 0
+
+    def set(self, value: int) -> None:
+        self.last = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"last": self.last, "max": self.max}
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of integer observations."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+        self.buckets = [0] * (len(HISTOGRAM_BOUNDS) + 1)
+
+    def observe(self, value: int) -> None:
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(HISTOGRAM_BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        buckets = {}
+        for index, bound in enumerate(HISTOGRAM_BOUNDS):
+            if self.buckets[index]:
+                buckets[str(bound)] = self.buckets[index]
+        if self.buckets[-1]:
+            buckets["inf"] = self.buckets[-1]
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class Metrics:
+    """A named registry of counters/gauges/histograms."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        counter.add(amount)
+
+    def gauge(self, name: str, value: int) -> None:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        gauge.set(value)
+
+    def observe(self, name: str, value: int) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able snapshot with deterministically sorted names."""
+        return {
+            "counters": {
+                name: self.counters[name].snapshot()
+                for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name].snapshot()
+                for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: self.histograms[name].snapshot()
+                for name in sorted(self.histograms)
+            },
+        }
+
+
+def merge_metrics(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-shard metric snapshots into one campaign-level block.
+
+    Counters sum; gauges keep the peak observed anywhere (``last`` is
+    meaningless across shards and is dropped); histograms merge bucket-wise.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, int] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            peak = value["max"] if isinstance(value, dict) else value
+            gauges[name] = max(gauges.get(name, 0), peak)
+        for name, value in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "count": value["count"],
+                    "total": value["total"],
+                    "min": value["min"],
+                    "max": value["max"],
+                    "buckets": dict(value["buckets"]),
+                }
+                continue
+            merged["min"] = min(merged["min"], value["min"])
+            merged["max"] = max(merged["max"], value["max"])
+            merged["count"] += value["count"]
+            merged["total"] += value["total"]
+            for bound, count in value["buckets"].items():
+                merged["buckets"][bound] = (
+                    merged["buckets"].get(bound, 0) + count
+                )
+    for merged in histograms.values():
+        merged["buckets"] = {
+            bound: merged["buckets"][bound]
+            for bound in sorted(
+                merged["buckets"], key=lambda b: (b == "inf", len(b), b)
+            )
+        }
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: {"max": gauges[name]} for name in sorted(gauges)},
+        "histograms": {
+            name: histograms[name] for name in sorted(histograms)
+        },
+    }
+
+
+def counter_value(snapshot: Dict[str, Any], name: str) -> int:
+    """Convenience lookup into a :meth:`Metrics.snapshot` dict."""
+    return snapshot.get("counters", {}).get(name, 0)
+
+
+__all__: List[str] = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "merge_metrics",
+    "counter_value",
+    "HISTOGRAM_BOUNDS",
+]

@@ -1,0 +1,112 @@
+"""Human-readable rendering of traces and metrics (CLI output).
+
+These renderers back ``repro stats`` and ``repro trace`` and the metrics
+digest in ``repro campaign`` summaries.  They accept the JSON-able dicts
+produced by :meth:`RingRecorder.snapshot` / ``merge_metrics`` so they work
+identically on live recorders and on campaign artifacts loaded from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+
+def render_metrics(metrics: Dict[str, Any]) -> str:
+    """Render one metrics snapshot (or merged campaign block) as a table."""
+    lines: List[str] = []
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+    if counters:
+        lines.append(f"{'counter':<36} {'value':>12}")
+        lines.append("-" * 49)
+        for name in sorted(counters):
+            lines.append(f"{name:<36} {counters[name]:>12,}")
+        hits = counters.get("cache.hits", 0)
+        misses = counters.get("cache.misses", 0)
+        if hits or misses:
+            rate = hits / max(hits + misses, 1)
+            lines.append(f"{'cache hit rate':<36} {rate:>11.1%}")
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<36} {'last':>6} {'max':>6}")
+        lines.append("-" * 50)
+        for name in sorted(gauges):
+            value = gauges[name]
+            last = value.get("last", "-") if isinstance(value, dict) else value
+            peak = value.get("max", value) if isinstance(value, dict) else value
+            lines.append(f"{name:<36} {last!s:>6} {peak!s:>6}")
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"{'histogram':<28} {'count':>8} {'total':>10} {'min':>6} {'max':>6}"
+        )
+        lines.append("-" * 62)
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"{name:<28} {h['count']:>8,} {h['total']:>10,} "
+                f"{h['min']:>6} {h['max']:>6}"
+            )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def render_fault_events(events: Iterable[Dict[str, Any]]) -> str:
+    """Render the structured fault-event log."""
+    rows = list(events)
+    if not rows:
+        return "(no fault events)"
+    lines = [f"{'tick':>6}  {'id':>3}  {'component':<14} fault / detail"]
+    lines.append("-" * 60)
+    for event in rows:
+        detail = f" -- {event['detail']}" if event.get("detail") else ""
+        lines.append(
+            f"{event.get('tick', 0):>6}  #{event['id']:<2}  "
+            f"{event['component']:<14} {event['fault']}{detail}"
+        )
+    return "\n".join(lines)
+
+
+def render_trace(events: Iterable[Dict[str, Any]]) -> str:
+    """Render a trace ring: spans indented by depth, ticks in the margin."""
+    rows = list(events)
+    if not rows:
+        return "(empty trace)"
+    lines: List[str] = []
+    for event in rows:
+        indent = "  " * int(event.get("depth", 0))
+        kind = event.get("type", "event")
+        name = event.get("name", "?")
+        fields = event.get("fields") or {}
+        suffix = ""
+        if fields:
+            rendered = " ".join(
+                f"{key}={fields[key]}" for key in sorted(fields)
+            )
+            suffix = f" [{rendered}]"
+        if kind == "span":
+            marker = "+ "
+        elif kind == "end":
+            marker = "- "
+            if event.get("failed"):
+                suffix += " FAILED"
+        else:
+            marker = ". "
+        lines.append(f"{event.get('tick', 0):>6}  {indent}{marker}{name}{suffix}")
+    return "\n".join(lines)
+
+
+def render_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Full rendering of one recorder snapshot (stats + faults + trace)."""
+    sections = [
+        render_metrics(snapshot.get("metrics", {})),
+        "",
+        "fault events:",
+        render_fault_events(snapshot.get("fault_events", [])),
+        "",
+        "trace:",
+        render_trace(snapshot.get("trace", [])),
+    ]
+    return "\n".join(sections)

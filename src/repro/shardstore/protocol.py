@@ -20,7 +20,7 @@ dict with an ``op``/``status`` discriminator and per-operation fields.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Any, List, Protocol, Tuple, runtime_checkable
 
 from repro.serialization.codec import decode_record, encode_record
 
@@ -32,6 +32,41 @@ from .errors import (
     ShardStoreError,
 )
 from .rpc import StorageNode
+
+
+@runtime_checkable
+class KVNode(Protocol):
+    """The unified key-value surface (tentpole of the observability API).
+
+    Both :class:`~repro.shardstore.store.ShardStore` (one disk) and
+    :class:`~repro.shardstore.rpc.StorageNode` (many disks behind the RPC
+    layer) structurally conform, so harnesses, checkers, and the CLI can be
+    written once against this protocol.  Contract highlights:
+
+    * ``delete`` of an absent key raises
+      :class:`~repro.shardstore.errors.KeyNotFoundError` on *both*
+      surfaces -- no Optional-return branching;
+    * invalid keys are rejected identically everywhere via
+      :func:`~repro.shardstore.errors.validate_key`;
+    * ``flush()`` returns an object whose ``is_persistent()`` becomes True
+      once the flushed state is durable (a ``Dependency`` for the store, a
+      cross-tracker conjunction for the node);
+    * ``drain()`` writes back everything pending.
+    """
+
+    def put(self, key: bytes, value: bytes) -> Any: ...
+
+    def get(self, key: bytes) -> bytes: ...
+
+    def delete(self, key: bytes) -> Any: ...
+
+    def contains(self, key: bytes) -> bool: ...
+
+    def keys(self) -> List[bytes]: ...
+
+    def flush(self) -> Any: ...
+
+    def drain(self) -> None: ...
 
 #: Protocol page size: requests are padded like on-disk records so the
 #: same scan/seal tooling applies to message logs.
@@ -198,7 +233,7 @@ def _execute(node: StorageNode, request: Request) -> Response:
         node.delete(request.key)
         return Response(status="ok")
     if request.op == "list":
-        return Response(status="ok", shards=tuple(node.list_shards()))
+        return Response(status="ok", shards=tuple(node.keys()))
     if request.op == "bulk_create":
         count = node.bulk_create(list(request.pairs))
         return Response(status="ok", count=count)

@@ -71,6 +71,7 @@ class Reclaimer:
         self.superblock = superblock
         self.config = config
         self.faults = config.faults
+        self.recorder = config.recorder
         #: Keys whose chunks were moved by the most recent pass -- consumed
         #: by the crash-aware reference model (and its fault #9).
         self.last_touched_keys: Set[bytes] = set()
@@ -95,7 +96,8 @@ class Reclaimer:
         if not self.chunk_store.begin_reclaim(extent):
             return None
         try:
-            return self._reclaim_claimed(extent, max_evacuations)
+            with self.recorder.span("reclaim", extent=extent):
+                return self._reclaim_claimed(extent, max_evacuations)
         finally:
             self.chunk_store.end_reclaim(extent)
 
@@ -111,6 +113,20 @@ class Reclaimer:
             if self.faults.enabled(Fault.RECLAIM_FORGETS_ON_READ_ERROR)
             else "raise"
         )
+        if self.recorder.enabled:
+            if on_read_error == "truncate":
+                self.recorder.fault_event(
+                    Fault.RECLAIM_FORGETS_ON_READ_ERROR,
+                    "Chunk store",
+                    f"scan of extent {extent} will treat a read error as "
+                    "end-of-extent",
+                )
+            if self.faults.enabled(Fault.UUID_MAGIC_COLLISION_SCAN):
+                self.recorder.fault_event(
+                    Fault.UUID_MAGIC_COLLISION_SCAN,
+                    "Chunk store",
+                    f"sequential-only scan of extent {extent}",
+                )
         reader = PagedReader(
             lambda off, length: self.cache.read(extent, off, length), limit, page
         )
@@ -146,7 +162,15 @@ class Reclaimer:
             result.keys_touched = touched
             self.last_touched_keys = touched
             return result
-        if not self.faults.enabled(Fault.SOFT_HARD_POINTER_MISMATCH_ON_RESET):
+        if self.faults.enabled(Fault.SOFT_HARD_POINTER_MISMATCH_ON_RESET):
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.SOFT_HARD_POINTER_MISMATCH_ON_RESET,
+                    "Superblock",
+                    f"reset of extent {extent} queued without persisting its "
+                    "prerequisites",
+                )
+        else:
             # Persist the reclamation's prerequisites before queueing the
             # destructive reset.  This covers more than the evacuation
             # dependencies collected above: chunks dropped as *dead* are
@@ -176,6 +200,10 @@ class Reclaimer:
         result.reset_done = True
         result.keys_touched = touched
         self.last_touched_keys = touched
+        if self.recorder.enabled:
+            self.recorder.count("reclaim.extents_reclaimed")
+            self.recorder.count("reclaim.chunks_evacuated", result.evacuated)
+            self.recorder.count("reclaim.chunks_dropped", result.dropped)
         return result
 
     def _evacuate_data(
@@ -194,9 +222,17 @@ class Reclaimer:
             # Fault #1: the boundary arithmetic drops the final byte of
             # chunks whose frame ends exactly on a page boundary.
             payload = payload[:-1]
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.RECLAIM_OFF_BY_ONE,
+                    "Chunk store",
+                    f"evacuation of {locator} dropped the final payload byte",
+                )
         new_loc, write_dep = self.chunk_store.put_chunk(
             KIND_DATA, chunk.key, payload, priority=True
         )
+        if self.recorder.enabled:
+            self.recorder.count("reclaim.bytes_moved", len(payload))
         index_dep = self.index.replace_data_locator(
             chunk.key, locator, new_loc, write_dep
         )
@@ -214,6 +250,8 @@ class Reclaimer:
         new_loc, write_dep = self.chunk_store.put_chunk(
             KIND_RUN, chunk.key, chunk.payload, priority=True
         )
+        if self.recorder.enabled:
+            self.recorder.count("reclaim.bytes_moved", len(chunk.payload))
         try:
             meta_dep = self.index.relocate_run(locator, new_loc, write_dep)
         except ShardStoreError:

@@ -10,14 +10,15 @@ live in:
   its shards to the remaining disks; fault #4 re-installs the removed
   disk's stale routing entries when it returns, resurrecting old data and
   losing writes made while it was away.
-* ``list_shards`` -- fault #13 iterates the routing table without the node
-  lock, racing concurrent removals.
+* ``keys`` (formerly ``list_shards``) -- fault #13 iterates the routing
+  table without the node lock, racing concurrent removals.
 * ``bulk_create``/``bulk_delete`` -- fault #16 releases the node lock
   between items, so concurrent bulk operations interleave non-atomically.
 """
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -26,14 +27,39 @@ from repro.concurrency.primitives import Mutex, yield_point
 
 from .config import StoreConfig
 from .dependency import Dependency
-from .errors import InvalidRequestError, NotFoundError, RetryableError
+from .errors import (
+    InvalidRequestError,
+    KeyNotFoundError,
+    NotFoundError,
+    RetryableError,
+    validate_key,
+)
 from .faults import Fault, FaultSet
-from .store import MAX_KEY_LEN, ShardStore, StoreSystem
+from .store import ShardStore, StoreSystem
 
 
 def _steer(key: bytes, num_disks: int) -> int:
     """Deterministic primary disk for a shard id."""
     return zlib.crc32(key) % num_disks
+
+
+class NodeDependency:
+    """Conjunction of per-disk dependencies.
+
+    Each disk is an isolated failure domain with its own
+    :class:`~repro.shardstore.dependency.DurabilityTracker`, so node-wide
+    operations cannot use :meth:`Dependency.and_` (it rejects cross-system
+    combination by design).  This wrapper provides the same
+    ``is_persistent()`` observable over the conjunction.
+    """
+
+    __slots__ = ("deps",)
+
+    def __init__(self, deps: List[Dependency]) -> None:
+        self.deps = tuple(deps)
+
+    def is_persistent(self) -> bool:
+        return all(dep.is_persistent() for dep in self.deps)
 
 
 @dataclass
@@ -57,6 +83,7 @@ class StorageNode:
         base = config or StoreConfig()
         self.config = base
         self.faults: FaultSet = base.faults
+        self.recorder = base.recorder
         self.systems: List[StoreSystem] = []
         for disk_id in range(num_disks):
             cfg = StoreConfig(
@@ -68,6 +95,7 @@ class StorageNode:
                 buffer_cache_pages=base.buffer_cache_pages,
                 seed=base.seed + disk_id + 1,
                 uuid_magic_bias=base.uuid_magic_bias,
+                recorder=base.recorder,
             )
             self.systems.append(StoreSystem(cfg))
         self._in_service: List[bool] = [True] * num_disks
@@ -83,28 +111,24 @@ class StorageNode:
     def _store(self, disk_id: int) -> ShardStore:
         return self.systems[disk_id].store
 
-    @staticmethod
-    def _check_key(key: bytes) -> None:
-        """Request validation belongs at the RPC boundary: an invalid key
-        must be rejected identically by every operation, not only by the
-        ones whose routing happens to reach a per-disk store."""
-        if not isinstance(key, bytes) or not key:
-            raise InvalidRequestError("key must be non-empty bytes")
-        if len(key) > MAX_KEY_LEN:
-            raise InvalidRequestError("key too long")
-
     def put(self, key: bytes, value: bytes) -> Dependency:
-        self._check_key(key)
+        # Request validation belongs at the RPC boundary: an invalid key
+        # must be rejected identically by every operation, not only by the
+        # ones whose routing happens to reach a per-disk store.
+        validate_key(key)
         self.stats.puts += 1
         with self._lock:
             target = self._shard_map.get(key)
             if target is None or not self._in_service[target]:
                 target = self._pick_target(key)
             self._shard_map[key] = target
-        return self._store(target).put(key, value)
+        if not self.recorder.enabled:
+            return self._store(target).put(key, value)
+        with self.recorder.span("node.put", key=repr(key), disk=target):
+            return self._store(target).put(key, value)
 
     def get(self, key: bytes) -> bytes:
-        self._check_key(key)
+        validate_key(key)
         self.stats.gets += 1
         with self._lock:
             target = self._shard_map.get(key)
@@ -112,18 +136,31 @@ class StorageNode:
             raise NotFoundError(f"no shard for key {key!r}")
         if not self._in_service[target]:
             raise RetryableError(f"disk {target} is out of service")
-        return self._store(target).get(key)
+        if not self.recorder.enabled:
+            return self._store(target).get(key)
+        with self.recorder.span("node.get", key=repr(key), disk=target):
+            return self._store(target).get(key)
 
-    def delete(self, key: bytes) -> Optional[Dependency]:
-        self._check_key(key)
+    def delete(self, key: bytes) -> Dependency:
+        """Remove ``key``; raises :class:`KeyNotFoundError` when absent.
+
+        Out-of-service routing targets surface as :class:`RetryableError`
+        *without* dropping the routing entry, so a retry after
+        ``return_disk`` still finds the shard.
+        """
+        validate_key(key)
         self.stats.deletes += 1
         with self._lock:
-            target = self._shard_map.pop(key, None)
-        if target is None:
-            return None
-        if not self._in_service[target]:
-            raise RetryableError(f"disk {target} is out of service")
-        return self._store(target).delete(key)
+            target = self._shard_map.get(key)
+            if target is None:
+                raise KeyNotFoundError(f"no shard for key {key!r}")
+            if not self._in_service[target]:
+                raise RetryableError(f"disk {target} is out of service")
+            del self._shard_map[key]
+        if not self.recorder.enabled:
+            return self._store(target).delete(key)
+        with self.recorder.span("node.delete", key=repr(key), disk=target):
+            return self._store(target).delete(key)
 
     def _pick_target(self, key: bytes) -> int:
         primary = _steer(key, len(self.systems))
@@ -136,7 +173,7 @@ class StorageNode:
     # ------------------------------------------------------------------
     # control plane
 
-    def list_shards(self) -> List[bytes]:
+    def keys(self) -> List[bytes]:
         """Every shard id this node currently routes.
 
         The correct implementation snapshots under the node lock; fault #13
@@ -144,13 +181,28 @@ class StorageNode:
         concurrent removals.
         """
         if self.faults.enabled(Fault.LIST_REMOVE_RACE):
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.LIST_REMOVE_RACE,
+                    "API",
+                    "listing iterates the routing table without the node lock",
+                )
             out: List[bytes] = []
             for key in self._shard_map:  # no lock: mutations race with us
-                yield_point("list_shards: unlocked iteration")
+                yield_point("keys: unlocked iteration")
                 out.append(key)
             return sorted(out)
         with self._lock:
             return sorted(self._shard_map)
+
+    def list_shards(self) -> List[bytes]:
+        """Deprecated alias of :meth:`keys` (the unified KVNode spelling)."""
+        warnings.warn(
+            "StorageNode.list_shards() is deprecated; use keys()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.keys()
 
     def remove_disk(self, disk_id: int) -> int:
         """Take a disk out of service, migrating its shards; returns the
@@ -191,6 +243,13 @@ class StorageNode:
             self._in_service[disk_id] = True
             stale = self._removed_routing.pop(disk_id, {})
             if self.faults.enabled(Fault.DISK_RETURN_DROPS_SHARDS):
+                if self.recorder.enabled:
+                    self.recorder.fault_event(
+                        Fault.DISK_RETURN_DROPS_SHARDS,
+                        "API",
+                        f"disk {disk_id} returned; merging {len(stale)} stale "
+                        "routing entries",
+                    )
                 for key, old_disk in stale.items():
                     if key in self._shard_map:
                         self._shard_map[key] = old_disk
@@ -204,7 +263,7 @@ class StorageNode:
         migration).  Returns False if the shard does not exist; no-op if
         it already lives on ``target``."""
         self._check_disk(target)
-        self._check_key(key)
+        validate_key(key)
         with self._lock:
             source = self._shard_map.get(key)
             if source is None:
@@ -238,6 +297,13 @@ class StorageNode:
         bulk operation observes (and produces) partial states.
         """
         if self.faults.enabled(Fault.BULK_CREATE_REMOVE_RACE):
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.BULK_CREATE_REMOVE_RACE,
+                    "API",
+                    f"bulk_create of {len(pairs)} shards releases the node "
+                    "lock between items",
+                )
             created = 0
             for key, value in pairs:
                 yield_point("bulk_create: between items")
@@ -258,11 +324,21 @@ class StorageNode:
     def bulk_delete(self, keys: List[bytes]) -> int:
         """Delete many shards as one atomic control-plane operation."""
         if self.faults.enabled(Fault.BULK_CREATE_REMOVE_RACE):
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.BULK_CREATE_REMOVE_RACE,
+                    "API",
+                    f"bulk_delete of {len(keys)} shards releases the node "
+                    "lock between items",
+                )
             deleted = 0
             for key in keys:
                 yield_point("bulk_delete: between items")
-                if self.delete(key) is not None:
-                    deleted += 1
+                try:
+                    self.delete(key)
+                except KeyNotFoundError:
+                    continue
+                deleted += 1
             return deleted
         with self._lock:
             deleted = 0
@@ -284,7 +360,28 @@ class StorageNode:
         self._check_disk(disk_id)
         return self._in_service[disk_id]
 
-    def drain_all(self) -> None:
+    def contains(self, key: bytes) -> bool:
+        """Whether this node currently routes ``key``."""
+        validate_key(key)
+        with self._lock:
+            return key in self._shard_map
+
+    def flush(self) -> NodeDependency:
+        """Flush every in-service disk; the combined durability dependency."""
+        with self.recorder.span("node.flush"):
+            return NodeDependency(
+                [
+                    system.store.flush()
+                    for disk_id, system in enumerate(self.systems)
+                    if self._in_service[disk_id]
+                ]
+            )
+
+    def drain(self) -> None:
+        """Write back everything pending on every in-service disk."""
         for disk_id, system in enumerate(self.systems):
             if self._in_service[disk_id]:
                 system.store.drain()
+
+    def drain_all(self) -> None:
+        self.drain()

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 from .dependency import Dependency, DurabilityTracker, RecordInfo
 from .disk import InMemoryDisk
 from .errors import ExtentError, IoError
+from .observability import NULL_RECORDER, Recorder
 
 
 @dataclass
@@ -67,10 +68,12 @@ class IoScheduler:
         disk: InMemoryDisk,
         tracker: DurabilityTracker,
         rng: Optional[random.Random] = None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.disk = disk
         self.tracker = tracker
         self.rng = rng or random.Random(0)
+        self.recorder = recorder
         self.stats = SchedulerStats()
         # Per-extent FIFO queues of pending records.
         self._queues: Dict[int, List[_PendingRecord]] = {}
@@ -145,6 +148,9 @@ class IoScheduler:
             cursor = seg_end
         self._shadow[extent][offset : offset + len(data)] = data
         self._soft_pointer[extent] = offset + len(data)
+        if self.recorder.enabled:
+            self.recorder.count("scheduler.records_enqueued", len(record_ids))
+            self.recorder.gauge("scheduler.queue_depth", self.pending_count)
         return offset, Dependency.on_records(self.tracker, record_ids)
 
     def reset(self, extent: int, dep: Dependency, label: str = "") -> Dependency:
@@ -178,6 +184,10 @@ class IoScheduler:
         self.stats.records_enqueued += 1
         self._soft_pointer[extent] = 0
         self._shadow[extent] = bytearray(self.disk.geometry.extent_size)
+        if self.recorder.enabled:
+            self.recorder.count("scheduler.records_enqueued")
+            self.recorder.gauge("scheduler.queue_depth", self.pending_count)
+            self.recorder.event("scheduler.reset_queued", extent=extent)
         return Dependency.on_records(self.tracker, [record_id])
 
     def read(self, extent: int, offset: int, length: int) -> bytes:
@@ -269,6 +279,12 @@ class IoScheduler:
                     self.tracker.mark_durable(merged_record.record_id)
                 self.stats.records_written += len(batch)
                 self.stats.ios_issued += 1
+                if self.recorder.enabled:
+                    self.recorder.count("scheduler.records_written", len(batch))
+                    self.recorder.count("scheduler.ios_issued")
+                    self.recorder.gauge(
+                        "scheduler.queue_depth", self.pending_count
+                    )
                 return True
             self._apply(batch[0])
             return True
@@ -281,18 +297,31 @@ class IoScheduler:
         if record.kind == "reset":
             self.disk.reset(record.extent)
             self.stats.resets_applied += 1
+            if self.recorder.enabled:
+                self.recorder.count("scheduler.resets_applied")
         else:
             self.disk.write(record.extent, record.offset, record.data)
             self.stats.records_written += 1
+            if self.recorder.enabled:
+                self.recorder.count("scheduler.records_written")
         self.stats.ios_issued += 1
         self.tracker.mark_durable(record.record_id)
+        if self.recorder.enabled:
+            self.recorder.count("scheduler.ios_issued")
+            self.recorder.gauge("scheduler.queue_depth", self.pending_count)
 
     def pump(self, n: int) -> int:
         """Write back up to ``n`` eligible records; returns how many."""
-        done = 0
-        while done < n and self.pump_one():
-            done += 1
-        return done
+        if not self.recorder.enabled:
+            done = 0
+            while done < n and self.pump_one():
+                done += 1
+            return done
+        with self.recorder.span("scheduler.pump", budget=n):
+            done = 0
+            while done < n and self.pump_one():
+                done += 1
+            return done
 
     def drain(self) -> None:
         """Write back everything pending.

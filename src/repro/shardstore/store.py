@@ -27,14 +27,15 @@ from .chunk_store import ChunkStore
 from .config import StoreConfig
 from .dependency import Dependency, DurabilityTracker
 from .disk import InMemoryDisk
-from .errors import InvalidRequestError, NotFoundError
+from .errors import MAX_KEY_LEN, KeyNotFoundError, NotFoundError, validate_key
+from .faults import component_of
 from .lsm import LsmIndex
 from .reclamation import Reclaimer, ReclaimResult
 from .scheduler import IoScheduler
 from .scrub import Scrubber
 from .superblock import Superblock
 
-MAX_KEY_LEN = 1024
+__all__ = ["ShardStore", "StoreSystem", "RebootType", "MAX_KEY_LEN"]
 
 
 class ShardStore:
@@ -52,8 +53,14 @@ class ShardStore:
         self.disk = disk
         self.tracker = tracker
         self.config = config
+        self.recorder = config.recorder
         self.rng = rng or random.Random(config.seed)
-        self.scheduler = IoScheduler(disk, tracker, random.Random(self.rng.getrandbits(32)))
+        self.scheduler = IoScheduler(
+            disk,
+            tracker,
+            random.Random(self.rng.getrandbits(32)),
+            recorder=config.recorder,
+        )
         if recover:
             self._seal_log_extents()
             state, slot = Superblock.recover_state(self.scheduler, config)
@@ -81,6 +88,14 @@ class ShardStore:
         )
         self.scrubber = Scrubber(self.chunk_store, self.index)
         self.chunk_store.on_out_of_space = self._reclaim_for_space
+        if self.recorder.enabled and config.faults:
+            # Record which Fig. 5 faults this store was built with, so every
+            # traced fault-matrix shard carries a non-empty fault-event
+            # section even when the fault's trigger site is never reached.
+            for fault in config.faults:
+                self.recorder.fault_event(
+                    fault, component_of(fault), "armed at store construction"
+                )
 
     def _seal_log_extents(self) -> None:
         """Truncate superblock/metadata log extents to their valid prefix.
@@ -128,9 +143,13 @@ class ShardStore:
 
     def put(self, key: bytes, value: bytes) -> Dependency:
         """Store ``value`` under ``key``; returns its durability dependency."""
-        self._check_key(key)
-        locators, data_dep = self.chunk_store.put_shard(key, value)
-        return self.index.put(key, locators, data_dep)
+        validate_key(key)
+        if not self.recorder.enabled:
+            locators, data_dep = self.chunk_store.put_shard(key, value)
+            return self.index.put(key, locators, data_dep)
+        with self.recorder.span("put", key=repr(key), size=len(value)):
+            locators, data_dep = self.chunk_store.put_shard(key, value)
+            return self.index.put(key, locators, data_dep)
 
     def get(self, key: bytes) -> bytes:
         """The value stored under ``key``.
@@ -138,33 +157,56 @@ class ShardStore:
         Raises :class:`NotFoundError` for absent keys and
         :class:`CorruptionError` when the stored bytes fail validation.
         """
-        self._check_key(key)
+        validate_key(key)
+        if not self.recorder.enabled:
+            return self._get_validated(key)
+        with self.recorder.span("get", key=repr(key)):
+            return self._get_validated(key)
+
+    def _get_validated(self, key: bytes) -> bytes:
         locators = self.index.get(key)
         if locators is None:
             raise NotFoundError(f"no shard for key {key!r}")
         return self.chunk_store.get_shard(key, locators)
 
     def delete(self, key: bytes) -> Dependency:
-        """Remove ``key``; returns the tombstone's durability dependency."""
-        self._check_key(key)
+        """Remove ``key``; returns the tombstone's durability dependency.
+
+        Raises :class:`KeyNotFoundError` when ``key`` is not present -- the
+        uniform ``KVNode`` contract, so callers never branch on an Optional.
+        """
+        validate_key(key)
+        if not self.recorder.enabled:
+            return self._delete_validated(key)
+        with self.recorder.span("delete", key=repr(key)):
+            return self._delete_validated(key)
+
+    def _delete_validated(self, key: bytes) -> Dependency:
+        if self.index.get(key) is None:
+            raise KeyNotFoundError(f"no shard for key {key!r}")
         return self.index.delete(key)
 
     def contains(self, key: bytes) -> bool:
-        self._check_key(key)
+        validate_key(key)
         return self.index.get(key) is not None
 
     def keys(self) -> List[bytes]:
         return self.index.keys()
 
-    @staticmethod
-    def _check_key(key: bytes) -> None:
-        if not isinstance(key, bytes) or not key:
-            raise InvalidRequestError("key must be non-empty bytes")
-        if len(key) > MAX_KEY_LEN:
-            raise InvalidRequestError("key too long")
-
     # ------------------------------------------------------------------
     # background operations (no-ops in the reference model)
+
+    def flush(self) -> Dependency:
+        """Flush index and superblock; the combined durability dependency.
+
+        The ``KVNode``-level durability knob: after ``flush()`` plus
+        ``drain()``, every dependency previously returned by this store
+        reports persistent.
+        """
+        with self.recorder.span("flush"):
+            index_dep = self.flush_index()
+            superblock_dep = self.flush_superblock()
+            return index_dep.and_(superblock_dep)
 
     def flush_index(self) -> Dependency:
         return self.index.flush()
@@ -185,7 +227,8 @@ class ShardStore:
 
     def scrub(self):
         """Proactively validate every live chunk (no state changes)."""
-        return self.scrubber.scrub()
+        with self.recorder.span("scrub"):
+            return self.scrubber.scrub()
 
     # ------------------------------------------------------------------
     # writeback control (the crash checker drives these)
@@ -263,7 +306,7 @@ class StoreSystem:
 
     def __init__(self, config: Optional[StoreConfig] = None) -> None:
         self.config = config or StoreConfig()
-        self.disk = InMemoryDisk(self.config.geometry)
+        self.disk = InMemoryDisk(self.config.geometry, recorder=self.config.recorder)
         self.tracker = DurabilityTracker()
         self.generation = 0
         self.store = ShardStore(self.disk, self.tracker, self.config)

@@ -120,6 +120,7 @@ class Superblock:
         self.tracker: DurabilityTracker = scheduler.tracker
         self.config = config
         self.faults = config.faults
+        self.recorder = config.recorder
         state = recovered or SuperblockState(
             ownership={e: OWNER_FREE for e in config.data_extents}
         )
@@ -154,6 +155,13 @@ class Superblock:
                 cell = FutureCell(label=f"sb-ptr@{extent} (stale)")
                 cell.resolve(self._last_flush_dep)
                 self._cells[extent] = cell
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.SUPERBLOCK_WRONG_DEP_AFTER_REBOOT,
+                    "Superblock",
+                    "pointer promises pre-resolved against the pre-reboot "
+                    "flush record",
+                )
 
     # ------------------------------------------------------------------
     # notes from the write path
@@ -193,6 +201,13 @@ class Superblock:
             # Fault #7: publish the post-reset pointer immediately, with no
             # regard for whether the reset (and the evacuations it depends
             # on) is durable.
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.SOFT_HARD_POINTER_MISMATCH_ON_RESET,
+                    "Superblock",
+                    f"pointer for extent {extent} published as 0 before the "
+                    "reset is durable",
+                )
             self._published[extent] = 0
             return
         self._pending_resets.setdefault(extent, []).append(reset_dep)
@@ -229,6 +244,12 @@ class Superblock:
         waits for the state lock.
         """
         if self.faults.enabled(Fault.BUFFER_POOL_DEADLOCK):
+            if self.recorder.enabled:
+                self.recorder.fault_event(
+                    Fault.BUFFER_POOL_DEADLOCK,
+                    "Superblock",
+                    "flush acquiring state lock before the buffer pool",
+                )
             with self._state_lock:
                 self.pool.acquire()
                 try:
@@ -295,6 +316,8 @@ class Superblock:
             self._published[extent] = published
         self._appends_since_flush = 0
         self._last_flush_dep = dep
+        if self.recorder.enabled:
+            self.recorder.count("superblock.flushes")
         yield_point("superblock flushed")
         return dep
 

@@ -17,6 +17,7 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from repro.models import ReferenceKvStore
 from repro.shardstore import (
     DiskGeometry,
+    KeyNotFoundError,
     NotFoundError,
     RebootType,
     StoreConfig,
@@ -63,8 +64,14 @@ class StoreMachine(RuleBasedStateMachine):
 
     @rule(key=KEYS)
     def delete(self, key):
-        self.store.delete(key)
-        self.model.delete(key)
+        try:
+            self.store.delete(key)
+        except KeyNotFoundError:
+            # The model (also KVNode-conformant) must agree the key is
+            # absent; its own delete raises the same way.
+            assert not self.model.contains(key)
+        else:
+            self.model.delete(key)
 
     @rule()
     def flush_index(self):
@@ -133,7 +140,10 @@ class CrashMachine(RuleBasedStateMachine):
 
     @rule(key=KEYS)
     def delete(self, key):
-        dep = self.system.store.delete(key)
+        try:
+            dep = self.system.store.delete(key)
+        except KeyNotFoundError:
+            return  # absent key: no state change, nothing to log
         self.oplog.append((key, None, dep))
 
     @rule()

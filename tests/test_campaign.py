@@ -293,7 +293,7 @@ class TestRunCampaign:
 
     def test_artifact_schema_headline_fields(self):
         artifact = result_to_json(run_campaign(_tiny_spec()))
-        assert artifact["schema_version"] == 1
+        assert artifact["schema_version"] == 2
         for key in (
             "campaign",
             "totals",

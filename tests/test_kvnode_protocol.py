@@ -1,0 +1,127 @@
+"""The unified KVNode surface: one battery, three conforming objects.
+
+ShardStore (one disk), StorageNode (many disks behind the RPC layer), and
+ReferenceKvStore (the executable specification) all structurally conform
+to :class:`repro.shardstore.KVNode`, including the uniform contract that
+``delete`` of an absent key raises :class:`KeyNotFoundError` and invalid
+keys are rejected identically via ``validate_key``.
+"""
+
+import pytest
+
+from repro.models import ReferenceKvStore
+from repro.shardstore import (
+    DiskGeometry,
+    InvalidRequestError,
+    KeyNotFoundError,
+    KVNode,
+    NotFoundError,
+    ShardStoreError,
+    StorageNode,
+    StoreConfig,
+    StoreSystem,
+)
+
+
+def _config():
+    return StoreConfig(
+        geometry=DiskGeometry(num_extents=12, extent_size=2048, page_size=128)
+    )
+
+
+def _store():
+    return StoreSystem(_config()).store
+
+
+def _node():
+    return StorageNode(num_disks=2, config=_config())
+
+
+SURFACES = [
+    pytest.param(_store, id="store"),
+    pytest.param(_node, id="node"),
+    pytest.param(ReferenceKvStore, id="model"),
+]
+
+
+@pytest.mark.parametrize("make", SURFACES)
+class TestKVNodeBattery:
+    def test_conforms_to_protocol(self, make):
+        assert isinstance(make(), KVNode)
+
+    def test_put_get_contains_keys(self, make):
+        kv = make()
+        kv.put(b"b", b"2")
+        kv.put(b"a", b"1")
+        assert kv.get(b"a") == b"1"
+        assert kv.contains(b"b")
+        assert not kv.contains(b"zzz")
+        assert kv.keys() == [b"a", b"b"]
+
+    def test_delete_removes(self, make):
+        kv = make()
+        kv.put(b"k", b"v")
+        kv.delete(b"k")
+        assert not kv.contains(b"k")
+        assert kv.keys() == []
+
+    def test_delete_absent_raises_uniformly(self, make):
+        kv = make()
+        with pytest.raises(KeyNotFoundError):
+            kv.delete(b"never-put")
+
+    def test_delete_after_delete_raises(self, make):
+        kv = make()
+        kv.put(b"k", b"v")
+        kv.delete(b"k")
+        with pytest.raises(KeyNotFoundError):
+            kv.delete(b"k")
+
+    @pytest.mark.parametrize("key", [b"", "string", None, b"x" * 2000])
+    def test_invalid_keys_rejected_everywhere(self, make, key):
+        kv = make()
+        with pytest.raises(InvalidRequestError):
+            kv.put(key, b"v")
+        with pytest.raises(InvalidRequestError):
+            kv.get(key)
+        with pytest.raises(InvalidRequestError):
+            kv.delete(key)
+        with pytest.raises(InvalidRequestError):
+            kv.contains(key)
+
+    def test_drain_is_available(self, make):
+        kv = make()
+        kv.put(b"k", b"v")
+        kv.drain()  # must exist and not raise on every surface
+
+
+class TestErrorTaxonomy:
+    def test_key_not_found_is_a_not_found(self):
+        assert issubclass(KeyNotFoundError, NotFoundError)
+        assert issubclass(KeyNotFoundError, ShardStoreError)
+
+
+@pytest.mark.parametrize("make", [pytest.param(_store, id="store"),
+                                  pytest.param(_node, id="node")])
+class TestFlushContract:
+    def test_flush_then_drain_is_persistent(self, make):
+        kv = make()
+        kv.put(b"k", b"v" * 50)
+        dep = kv.flush()
+        kv.drain()
+        assert dep.is_persistent()
+
+    def test_flush_not_persistent_before_writeback(self, make):
+        kv = make()
+        kv.put(b"k", b"v" * 50)
+        dep = kv.flush()
+        assert not dep.is_persistent()
+
+
+class TestModelFlushIsNoop:
+    def test_specification_is_immediately_durable(self):
+        model = ReferenceKvStore()
+        model.put(b"k", b"v")
+        assert model.flush() is None
+        model.drain()
+        assert model.get(b"k") == b"v"

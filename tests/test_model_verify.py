@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.alphabet import Operation
 from repro.core.model_verify import (
+    _apply_kv,
     kv_universe,
     removed_iff_deleted,
     verify_chunkstore_model,
@@ -40,6 +41,7 @@ class TestKvModelVerification:
             kv_universe(),
             [("removed-iff-deleted", removed_iff_deleted)],
             depth=3,
+            apply_fn=_apply_kv,
         )
         assert not result.verified
         assert result.counterexample is not None

@@ -1,0 +1,222 @@
+"""Tests for the observability layer: recorders, metrics, rendering.
+
+The hand-computed cases pin the counters to exact values a human can
+re-derive from the workload, so instrumentation drift (double-counting, a
+missed hot-path guard) fails loudly rather than shifting numbers silently.
+"""
+
+import pytest
+
+from repro.shardstore import (
+    DiskGeometry,
+    Fault,
+    KeyNotFoundError,
+    NULL_RECORDER,
+    RingRecorder,
+    StoreConfig,
+    StoreSystem,
+)
+from repro.shardstore.disk import InMemoryDisk
+from repro.shardstore.observability import (
+    MAX_FAULT_EVENTS,
+    Metrics,
+    NullRecorder,
+    counter_value,
+    merge_metrics,
+    render_fault_events,
+    render_metrics,
+    render_snapshot,
+    render_trace,
+)
+
+
+def _geometry():
+    return DiskGeometry(num_extents=8, extent_size=2048, page_size=128)
+
+
+class TestDiskCountersHandComputed:
+    def test_writes_reads_and_bytes(self):
+        recorder = RingRecorder()
+        disk = InMemoryDisk(_geometry(), recorder=recorder)
+        disk.write(0, 0, b"a" * 100)
+        disk.write(0, 100, b"b" * 28)
+        disk.read(0, 0, 100)
+        metrics = recorder.metrics.snapshot()
+        assert counter_value(metrics, "disk.writes") == 2
+        assert counter_value(metrics, "disk.bytes_written") == 128
+        assert counter_value(metrics, "disk.reads") == 1
+        assert counter_value(metrics, "disk.bytes_read") == 100
+        histogram = metrics["histograms"]["disk.write_bytes"]
+        assert histogram["count"] == 2
+        assert histogram["total"] == 128
+        assert histogram["min"] == 28
+        assert histogram["max"] == 100
+
+    def test_reset_counter(self):
+        recorder = RingRecorder()
+        disk = InMemoryDisk(_geometry(), recorder=recorder)
+        disk.write(0, 0, b"x" * 128)
+        disk.reset(0)
+        disk.reset(1)
+        assert counter_value(recorder.metrics.snapshot(), "disk.resets") == 2
+
+
+class TestStoreCountersHandComputed:
+    def test_scheduler_issues_every_enqueued_record(self):
+        recorder = RingRecorder()
+        system = StoreSystem(
+            StoreConfig(geometry=_geometry(), recorder=recorder)
+        )
+        store = system.store
+        for i in range(5):
+            store.put(b"k%d" % i, b"v" * 40)
+        store.drain()
+        metrics = recorder.metrics.snapshot()
+        enqueued = counter_value(metrics, "scheduler.records_enqueued")
+        written = counter_value(metrics, "scheduler.records_written")
+        assert enqueued > 0
+        assert written == enqueued  # drained: nothing left behind
+        assert counter_value(metrics, "scheduler.ios_issued") == counter_value(
+            metrics, "disk.writes"
+        )
+        assert metrics["gauges"]["scheduler.queue_depth"]["last"] == 0
+
+    def test_cache_hit_on_immediate_reread(self):
+        recorder = RingRecorder()
+        system = StoreSystem(
+            StoreConfig(geometry=_geometry(), recorder=recorder)
+        )
+        store = system.store
+        store.put(b"k", b"v" * 40)
+        before = counter_value(
+            recorder.metrics.snapshot(), "cache.hits"
+        )
+        assert store.get(b"k") == b"v" * 40
+        after = counter_value(recorder.metrics.snapshot(), "cache.hits")
+        assert after > before  # unflushed data must be served by the cache
+
+    def test_delete_of_absent_key_traces_a_failed_span(self):
+        recorder = RingRecorder()
+        system = StoreSystem(
+            StoreConfig(geometry=_geometry(), recorder=recorder)
+        )
+        with pytest.raises(KeyNotFoundError):
+            system.store.delete(b"missing")
+        ends = [e for e in recorder.trace() if e["type"] == "end"]
+        assert ends and ends[-1]["name"] == "delete"
+        assert ends[-1].get("failed") is True
+
+
+class TestRingRecorder:
+    def test_spans_nest_and_tick_monotonically(self):
+        recorder = RingRecorder()
+        with recorder.span("outer", a=1):
+            recorder.event("inner-event")
+            with recorder.span("inner"):
+                pass
+        trace = recorder.trace()
+        assert [e["type"] for e in trace] == ["span", "event", "span", "end", "end"]
+        assert [e["depth"] for e in trace] == [0, 1, 1, 1, 0]
+        assert [e["tick"] for e in trace] == [1, 2, 3, 4, 5]
+
+    def test_ring_is_bounded(self):
+        recorder = RingRecorder(capacity=8)
+        for i in range(100):
+            recorder.event("e", i=i)
+        trace = recorder.trace()
+        assert len(trace) == 8
+        assert trace[-1]["fields"]["i"] == 99
+
+    def test_fault_event_log_caps_and_counts_overflow(self):
+        recorder = RingRecorder()
+        for _ in range(MAX_FAULT_EVENTS + 5):
+            recorder.fault_event(Fault.RECLAIM_OFF_BY_ONE, "reclamation")
+        snap = recorder.snapshot()
+        assert len(snap["fault_events"]) == MAX_FAULT_EVENTS
+        assert snap["fault_events_dropped"] == 5
+        # The counter keeps the true total even past the log cap.
+        assert counter_value(snap["metrics"], "faults.events") == (
+            MAX_FAULT_EVENTS + 5
+        )
+
+    def test_fault_event_record_shape(self):
+        recorder = RingRecorder()
+        recorder.fault_event(
+            Fault.CACHE_NOT_DRAINED_ON_RESET, "buffer cache", "detail here"
+        )
+        (record,) = recorder.snapshot()["fault_events"]
+        assert record["id"] == Fault.CACHE_NOT_DRAINED_ON_RESET.value
+        assert record["fault"] == "CACHE_NOT_DRAINED_ON_RESET"
+        assert record["component"] == "buffer cache"
+        assert record["detail"] == "detail here"
+
+    def test_null_recorder_records_nothing(self):
+        recorder = NullRecorder()
+        assert not recorder.enabled
+        with recorder.span("op"):
+            recorder.count("c")
+            recorder.event("e")
+            recorder.fault_event(Fault.RECLAIM_OFF_BY_ONE, "reclamation")
+        assert recorder.snapshot() == {}
+
+    def test_default_recorder_is_shared_null(self):
+        system = StoreSystem(StoreConfig(geometry=_geometry()))
+        assert system.store.recorder is NULL_RECORDER
+
+
+class TestMergeMetrics:
+    def test_counters_sum_gauges_peak_histograms_combine(self):
+        a, b = Metrics(), Metrics()
+        a.count("c", 3)
+        b.count("c", 4)
+        b.count("only-b")
+        a.gauge("g", 10)
+        b.gauge("g", 7)
+        a.observe("h", 2)
+        b.observe("h", 100)
+        merged = merge_metrics([a.snapshot(), b.snapshot()])
+        assert merged["counters"] == {"c": 7, "only-b": 1}
+        assert merged["gauges"]["g"] == {"max": 10}
+        histogram = merged["histograms"]["h"]
+        assert histogram["count"] == 2
+        assert histogram["total"] == 102
+        assert histogram["min"] == 2
+        assert histogram["max"] == 100
+
+    def test_empty_snapshots_are_skipped(self):
+        merged = merge_metrics([{}, Metrics().snapshot()])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestRendering:
+    def test_render_metrics_includes_cache_hit_rate(self):
+        metrics = Metrics()
+        metrics.count("cache.hits", 3)
+        metrics.count("cache.misses", 1)
+        out = render_metrics(metrics.snapshot())
+        assert "cache hit rate" in out
+        assert "75.0%" in out
+
+    def test_render_trace_marks_failed_spans(self):
+        recorder = RingRecorder()
+        try:
+            with recorder.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        out = render_trace(recorder.trace())
+        assert "+ boom" in out
+        assert "FAILED" in out
+
+    def test_render_fault_events_empty(self):
+        assert render_fault_events([]) == "(no fault events)"
+
+    def test_render_snapshot_has_all_sections(self):
+        recorder = RingRecorder()
+        recorder.count("disk.writes", 2)
+        recorder.fault_event(Fault.RECLAIM_OFF_BY_ONE, "reclamation")
+        out = render_snapshot(recorder.snapshot())
+        assert "disk.writes" in out
+        assert "fault events:" in out
+        assert "trace:" in out
+        assert "RECLAIM_OFF_BY_ONE" in out

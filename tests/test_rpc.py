@@ -7,6 +7,7 @@ from repro.shardstore import (
     Fault,
     FaultSet,
     InvalidRequestError,
+    KeyNotFoundError,
     NotFoundError,
     StorageNode,
     StoreConfig,
@@ -39,9 +40,10 @@ class TestRequestPlane:
         with pytest.raises(NotFoundError):
             node.get(b"shard")
 
-    def test_delete_unknown_is_none(self):
+    def test_delete_unknown_raises(self):
         node = _node()
-        assert node.delete(b"nope") is None
+        with pytest.raises(KeyNotFoundError):
+            node.delete(b"nope")
 
     def test_steering_spreads_shards(self):
         node = _node(num_disks=3)
@@ -144,17 +146,23 @@ class TestBulkOps:
         node = _node()
         created = node.bulk_create([(b"a", b"1"), (b"b", b"2")])
         assert created == 2
-        assert node.list_shards() == [b"a", b"b"]
+        assert node.keys() == [b"a", b"b"]
 
     def test_bulk_delete(self):
         node = _node()
         node.bulk_create([(b"a", b"1"), (b"b", b"2"), (b"c", b"3")])
         deleted = node.bulk_delete([b"a", b"c", b"zz"])
         assert deleted == 2
-        assert node.list_shards() == [b"b"]
+        assert node.keys() == [b"b"]
 
     def test_list_empty(self):
-        assert _node().list_shards() == []
+        assert _node().keys() == []
+
+    def test_list_shards_shim_warns(self):
+        node = _node()
+        node.put(b"a", b"1")
+        with pytest.deprecated_call():
+            assert node.list_shards() == [b"a"]
 
 
 class TestValidation:

@@ -5,6 +5,7 @@ import pytest
 from repro.shardstore import (
     DiskGeometry,
     InvalidRequestError,
+    KeyNotFoundError,
     NotFoundError,
     RebootType,
     StoreConfig,
@@ -48,10 +49,10 @@ class TestApi:
             store.put(key, b"v")
         assert store.keys() == [b"a", b"b", b"c"]
 
-    def test_delete_absent_is_ok(self):
+    def test_delete_absent_raises(self):
         store = _system().store
-        dep = store.delete(b"never-put")
-        assert dep is not None
+        with pytest.raises(KeyNotFoundError):
+            store.delete(b"never-put")
 
     @pytest.mark.parametrize("key", [b"", "string", None, b"x" * 2000])
     def test_invalid_keys_rejected(self, key):
