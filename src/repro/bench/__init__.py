@@ -1,0 +1,60 @@
+"""Performance telemetry: benchmark harness, baselines, metrics endpoint.
+
+The ROADMAP's "as fast as the hardware allows" needs measurement first.
+This package drives ShardStore/StorageNode through the KVNode protocol
+under deterministic workloads (``repro bench``), renders schema-versioned
+``BENCH_*.json`` artifacts with per-op latency percentiles and
+per-component span breakdowns, gates CI on committed baselines
+(``benchmarks/baselines.json``), and serves live Prometheus metrics
+(``repro metrics-serve``).  Wall-clock data never enters campaign
+artifacts; the PR 1 determinism contract is untouched.
+"""
+
+from .baseline import (
+    BASELINE_SCHEMA_VERSION,
+    DEFAULT_TOLERANCE,
+    BaselineEntry,
+    BaselineReport,
+    compare_to_baseline,
+    empty_baselines,
+    load_baselines,
+    render_report,
+    save_baselines,
+    update_baselines,
+)
+from .harness import (
+    BENCH_SCHEMA_VERSION,
+    WORKLOADS,
+    bench_store_config,
+    default_output_name,
+    default_target,
+    run_bench,
+)
+from .serve import MetricsDemoNode, make_server, serve
+from .workloads import BenchOp, generate_ops, sequence_digest, value_for
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_TOLERANCE",
+    "WORKLOADS",
+    "BaselineEntry",
+    "BaselineReport",
+    "BenchOp",
+    "MetricsDemoNode",
+    "bench_store_config",
+    "compare_to_baseline",
+    "default_output_name",
+    "default_target",
+    "empty_baselines",
+    "generate_ops",
+    "load_baselines",
+    "make_server",
+    "render_report",
+    "run_bench",
+    "save_baselines",
+    "sequence_digest",
+    "serve",
+    "update_baselines",
+    "value_for",
+]

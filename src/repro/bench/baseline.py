@@ -1,0 +1,182 @@
+"""Baseline comparison: the CI perf-regression gate.
+
+``benchmarks/baselines.json`` commits a p50 latency (and throughput floor)
+per workload; :func:`compare_to_baseline` checks a fresh bench artifact
+against it with a multiplicative tolerance band (default +35%, the gate
+the CI ``bench`` job fails on).  Baselines are machine-dependent wall-clock
+numbers, so the band is generous and the update procedure
+(``repro bench --update-baseline``) is documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: The ISSUE-mandated gate: fail on >35% p50 regressions.
+DEFAULT_TOLERANCE = 0.35
+
+
+@dataclass
+class BaselineEntry:
+    """One comparison row (a latency series or the throughput check)."""
+
+    metric: str
+    baseline: float
+    measured: Optional[float]
+    limit: float
+    passed: bool
+    note: str = ""
+
+
+@dataclass
+class BaselineReport:
+    workload: str
+    entries: List[BaselineEntry] = field(default_factory=list)
+    config_mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.config_mismatches and all(
+            entry.passed for entry in self.entries
+        )
+
+
+def empty_baselines() -> Dict[str, Any]:
+    return {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "default_tolerance": DEFAULT_TOLERANCE,
+        "workloads": {},
+    }
+
+
+def load_baselines(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        baselines = json.load(handle)
+    if baselines.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baselines schema "
+            f"{baselines.get('schema_version')!r} in {path}"
+        )
+    return baselines
+
+
+def save_baselines(baselines: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(baselines, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def update_baselines(
+    artifact: Dict[str, Any], baselines: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Fold one bench artifact into the baselines document (in place)."""
+    p50s = {
+        series: snap["p50"]
+        for series, snap in artifact["latency_ns"].items()
+        if snap.get("p50") is not None
+    }
+    baselines.setdefault("workloads", {})[artifact["workload"]] = {
+        "ops": artifact["ops"],
+        "value_size": artifact["value_size"],
+        "seed": artifact["seed"],
+        "target": artifact["target"],
+        "op_sequence_sha256": artifact["op_sequence_sha256"],
+        "p50_ns": p50s,
+        "throughput_ops_per_sec": artifact["throughput_ops_per_sec"],
+    }
+    return baselines
+
+
+def compare_to_baseline(
+    artifact: Dict[str, Any],
+    baselines: Dict[str, Any],
+    tolerance: Optional[float] = None,
+) -> BaselineReport:
+    """Gate one artifact against the committed baselines.
+
+    Fails when a latency series' measured p50 exceeds baseline*(1+band),
+    when throughput drops below baseline/(1+band), when the run's
+    parameters differ from the baselined ones (apples-to-apples only), or
+    when the workload has no baseline at all.
+    """
+    workload = artifact["workload"]
+    report = BaselineReport(workload=workload)
+    base = baselines.get("workloads", {}).get(workload)
+    if base is None:
+        report.config_mismatches.append(
+            f"no baseline for workload {workload!r} (run with "
+            "--update-baseline to add one)"
+        )
+        return report
+    band = tolerance
+    if band is None:
+        band = base.get("tolerance")
+    if band is None:
+        band = baselines.get("default_tolerance", DEFAULT_TOLERANCE)
+    params = ("ops", "value_size", "seed", "target", "op_sequence_sha256")
+    for param in params:
+        if param == "op_sequence_sha256" and param not in base:
+            continue
+        if base.get(param) != artifact.get(param):
+            report.config_mismatches.append(
+                f"{param}: baseline {base.get(param)!r} != run "
+                f"{artifact.get(param)!r}"
+            )
+    measured_latency = artifact.get("latency_ns", {})
+    for series in sorted(base.get("p50_ns", {})):
+        baseline_p50 = base["p50_ns"][series]
+        measured = measured_latency.get(series, {}).get("p50")
+        limit = baseline_p50 * (1.0 + band)
+        report.entries.append(
+            BaselineEntry(
+                metric=f"p50[{series}]",
+                baseline=baseline_p50,
+                measured=measured,
+                limit=limit,
+                passed=measured is not None and measured <= limit,
+                note="" if measured is not None else "series missing from run",
+            )
+        )
+    base_throughput = base.get("throughput_ops_per_sec")
+    if base_throughput:
+        measured_tp = artifact.get("throughput_ops_per_sec")
+        floor = base_throughput / (1.0 + band)
+        report.entries.append(
+            BaselineEntry(
+                metric="throughput_ops_per_sec",
+                baseline=base_throughput,
+                measured=measured_tp,
+                limit=floor,
+                passed=measured_tp is not None and measured_tp >= floor,
+                note="floor (higher is better)",
+            )
+        )
+    return report
+
+
+def render_report(report: BaselineReport, tolerance_note: str = "") -> str:
+    lines: List[str] = []
+    header = f"baseline gate: workload {report.workload}"
+    if tolerance_note:
+        header += f" ({tolerance_note})"
+    lines.append(header)
+    for mismatch in report.config_mismatches:
+        lines.append(f"  CONFIG MISMATCH {mismatch}")
+    lines.append(
+        f"  {'metric':<28} {'baseline':>14} {'measured':>14} "
+        f"{'limit':>14} verdict"
+    )
+    for entry in report.entries:
+        measured = "-" if entry.measured is None else f"{entry.measured:,.0f}"
+        verdict = "ok" if entry.passed else "REGRESSION"
+        note = f"  ({entry.note})" if entry.note else ""
+        lines.append(
+            f"  {entry.metric:<28} {entry.baseline:>14,.0f} {measured:>14} "
+            f"{entry.limit:>14,.0f} {verdict}{note}"
+        )
+    lines.append(f"  gate: {'PASS' if report.passed else 'FAIL'}")
+    return "\n".join(lines)

@@ -1,0 +1,264 @@
+"""The workload-driven benchmark harness behind ``repro bench``.
+
+Drives a ShardStore (single disk) or StorageNode (multi-disk RPC layer)
+through the unified KVNode protocol with a
+:class:`~repro.shardstore.observability.timing.TimingRecorder` attached,
+measuring per-op wall-clock latency plus the per-component span breakdown
+(op dispatch vs scheduler pump vs disk IO vs LSM vs cache), and renders a
+schema-versioned JSON artifact (``BENCH_<workload>_<date>.json`` by
+convention; schema documented in EXPERIMENTS.md).
+
+Determinism contract: the *op sequence* is a pure function of
+``(workload, ops, value_size, seed)`` -- the artifact's
+``op_sequence_sha256`` is reproducible -- while every ``*_ns``/``*_seconds``
+field is measured wall time and varies run to run.  Nothing here is used by
+``repro campaign``, whose artifacts remain wall-clock-free.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.shardstore import (
+    DiskGeometry,
+    KeyNotFoundError,
+    NotFoundError,
+    StorageNode,
+    StoreConfig,
+    StoreSystem,
+)
+from repro.shardstore.observability import (
+    TimingRecorder,
+    component_of_latency,
+    merge_histogram_snapshots,
+    percentiles_from_snapshot,
+)
+
+from .workloads import (
+    WORKLOADS,
+    BenchOp,
+    generate_ops,
+    sequence_digest,
+    value_for,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "WORKLOADS",
+    "bench_store_config",
+    "default_target",
+    "execute_op",
+    "run_bench",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Workloads that exercise per-store machinery (reclamation, recovery) and
+#: therefore run against a single-disk StoreSystem by default.
+_STORE_TARGET_WORKLOADS = ("reclaim-churn", "crash-recover")
+
+
+def default_target(workload: str) -> str:
+    return "store" if workload in _STORE_TARGET_WORKLOADS else "node"
+
+
+def bench_store_config(workload: str, seed: int, recorder) -> StoreConfig:
+    """A store geometry sized for the workload.
+
+    Request-plane workloads get a roomy geometry so latency reflects the
+    write path, not allocation pressure; ``reclaim-churn`` keeps the small
+    seed-default geometry so reclamation genuinely lands on the hot path.
+    """
+    if workload == "reclaim-churn":
+        # Few-but-roomy extents: enough headroom for grown LSM meta
+        # records, little enough capacity that churn forces reclamation.
+        return StoreConfig(
+            geometry=DiskGeometry(
+                num_extents=12, extent_size=16384, page_size=128
+            ),
+            seed=seed,
+            recorder=recorder,
+        )
+    return StoreConfig(
+        geometry=DiskGeometry(
+            num_extents=48, extent_size=32768, page_size=512
+        ),
+        max_chunk_payload=4096,
+        memtable_flush_threshold=64,
+        buffer_cache_pages=256,
+        seed=seed,
+        recorder=recorder,
+    )
+
+
+class _Target:
+    """The system under test: a KVNode plus its reboot capability."""
+
+    def __init__(self, kind: str, workload: str, seed: int, num_disks: int,
+                 recorder: TimingRecorder) -> None:
+        self.kind = kind
+        config = bench_store_config(workload, seed, recorder)
+        if kind == "store":
+            self.system: Optional[StoreSystem] = StoreSystem(config)
+            self.node: Optional[StorageNode] = None
+        elif kind == "node":
+            self.system = None
+            self.node = StorageNode(num_disks=num_disks, config=config)
+        else:
+            raise ValueError(f"unknown bench target {kind!r}")
+
+    @property
+    def kv(self):
+        return self.node if self.node is not None else self.system.store
+
+    def reboot(self, clean: bool) -> None:
+        if self.system is None:
+            raise ValueError(
+                "reboot ops need the single-disk store target "
+                "(crash-recover runs with --target store)"
+            )
+        if clean:
+            self.system.clean_reboot()
+        else:
+            self.system.dirty_reboot()
+
+    def settle(self) -> None:
+        """Unmeasured post-run writeback so the store ends quiescent."""
+        self.kv.flush()
+        self.kv.drain()
+
+
+def execute_op(target: _Target, op: BenchOp, value_size: int) -> str:
+    """Run one benchmark op; returns the outcome bucket (``ok``/...)."""
+    kv = target.kv
+    try:
+        if op.op == "put":
+            kv.put(op.key, value_for(op.key, value_size))
+        elif op.op == "get":
+            kv.get(op.key)
+        elif op.op == "delete":
+            kv.delete(op.key)
+        elif op.op == "contains":
+            kv.contains(op.key)
+        elif op.op == "keys":
+            kv.keys()
+        elif op.op == "flush":
+            kv.flush()
+        elif op.op == "drain":
+            kv.drain()
+        elif op.op == "reboot-clean":
+            target.reboot(clean=True)
+        elif op.op == "reboot-dirty":
+            target.reboot(clean=False)
+        else:
+            raise ValueError(f"unknown bench op {op.op!r}")
+    except (NotFoundError, KeyNotFoundError):
+        return "not_found"
+    return "ok"
+
+
+def _component_breakdown(
+    latency: Dict[str, Any], wall_seconds: float
+) -> Dict[str, Any]:
+    """Merge per-span latency histograms into per-component digests.
+
+    Components nest (an op span contains disk sections), so shares can sum
+    past 1.0; each share is that component's busy fraction of the run.
+    """
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for name, snap in latency.items():
+        groups.setdefault(component_of_latency(name), []).append(snap)
+    wall_ns = max(wall_seconds * 1e9, 1.0)
+    out: Dict[str, Any] = {}
+    for component in sorted(groups):
+        merged = merge_histogram_snapshots(groups[component])
+        merged.update(percentiles_from_snapshot(merged))
+        merged["share_of_wall"] = round(merged["total"] / wall_ns, 4)
+        merged["spans"] = sorted(
+            name for name in latency
+            if component_of_latency(name) == component
+        )
+        out[component] = merged
+    return out
+
+
+def run_bench(
+    workload: str,
+    *,
+    ops: int = 2000,
+    value_size: int = 64,
+    seed: int = 0,
+    target: Optional[str] = None,
+    num_disks: int = 3,
+    slowdown_ns: int = 0,
+) -> Dict[str, Any]:
+    """Run one benchmark and return the artifact dict.
+
+    ``slowdown_ns`` busy-waits that long inside every measured op -- a
+    synthetic regression used to prove the CI baseline gate actually fails
+    (see EXPERIMENTS.md).
+    """
+    target_kind = target or default_target(workload)
+    sequence = generate_ops(workload, ops, value_size, seed)
+    recorder = TimingRecorder()
+    system = _Target(target_kind, workload, seed, num_disks, recorder)
+
+    outcomes = {"ok": 0, "not_found": 0}
+    op_counts: Dict[str, int] = {}
+    started = time.perf_counter_ns()
+    for op in sequence:
+        op_counts[op.op] = op_counts.get(op.op, 0) + 1
+        begin = time.perf_counter_ns()
+        outcome = execute_op(system, op, value_size)
+        if slowdown_ns:
+            deadline = time.perf_counter_ns() + slowdown_ns
+            while time.perf_counter_ns() < deadline:
+                pass
+        recorder.observe_latency(
+            f"bench.{op.op}", time.perf_counter_ns() - begin
+        )
+        outcomes[outcome] += 1
+    wall_seconds = (time.perf_counter_ns() - started) / 1e9
+    system.settle()
+
+    latency = recorder.latency_snapshot()
+    per_op = {
+        name[len("bench."):]: snap
+        for name, snap in latency.items()
+        if name.startswith("bench.")
+    }
+    internal = {
+        name: snap
+        for name, snap in latency.items()
+        if not name.startswith("bench.")
+    }
+    overall = merge_histogram_snapshots(per_op.values())
+    overall.update(percentiles_from_snapshot(overall))
+
+    artifact: Dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench",
+        "workload": workload,
+        "target": target_kind,
+        "ops": ops,
+        "value_size": value_size,
+        "seed": seed,
+        "op_sequence_sha256": sequence_digest(sequence),
+        "op_counts": {name: op_counts[name] for name in sorted(op_counts)},
+        "outcomes": outcomes,
+        "wall_seconds": round(wall_seconds, 6),
+        "throughput_ops_per_sec": round(
+            len(sequence) / max(wall_seconds, 1e-9), 1
+        ),
+        "latency_ns": {"all": overall, **{k: per_op[k] for k in sorted(per_op)}},
+        "components_ns": _component_breakdown(internal, wall_seconds),
+    }
+    if slowdown_ns:
+        artifact["slowdown_ns_per_op"] = slowdown_ns
+    return artifact
+
+
+def default_output_name(workload: str, date: str) -> str:
+    """The conventional artifact filename: ``BENCH_<workload>_<date>.json``."""
+    return f"BENCH_{workload.replace('-', '_')}_{date}.json"

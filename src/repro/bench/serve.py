@@ -1,0 +1,162 @@
+"""``repro metrics-serve``: a live demo node behind ``/metrics``.
+
+Runs a :class:`~repro.shardstore.rpc.StorageNode` with a
+:class:`~repro.shardstore.observability.timing.TimingRecorder`, applies a
+deterministic warmup workload, and serves:
+
+* ``/metrics``  -- Prometheus text format over the node's metric registry,
+  wall-clock latency histograms, and the RPC layer's ``NodeStats`` totals.
+  Each scrape also applies a small slice of fresh mixed traffic so the
+  counters move like a node under load.
+* ``/healthz``  -- JSON liveness: disk service states and shard count.
+
+Stdlib ``http.server`` only.  Single-threaded by design: request handling
+and workload application never interleave.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Optional, Tuple
+
+from repro.shardstore import StorageNode
+from repro.shardstore.observability import TimingRecorder, render_prometheus
+
+from .harness import _Target, execute_op
+from .workloads import generate_ops
+
+__all__ = ["MetricsDemoNode", "make_server", "serve"]
+
+#: Ops generated per traffic epoch; the cursor wraps to a fresh epoch
+#: (seed+epoch) when exhausted, so the node never runs out of traffic.
+_EPOCH_OPS = 4096
+
+
+class MetricsDemoNode:
+    """The live node plus its rolling traffic generator."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        num_disks: int = 3,
+        value_size: int = 64,
+        warmup_ops: int = 400,
+        ops_per_scrape: int = 25,
+    ) -> None:
+        self.seed = seed
+        self.value_size = value_size
+        self.ops_per_scrape = ops_per_scrape
+        self.recorder = TimingRecorder()
+        self._target = _Target(
+            "node", "mixed", seed, num_disks, self.recorder
+        )
+        self._epoch = 0
+        self._sequence = generate_ops("mixed", _EPOCH_OPS, value_size, seed)
+        self._cursor = 0
+        self.apply_traffic(warmup_ops)
+        # Write back the warmup so disk/scheduler counters are live from
+        # the first scrape.
+        self._target.settle()
+
+    @property
+    def node(self) -> StorageNode:
+        return self._target.node  # type: ignore[return-value]
+
+    def apply_traffic(self, ops: int) -> None:
+        for _ in range(max(0, ops)):
+            if self._cursor >= len(self._sequence):
+                self._epoch += 1
+                self._sequence = generate_ops(
+                    "mixed", _EPOCH_OPS, self.value_size,
+                    self.seed + self._epoch,
+                )
+                self._cursor = 0
+            execute_op(
+                self._target, self._sequence[self._cursor], self.value_size
+            )
+            self._cursor += 1
+
+    def metrics_page(self) -> str:
+        self.apply_traffic(self.ops_per_scrape)
+        return render_prometheus(
+            self.recorder.metrics.snapshot(),
+            latency=self.recorder.latency_snapshot(),
+            extra_counters=self.node.stats.snapshot(),
+        )
+
+    def healthz(self) -> dict:
+        node = self.node
+        return {
+            "status": "ok",
+            "disks": {
+                str(disk_id): (
+                    "in-service" if node.in_service(disk_id) else "removed"
+                )
+                for disk_id in range(node.num_disks)
+            },
+            "shards": len(node.keys()),
+        }
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        demo: MetricsDemoNode = self.server.demo_node  # type: ignore[attr-defined]
+        if self.path in ("/metrics", "/metrics/"):
+            body = demo.metrics_page().encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif self.path in ("/healthz", "/healthz/"):
+            body = (json.dumps(demo.healthz()) + "\n").encode("utf-8")
+            content_type = "application/json"
+        else:
+            self.send_error(404, "try /metrics or /healthz")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    demo: Optional[MetricsDemoNode] = None,
+    **demo_kwargs,
+) -> Tuple[HTTPServer, MetricsDemoNode]:
+    """Build (but do not start) the HTTP server; port 0 picks a free port."""
+    demo = demo or MetricsDemoNode(**demo_kwargs)
+    server = HTTPServer((host, port), _MetricsHandler)
+    server.demo_node = demo  # type: ignore[attr-defined]
+    return server, demo
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 9464,
+    *,
+    log=print,
+    **demo_kwargs,
+) -> int:  # pragma: no cover - blocking CLI loop; tested via make_server
+    server, _ = make_server(host, port, **demo_kwargs)
+    server.verbose = True  # type: ignore[attr-defined]
+    bound_host, bound_port = server.server_address[:2]
+    log(
+        f"serving Prometheus metrics on http://{bound_host}:{bound_port}"
+        "/metrics (healthz on /healthz); Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        log("shutting down")
+    finally:
+        server.server_close()
+    return 0

@@ -1,0 +1,129 @@
+"""Deterministic benchmark workloads over the KVNode protocol.
+
+Each workload is a pure function of ``(ops, value_size, seed)``: the op
+sequence is generated up front from one ``random.Random(seed)``, so two
+runs with the same parameters execute *identical* operations (the artifact
+records a SHA-256 digest of the sequence to make that checkable), while
+wall-clock timings naturally differ run to run.
+
+Workloads (mirroring the paper's operation mix plus the background ops the
+validation alphabets cover):
+
+* ``put-heavy``    -- ingest: mostly puts over a growing keyspace.
+* ``get-heavy``    -- read-mostly serving traffic.
+* ``mixed``        -- balanced request plane plus background flushes.
+* ``reclaim-churn``-- overwrite/delete churn on a small store, forcing
+  chunk reclamation (GC) onto the critical path.
+* ``crash-recover``-- request traffic punctuated by clean and dirty
+  reboots, measuring recovery cost (single-disk store target only).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+WORKLOADS = (
+    "put-heavy",
+    "get-heavy",
+    "mixed",
+    "reclaim-churn",
+    "crash-recover",
+)
+
+#: (put, get, delete, contains, keys) weights per workload; flush/drain and
+#: reboots are injected on deterministic op-count cadences instead.
+_MIX: Dict[str, Tuple[float, float, float, float, float]] = {
+    "put-heavy": (0.80, 0.10, 0.05, 0.05, 0.00),
+    "get-heavy": (0.12, 0.78, 0.04, 0.04, 0.02),
+    "mixed": (0.40, 0.40, 0.10, 0.07, 0.03),
+    "reclaim-churn": (0.48, 0.12, 0.38, 0.02, 0.00),
+    "crash-recover": (0.45, 0.35, 0.10, 0.08, 0.02),
+}
+
+#: Background-op cadence (every N request ops) per workload.
+_FLUSH_EVERY = {
+    "put-heavy": 128,
+    "get-heavy": 256,
+    "mixed": 64,
+    "reclaim-churn": 24,
+    "crash-recover": 64,
+}
+_DRAIN_EVERY = {"reclaim-churn": 192}
+_CLEAN_REBOOT_EVERY = {"crash-recover": 311}
+_DIRTY_REBOOT_EVERY = {"crash-recover": 157}
+
+
+@dataclass(frozen=True)
+class BenchOp:
+    """One benchmark operation (value bytes are derived, not stored)."""
+
+    op: str  # put|get|delete|contains|keys|flush|drain|reboot-clean|reboot-dirty
+    key: bytes = b""
+
+    def encode(self) -> bytes:
+        return b"%s %s" % (self.op.encode("ascii"), self.key.hex().encode())
+
+
+def keyspace_size(workload: str, ops: int) -> int:
+    """Bounded keyspace so gets hit and churn workloads overwrite."""
+    if workload == "reclaim-churn":
+        return max(8, min(32, ops // 16))
+    return max(16, ops // 8)
+
+
+def generate_ops(
+    workload: str, ops: int, value_size: int, seed: int
+) -> List[BenchOp]:
+    """The deterministic op sequence for one benchmark run."""
+    if workload not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; one of: {', '.join(WORKLOADS)}"
+        )
+    if ops < 1:
+        raise ValueError("ops must be >= 1")
+    rng = random.Random(seed)
+    space = keyspace_size(workload, ops)
+    put_w, get_w, delete_w, contains_w, keys_w = _MIX[workload]
+    population = ("put", "get", "delete", "contains", "keys")
+    weights = (put_w, get_w, delete_w, contains_w, keys_w)
+    sequence: List[BenchOp] = []
+    flush_every = _FLUSH_EVERY.get(workload, 0)
+    drain_every = _DRAIN_EVERY.get(workload, 0)
+    clean_every = _CLEAN_REBOOT_EVERY.get(workload, 0)
+    dirty_every = _DIRTY_REBOOT_EVERY.get(workload, 0)
+    for index in range(1, ops + 1):
+        (op,) = rng.choices(population, weights=weights)
+        if op == "keys":
+            sequence.append(BenchOp("keys"))
+        else:
+            key = b"bench-%06d" % rng.randrange(space)
+            sequence.append(BenchOp(op, key))
+        if flush_every and index % flush_every == 0:
+            sequence.append(BenchOp("flush"))
+        if drain_every and index % drain_every == 0:
+            sequence.append(BenchOp("drain"))
+        if dirty_every and index % dirty_every == 0:
+            sequence.append(BenchOp("reboot-dirty"))
+        if clean_every and index % clean_every == 0:
+            sequence.append(BenchOp("reboot-clean"))
+    return sequence
+
+
+def value_for(key: bytes, value_size: int) -> bytes:
+    """The deterministic value a workload writes under ``key``."""
+    if value_size <= 0:
+        return b""
+    unit = key + b"/"
+    return (unit * (value_size // len(unit) + 1))[:value_size]
+
+
+def sequence_digest(sequence: List[BenchOp]) -> str:
+    """SHA-256 over the encoded op sequence; equal seeds => equal digests."""
+    digest = hashlib.sha256()
+    for op in sequence:
+        digest.update(op.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()

@@ -14,6 +14,9 @@ is that knob — each subcommand is one checker with its budget exposed:
     python -m repro campaign --smoke --trace --output out.json
     python -m repro stats --from-artifact out.json
     python -m repro trace --from-artifact out.json
+    python -m repro bench --workload mixed --ops 2000 --seed 7 --output bench.json
+    python -m repro bench --workload mixed --check-baseline benchmarks/baselines.json
+    python -m repro metrics-serve --port 9464
 
 Exit status is 0 when every check passed and 1 when any found an issue,
 so the commands drop straight into CI gates.
@@ -302,6 +305,8 @@ def _demo_snapshot(seed: int):
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
     from repro.shardstore.observability import (
         render_fault_events,
         render_metrics,
@@ -318,16 +323,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 "(rerun the campaign with --trace)"
             )
             return 2
-        print(render_metrics(metrics))
         events = []
         for row in artifact.get("fault_matrix", []):
             events.extend(row.get("fault_events") or [])
+        if args.json:
+            json.dump(
+                {"metrics": metrics, "fault_events": events},
+                sys.stdout,
+                indent=2,
+            )
+            print()
+            return 0
+        print(render_metrics(metrics))
         if events:
             print()
             print("fault events (fault matrix):")
             print(render_fault_events(events))
         return 0
     snapshot = _demo_snapshot(args.seed)
+    if args.json:
+        json.dump(
+            {
+                "metrics": snapshot["metrics"],
+                "fault_events": snapshot["fault_events"],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+        return 0
     print(render_metrics(snapshot["metrics"]))
     print()
     print("fault events:")
@@ -336,6 +360,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
     from repro.shardstore.observability import (
         render_fault_events,
         render_trace,
@@ -352,10 +378,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             )
             return 2
         sections = 0
+        json_out = {"failures": [], "fault_matrix": []}
         for failure in artifact.get("failures", []):
             if failure.get("trace") is None:
                 continue
             sections += 1
+            if args.json:
+                json_out["failures"].append(failure)
+                continue
             print(
                 f"== failure shard={failure.get('shard_id')} "
                 f"seed={failure.get('seed')}: {failure.get('detail')}"
@@ -371,6 +401,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             if row.get("trace") is None:
                 continue
             sections += 1
+            if args.json:
+                json_out["fault_matrix"].append(row)
+                continue
             detected = "detected" if row.get("detected") else "MISSED"
             print(f"== fault #{row['id']} {row['fault']} ({detected})")
             print(render_trace(row["trace"]))
@@ -381,10 +414,98 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         if not sections:
             print("no trace sections matched")
             return 2
+        if args.json:
+            json.dump(json_out, sys.stdout, indent=2)
+            print()
         return 0
     snapshot = _demo_snapshot(args.seed)
+    if args.json:
+        json.dump({"trace": snapshot["trace"]}, sys.stdout, indent=2)
+        print()
+        return 0
     print(render_trace(snapshot["trace"]))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import (
+        compare_to_baseline,
+        empty_baselines,
+        load_baselines,
+        render_report,
+        run_bench,
+        save_baselines,
+        update_baselines,
+    )
+
+    artifact = run_bench(
+        args.workload,
+        ops=args.ops,
+        value_size=args.value_size,
+        seed=args.seed,
+        target=args.target,
+        num_disks=args.num_disks,
+        slowdown_ns=int(args.slowdown_us * 1000),
+    )
+    overall = artifact["latency_ns"]["all"]
+    print(
+        f"{args.workload}: {artifact['ops']} ops on {artifact['target']} "
+        f"target in {artifact['wall_seconds']:.3f}s "
+        f"({artifact['throughput_ops_per_sec']:,.0f} ops/s)"
+    )
+    print(
+        f"  latency p50={overall['p50']:,}ns p90={overall['p90']:,}ns "
+        f"p99={overall['p99']:,}ns p999={overall['p999']:,}ns"
+    )
+    for component, digest in artifact["components_ns"].items():
+        print(
+            f"  {component:<10} busy {digest['share_of_wall']:>6.1%} "
+            f"p50={digest['p50']:,}ns ({digest['count']:,} sections)"
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2)
+            handle.write("\n")
+        print(f"artifact written to {args.output}")
+    if args.update_baseline:
+        try:
+            baselines = load_baselines(args.update_baseline)
+        except (OSError, ValueError):
+            baselines = empty_baselines()
+        update_baselines(artifact, baselines)
+        save_baselines(baselines, args.update_baseline)
+        print(f"baseline updated in {args.update_baseline}")
+        return 0
+    if args.check_baseline:
+        try:
+            baselines = load_baselines(args.check_baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baselines {args.check_baseline}: {exc}")
+            return 2
+        report = compare_to_baseline(
+            artifact, baselines, tolerance=args.tolerance
+        )
+        band = args.tolerance
+        if band is None:
+            band = baselines.get("default_tolerance")
+        print(render_report(report, tolerance_note=f"band +{band:.0%}"))
+        return 0 if report.passed else 1
+    return 0
+
+
+def _cmd_metrics_serve(args: argparse.Namespace) -> int:
+    from repro.bench import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        num_disks=args.num_disks,
+        warmup_ops=args.warmup_ops,
+        ops_per_scrape=args.ops_per_scrape,
+    )
 
 
 def _cmd_loc(args: argparse.Namespace) -> int:
@@ -469,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--seed", type=int, default=0, help="seed for the live demo workload"
     )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the human tables",
+    )
     stats.set_defaults(fn=_cmd_stats)
 
     trace = sub.add_parser(
@@ -485,7 +611,78 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--seed", type=int, default=0, help="seed for the live demo workload"
     )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the rendered trace",
+    )
     trace.set_defaults(fn=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="workload-driven performance benchmark (BENCH_*.json artifact)",
+    )
+    from repro.bench.workloads import WORKLOADS as _WORKLOADS
+
+    bench.add_argument("--workload", choices=_WORKLOADS, required=True)
+    bench.add_argument("--ops", type=int, default=2000)
+    bench.add_argument("--value-size", type=int, default=64)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--target",
+        choices=("store", "node"),
+        default=None,
+        help="system under test (default: per-workload; reclaim-churn and "
+        "crash-recover use the single-disk store)",
+    )
+    bench.add_argument("--num-disks", type=int, default=3)
+    bench.add_argument("--output", help="write the JSON artifact here")
+    bench.add_argument(
+        "--check-baseline",
+        metavar="PATH",
+        help="gate against committed baselines (exit 1 on regression)",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        metavar="PATH",
+        help="write this run's numbers into the baselines file",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the regression band (fraction, e.g. 0.35)",
+    )
+    bench.add_argument(
+        "--slowdown-us",
+        type=float,
+        default=0.0,
+        help="inject a synthetic per-op busy-wait (microseconds) to "
+        "demonstrate the regression gate failing",
+    )
+    bench.set_defaults(fn=_cmd_bench)
+
+    metrics_serve = sub.add_parser(
+        "metrics-serve",
+        help="serve live Prometheus metrics from a demo storage node",
+    )
+    metrics_serve.add_argument("--host", default="127.0.0.1")
+    metrics_serve.add_argument("--port", type=int, default=9464)
+    metrics_serve.add_argument("--seed", type=int, default=0)
+    metrics_serve.add_argument("--num-disks", type=int, default=3)
+    metrics_serve.add_argument(
+        "--warmup-ops",
+        type=int,
+        default=400,
+        help="mixed-workload ops applied before serving",
+    )
+    metrics_serve.add_argument(
+        "--ops-per-scrape",
+        type=int,
+        default=25,
+        help="fresh traffic applied on every /metrics scrape",
+    )
+    metrics_serve.set_defaults(fn=_cmd_metrics_serve)
 
     fuzz = sub.add_parser("fuzz", help="deserializer panic-freedom checking")
     fuzz.add_argument("--iterations", type=int, default=10_000)

@@ -42,7 +42,9 @@ from .observability import (
     NullRecorder,
     Recorder,
     RingRecorder,
+    TimingRecorder,
     merge_metrics,
+    render_prometheus,
     render_snapshot,
 )
 from .reclamation import Reclaimer, ReclaimResult
@@ -104,6 +106,7 @@ __all__ = [
     "StoreSystem",
     "Superblock",
     "SuperblockState",
+    "TimingRecorder",
     "component_of",
     "decode_chunk",
     "decode_request",
@@ -115,6 +118,7 @@ __all__ = [
     "encode_response",
     "frame_size",
     "merge_metrics",
+    "render_prometheus",
     "render_snapshot",
     "scan_chunks",
     "validate_key",

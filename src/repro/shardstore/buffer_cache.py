@@ -86,7 +86,11 @@ class BufferCache:
         page_start = page_idx * self._page_size
         soft = self.scheduler.soft_pointer(extent)
         valid = min(self._page_size, soft - page_start)
-        data = self.scheduler.read(extent, page_start, valid)
+        if self.recorder.timing:
+            with self.recorder.timed("cache.fill"):
+                data = self.scheduler.read(extent, page_start, valid)
+        else:
+            data = self.scheduler.read(extent, page_start, valid)
         self._insert(key, data, valid)
         return data
 

@@ -17,13 +17,18 @@ pass a :class:`RingRecorder` via ``StoreConfig(recorder=...)`` (or
 
 from .metrics import (
     HISTOGRAM_BOUNDS,
+    LATENCY_BOUNDS_NS,
     Counter,
     Gauge,
     Histogram,
     Metrics,
     counter_value,
+    merge_histogram_snapshots,
     merge_metrics,
+    percentile_from_snapshot,
+    percentiles_from_snapshot,
 )
+from .prometheus import render_prometheus
 from .recorder import (
     DEFAULT_TRACE_CAPACITY,
     MAX_FAULT_EVENTS,
@@ -39,6 +44,7 @@ from .render import (
     render_snapshot,
     render_trace,
 )
+from .timing import TimingRecorder, component_of_latency
 
 __all__ = [
     "Counter",
@@ -46,9 +52,16 @@ __all__ = [
     "Histogram",
     "Metrics",
     "merge_metrics",
+    "merge_histogram_snapshots",
+    "percentile_from_snapshot",
+    "percentiles_from_snapshot",
     "counter_value",
     "HISTOGRAM_BOUNDS",
+    "LATENCY_BOUNDS_NS",
     "Recorder",
+    "TimingRecorder",
+    "component_of_latency",
+    "render_prometheus",
     "NullRecorder",
     "RingRecorder",
     "NULL_RECORDER",

@@ -8,11 +8,19 @@ nothing in this module may consult wall-clock time or object identity.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Histogram bucket upper bounds (inclusive), powers of two.  The final
 #: bucket is open-ended and keyed ``"inf"`` in snapshots.
 HISTOGRAM_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384)
+
+#: Log-spaced bucket bounds for wall-clock latencies, in nanoseconds:
+#: powers of two from 1us to ~34s.  Used by the bench harness's
+#: :class:`~repro.shardstore.observability.timing.TimingRecorder`; these
+#: values never enter campaign artifacts (the determinism contract).
+LATENCY_BOUNDS_NS: Tuple[int, ...] = tuple(
+    1 << shift for shift in range(10, 36)
+)
 
 
 class Counter:
@@ -49,16 +57,22 @@ class Gauge:
 
 
 class Histogram:
-    """Power-of-two bucketed distribution of integer observations."""
+    """Log-bucketed distribution of integer observations.
 
-    __slots__ = ("count", "total", "min", "max", "buckets")
+    The default bounds suit op/byte counts; pass ``bounds=LATENCY_BOUNDS_NS``
+    for nanosecond latencies.  Bounds must be sorted ascending; values above
+    the last bound land in the open-ended ``"inf"`` bucket.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("count", "total", "min", "max", "buckets", "bounds")
+
+    def __init__(self, bounds: Sequence[int] = HISTOGRAM_BOUNDS) -> None:
         self.count = 0
         self.total = 0
         self.min = 0
         self.max = 0
-        self.buckets = [0] * (len(HISTOGRAM_BOUNDS) + 1)
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: int) -> None:
         if self.count == 0 or value < self.min:
@@ -67,7 +81,7 @@ class Histogram:
             self.max = value
         self.count += 1
         self.total += value
-        for index, bound in enumerate(HISTOGRAM_BOUNDS):
+        for index, bound in enumerate(self.bounds):
             if value <= bound:
                 self.buckets[index] += 1
                 return
@@ -75,7 +89,7 @@ class Histogram:
 
     def snapshot(self) -> Dict[str, Any]:
         buckets = {}
-        for index, bound in enumerate(HISTOGRAM_BOUNDS):
+        for index, bound in enumerate(self.bounds):
             if self.buckets[index]:
                 buckets[str(bound)] = self.buckets[index]
         if self.buckets[-1]:
@@ -135,15 +149,94 @@ class Metrics:
         }
 
 
+def _bound_sort_key(bound: str) -> Tuple[bool, int, str]:
+    return (bound == "inf", len(bound), bound)
+
+
+def merge_histogram_snapshots(
+    snapshots: Iterable[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Merge histogram snapshots (``Histogram.snapshot()`` dicts) bucket-wise.
+
+    Associative and commutative, so per-shard (or per-op-type) histograms
+    can be combined in any grouping -- the property the campaign aggregator
+    and the bench harness both rely on.  Returns an empty-histogram snapshot
+    when nothing is given.
+    """
+    merged: Optional[Dict[str, Any]] = None
+    for snap in snapshots:
+        if not snap or not snap.get("count"):
+            continue
+        if merged is None:
+            merged = {
+                "count": snap["count"],
+                "total": snap["total"],
+                "min": snap["min"],
+                "max": snap["max"],
+                "buckets": dict(snap["buckets"]),
+            }
+            continue
+        merged["min"] = min(merged["min"], snap["min"])
+        merged["max"] = max(merged["max"], snap["max"])
+        merged["count"] += snap["count"]
+        merged["total"] += snap["total"]
+        for bound, count in snap["buckets"].items():
+            merged["buckets"][bound] = merged["buckets"].get(bound, 0) + count
+    if merged is None:
+        return {"count": 0, "total": 0, "min": 0, "max": 0, "buckets": {}}
+    merged["buckets"] = {
+        bound: merged["buckets"][bound]
+        for bound in sorted(merged["buckets"], key=_bound_sort_key)
+    }
+    return merged
+
+
+def percentile_from_snapshot(
+    snapshot: Dict[str, Any], quantile: float
+) -> Optional[int]:
+    """The ``quantile`` (0..1] percentile of a histogram snapshot.
+
+    Bucketed histograms only know each observation's bucket, so the answer
+    is the *upper bound* of the bucket holding the rank-th observation,
+    clamped to the observed ``[min, max]`` range (the open-ended ``inf``
+    bucket reports ``max``).  Returns ``None`` for an empty histogram.
+    """
+    count = snapshot.get("count", 0)
+    if not count:
+        return None
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    rank = max(1, -(-int(quantile * count * 10**9) // 10**9))  # ceil
+    cumulative = 0
+    for bound in sorted(snapshot["buckets"], key=_bound_sort_key):
+        cumulative += snapshot["buckets"][bound]
+        if cumulative >= rank:
+            if bound == "inf":
+                return snapshot["max"]
+            return min(max(int(bound), snapshot["min"]), snapshot["max"])
+    return snapshot["max"]
+
+
+def percentiles_from_snapshot(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The standard latency digest: p50/p90/p99/p999 of one snapshot."""
+    return {
+        "p50": percentile_from_snapshot(snapshot, 0.50),
+        "p90": percentile_from_snapshot(snapshot, 0.90),
+        "p99": percentile_from_snapshot(snapshot, 0.99),
+        "p999": percentile_from_snapshot(snapshot, 0.999),
+    }
+
+
 def merge_metrics(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     """Merge per-shard metric snapshots into one campaign-level block.
 
     Counters sum; gauges keep the peak observed anywhere (``last`` is
-    meaningless across shards and is dropped); histograms merge bucket-wise.
+    meaningless across shards and is dropped); histograms merge bucket-wise
+    via :func:`merge_histogram_snapshots`.
     """
     counters: Dict[str, int] = {}
     gauges: Dict[str, int] = {}
-    histograms: Dict[str, Dict[str, Any]] = {}
+    histogram_parts: Dict[str, List[Dict[str, Any]]] = {}
     for snap in snapshots:
         if not snap:
             continue
@@ -153,31 +246,11 @@ def merge_metrics(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             peak = value["max"] if isinstance(value, dict) else value
             gauges[name] = max(gauges.get(name, 0), peak)
         for name, value in snap.get("histograms", {}).items():
-            merged = histograms.get(name)
-            if merged is None:
-                histograms[name] = {
-                    "count": value["count"],
-                    "total": value["total"],
-                    "min": value["min"],
-                    "max": value["max"],
-                    "buckets": dict(value["buckets"]),
-                }
-                continue
-            merged["min"] = min(merged["min"], value["min"])
-            merged["max"] = max(merged["max"], value["max"])
-            merged["count"] += value["count"]
-            merged["total"] += value["total"]
-            for bound, count in value["buckets"].items():
-                merged["buckets"][bound] = (
-                    merged["buckets"].get(bound, 0) + count
-                )
-    for merged in histograms.values():
-        merged["buckets"] = {
-            bound: merged["buckets"][bound]
-            for bound in sorted(
-                merged["buckets"], key=lambda b: (b == "inf", len(b), b)
-            )
-        }
+            histogram_parts.setdefault(name, []).append(value)
+    histograms = {
+        name: merge_histogram_snapshots(parts)
+        for name, parts in histogram_parts.items()
+    }
     return {
         "counters": {name: counters[name] for name in sorted(counters)},
         "gauges": {name: {"max": gauges[name]} for name in sorted(gauges)},
@@ -198,6 +271,10 @@ __all__: List[str] = [
     "Histogram",
     "Metrics",
     "merge_metrics",
+    "merge_histogram_snapshots",
+    "percentile_from_snapshot",
+    "percentiles_from_snapshot",
     "counter_value",
     "HISTOGRAM_BOUNDS",
+    "LATENCY_BOUNDS_NS",
 ]

@@ -1,0 +1,137 @@
+"""Prometheus text-format exposition of the metrics registry.
+
+:func:`render_prometheus` turns the JSON-able snapshots the rest of the
+observability layer already produces (:meth:`Metrics.snapshot`, merged
+campaign blocks, :meth:`TimingRecorder.latency_snapshot`) into the
+Prometheus exposition format (version 0.0.4) that ``repro metrics-serve``
+serves on ``/metrics``.  Stdlib only; nothing here imports an HTTP server.
+
+Mapping:
+
+* counters   -> ``repro_<name>_total`` (TYPE counter)
+* gauges     -> ``repro_<name>`` (last) and ``repro_<name>_peak`` (max)
+* histograms -> ``repro_<name>`` (TYPE histogram) with cumulative
+  ``_bucket{le=...}`` samples, ``_sum`` and ``_count``
+* latency histograms (nanoseconds, from a TimingRecorder) ->
+  ``repro_latency_seconds{section="<name>"}`` with bounds scaled to seconds
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+__all__ = ["render_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    return f"{namespace}_{_NAME_OK.sub('_', name)}"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _bound_key(bound: str) -> float:
+    return float("inf") if bound == "inf" else float(bound)
+
+
+def _histogram_lines(
+    metric: str,
+    snapshot: Dict[str, Any],
+    *,
+    scale: float = 1.0,
+    labels: str = "",
+) -> List[str]:
+    """Cumulative ``_bucket``/``_sum``/``_count`` samples for one histogram."""
+    lines: List[str] = []
+    cumulative = 0
+    extra = f",{labels}" if labels else ""
+    for bound in sorted(snapshot.get("buckets", {}), key=_bound_key):
+        cumulative += snapshot["buckets"][bound]
+        if bound == "inf":
+            continue
+        le = _format_value(int(bound) * scale if scale != 1.0 else int(bound))
+        lines.append(f'{metric}_bucket{{le="{le}"{extra}}} {cumulative}')
+    label_block = f"{{{labels}}}" if labels else ""
+    lines.append(
+        f'{metric}_bucket{{le="+Inf"{extra}}} {snapshot.get("count", 0)}'
+    )
+    total = snapshot.get("total", 0)
+    lines.append(
+        f"{metric}_sum{label_block} "
+        f"{_format_value(total * scale if scale != 1.0 else total)}"
+    )
+    lines.append(f'{metric}_count{label_block} {snapshot.get("count", 0)}')
+    return lines
+
+
+def render_prometheus(
+    metrics: Optional[Dict[str, Any]],
+    *,
+    latency: Optional[Dict[str, Any]] = None,
+    extra_counters: Optional[Dict[str, int]] = None,
+    namespace: str = "repro",
+) -> str:
+    """Render metric snapshots as a Prometheus text-format page.
+
+    ``metrics`` is a :meth:`Metrics.snapshot` dict (or a merged campaign
+    block); ``latency`` is a :meth:`TimingRecorder.latency_snapshot` dict
+    in nanoseconds, exposed in seconds per Prometheus convention;
+    ``extra_counters`` adds flat name->int counters (e.g. ``NodeStats``).
+    """
+    lines: List[str] = []
+    metrics = metrics or {}
+
+    counters = dict(metrics.get("counters", {}))
+    for name, value in (extra_counters or {}).items():
+        counters[name] = value
+    for name in sorted(counters):
+        metric = _metric_name(name, namespace) + "_total"
+        lines.append(f"# HELP {metric} Monotonic counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+
+    for name in sorted(metrics.get("gauges", {})):
+        value = metrics["gauges"][name]
+        metric = _metric_name(name, namespace)
+        last = value.get("last") if isinstance(value, dict) else value
+        peak = value.get("max") if isinstance(value, dict) else value
+        if last is not None:
+            lines.append(f"# HELP {metric} Gauge {name} (last set value)")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(last)}")
+        if peak is not None:
+            lines.append(f"# HELP {metric}_peak Gauge {name} (peak value)")
+            lines.append(f"# TYPE {metric}_peak gauge")
+            lines.append(f"{metric}_peak {_format_value(peak)}")
+
+    for name in sorted(metrics.get("histograms", {})):
+        metric = _metric_name(name, namespace)
+        lines.append(f"# HELP {metric} Distribution of {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        lines.extend(_histogram_lines(metric, metrics["histograms"][name]))
+
+    if latency:
+        metric = f"{namespace}_latency_seconds"
+        lines.append(
+            f"# HELP {metric} Wall-clock section latency by component span"
+        )
+        lines.append(f"# TYPE {metric} histogram")
+        for name in sorted(latency):
+            lines.extend(
+                _histogram_lines(
+                    metric,
+                    latency[name],
+                    scale=1e-9,
+                    labels=f'section="{name}"',
+                )
+            )
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,130 @@
+"""Wall-clock timing on top of the logical-tick recorder.
+
+:class:`TimingRecorder` extends :class:`RingRecorder` with opt-in monotonic
+wall-clock measurement: every :meth:`span` additionally observes its
+duration into a log-bucketed latency histogram, and the hot-path
+:meth:`timed` hook (guarded by ``recorder.timing`` at call sites) measures
+component sections -- disk IO, cache fills, LSM flushes, scheduler pumps --
+without emitting trace-ring events.
+
+The wall-clock data lives in a *separate* store (:attr:`latency`) and a
+separate snapshot (:meth:`latency_snapshot`): :meth:`snapshot` is inherited
+unchanged, so traced campaign artifacts stay byte-identical across reruns
+(the PR 1 determinism contract).  Only the bench harness and the metrics
+endpoint read latencies.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from .metrics import (
+    LATENCY_BOUNDS_NS,
+    Histogram,
+    percentiles_from_snapshot,
+)
+from .recorder import RingRecorder, _Span
+
+__all__ = ["TimingRecorder", "component_of_latency"]
+
+
+#: Undotted span names that are background work, not request-plane ops;
+#: they get their own component so op busy-share is not double-counted.
+_BACKGROUND_SPANS = ("reclaim", "scrub")
+
+
+def component_of_latency(name: str) -> str:
+    """The component a latency series belongs to (its dotted prefix).
+
+    Undotted names are op-level spans (``put``, ``get``, ``flush``...) and
+    group under ``"op"``, except background work (reclamation, scrubbing)
+    which stands alone; ``node.*`` spans are the RPC layer.
+    """
+    if "." not in name:
+        return name if name in _BACKGROUND_SPANS else "op"
+    return name.split(".", 1)[0]
+
+
+class _TimedSection:
+    """Measures one wall-clock section into the recorder's latency store."""
+
+    __slots__ = ("_recorder", "name", "_start")
+
+    def __init__(self, recorder: "TimingRecorder", name: str) -> None:
+        self._recorder = recorder
+        self.name = name
+        self._start = 0
+
+    def __enter__(self) -> "_TimedSection":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._recorder.observe_latency(
+            self.name, time.perf_counter_ns() - self._start
+        )
+        return False
+
+
+class _TimedSpan(_TimedSection):
+    """A ring span that also records its wall-clock duration."""
+
+    __slots__ = ()
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._recorder.observe_latency(
+            self.name, time.perf_counter_ns() - self._start
+        )
+        self._recorder._end_span(self.name, failed=exc[0] is not None)
+        return False
+
+
+class TimingRecorder(RingRecorder):
+    """A :class:`RingRecorder` that additionally measures wall time.
+
+    Spans keep their logical-tick ring entries (depth, order) *and* feed a
+    per-name latency histogram; ``timed`` sections feed histograms only.
+    """
+
+    timing = True
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity=capacity)
+        self.latency: Dict[str, Histogram] = {}
+
+    def observe_latency(self, name: str, duration_ns: int) -> None:
+        histogram = self.latency.get(name)
+        if histogram is None:
+            histogram = self.latency[name] = Histogram(
+                bounds=LATENCY_BOUNDS_NS
+            )
+        histogram.observe(duration_ns)
+
+    def span(self, name: str, **fields: Any) -> _Span:
+        entry: Dict[str, Any] = {
+            "type": "span",
+            "name": name,
+            "depth": self._depth,
+        }
+        if fields:
+            entry["fields"] = fields
+        self._emit(entry)
+        self._depth += 1
+        return _TimedSpan(self, name)
+
+    def timed(self, name: str) -> _TimedSection:
+        return _TimedSection(self, name)
+
+    def latency_snapshot(self) -> Dict[str, Any]:
+        """Per-name latency histograms with percentile digests (ns).
+
+        Deliberately *not* part of :meth:`snapshot`: wall-clock values must
+        never reach campaign artifacts.
+        """
+        out: Dict[str, Any] = {}
+        for name in sorted(self.latency):
+            snap = self.latency[name].snapshot()
+            snap.update(percentiles_from_snapshot(snap))
+            out[name] = snap
+        return out

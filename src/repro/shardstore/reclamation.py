@@ -96,6 +96,10 @@ class Reclaimer:
         if not self.chunk_store.begin_reclaim(extent):
             return None
         try:
+            # Guarded: reclamation runs from the put path under allocation
+            # pressure, so an unguarded span would tax the fast path.
+            if not self.recorder.enabled:
+                return self._reclaim_claimed(extent, max_evacuations)
             with self.recorder.span("reclaim", extent=extent):
                 return self._reclaim_claimed(extent, max_evacuations)
         finally:

@@ -69,6 +69,15 @@ class NodeStats:
     deletes: int = 0
     migrations: int = 0
 
+    def snapshot(self) -> Dict[str, int]:
+        """Request-plane totals, named for metrics exposition."""
+        return {
+            "node.puts": self.puts,
+            "node.gets": self.gets,
+            "node.deletes": self.deletes,
+            "node.migrations": self.migrations,
+        }
+
 
 class StorageNode:
     """A multi-disk ShardStore storage node with a steering RPC layer."""
@@ -368,14 +377,19 @@ class StorageNode:
 
     def flush(self) -> NodeDependency:
         """Flush every in-service disk; the combined durability dependency."""
+        if not self.recorder.enabled:
+            return self._flush()
         with self.recorder.span("node.flush"):
-            return NodeDependency(
-                [
-                    system.store.flush()
-                    for disk_id, system in enumerate(self.systems)
-                    if self._in_service[disk_id]
-                ]
-            )
+            return self._flush()
+
+    def _flush(self) -> NodeDependency:
+        return NodeDependency(
+            [
+                system.store.flush()
+                for disk_id, system in enumerate(self.systems)
+                if self._in_service[disk_id]
+            ]
+        )
 
     def drain(self) -> None:
         """Write back everything pending on every in-service disk."""

@@ -252,6 +252,14 @@ class IoScheduler:
         merged pages atomic, coarsening the reachable crash states --
         while the production drain path uses it.
         """
+        if self.recorder.timing:
+            with self.recorder.timed("scheduler.pump_one"):
+                return self._pump_one(extent, coalesce=coalesce)
+        return self._pump_one(extent, coalesce=coalesce)
+
+    def _pump_one(
+        self, extent: Optional[int] = None, *, coalesce: bool = False
+    ) -> bool:
         eligible = self.eligible_extents()
         if not eligible:
             return False

@@ -203,10 +203,15 @@ class ShardStore:
         ``drain()``, every dependency previously returned by this store
         reports persistent.
         """
+        if not self.recorder.enabled:
+            return self._flush()
         with self.recorder.span("flush"):
-            index_dep = self.flush_index()
-            superblock_dep = self.flush_superblock()
-            return index_dep.and_(superblock_dep)
+            return self._flush()
+
+    def _flush(self) -> Dependency:
+        index_dep = self.flush_index()
+        superblock_dep = self.flush_superblock()
+        return index_dep.and_(superblock_dep)
 
     def flush_index(self) -> Dependency:
         return self.index.flush()
@@ -215,6 +220,9 @@ class ShardStore:
         return self.superblock.flush()
 
     def compact(self) -> Optional[Dependency]:
+        if self.recorder.timing:
+            with self.recorder.timed("lsm.compact"):
+                return self.index.compact()
         return self.index.compact()
 
     def reclaim(

@@ -1,0 +1,359 @@
+"""Tests for the benchmark harness, workloads, and the baseline gate.
+
+Determinism is the load-bearing property: the op sequence (and its digest
+in the artifact) must be a pure function of (workload, ops, value_size,
+seed), while wall-clock fields are free to vary.  The baseline tests use
+synthetic artifacts so the gate logic is checked without timing noise; the
+one test that gates against the committed ``benchmarks/baselines.json`` is
+marked ``bench`` and runs only in the CI bench job (``pytest -m bench``).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_TOLERANCE,
+    WORKLOADS,
+    compare_to_baseline,
+    default_output_name,
+    default_target,
+    empty_baselines,
+    generate_ops,
+    load_baselines,
+    render_report,
+    run_bench,
+    save_baselines,
+    sequence_digest,
+    update_baselines,
+    value_for,
+)
+from repro.cli import main
+
+BASELINES_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "benchmarks", "baselines.json"
+)
+
+
+class TestWorkloadGeneration:
+    def test_same_seed_same_sequence(self):
+        a = generate_ops("mixed", 500, 64, seed=7)
+        b = generate_ops("mixed", 500, 64, seed=7)
+        assert a == b
+        assert sequence_digest(a) == sequence_digest(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_ops("mixed", 500, 64, seed=7)
+        b = generate_ops("mixed", 500, 64, seed=8)
+        assert sequence_digest(a) != sequence_digest(b)
+
+    def test_put_heavy_is_mostly_puts(self):
+        ops = generate_ops("put-heavy", 1000, 64, seed=0)
+        puts = sum(1 for op in ops if op.op == "put")
+        assert puts > 0.6 * len(ops)
+
+    def test_flush_cadence_injected(self):
+        ops = generate_ops("mixed", 200, 64, seed=0)
+        flushes = [op for op in ops if op.op == "flush"]
+        assert len(flushes) == 200 // 64
+
+    def test_reboots_only_in_crash_recover(self):
+        for workload in WORKLOADS:
+            ops = generate_ops(workload, 400, 64, seed=1)
+            reboots = [op for op in ops if op.op.startswith("reboot")]
+            if workload == "crash-recover":
+                assert reboots
+            else:
+                assert not reboots
+
+    def test_reclaim_churn_drains(self):
+        ops = generate_ops("reclaim-churn", 400, 64, seed=1)
+        assert any(op.op == "drain" for op in ops)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            generate_ops("nope", 10, 64, seed=0)
+        with pytest.raises(ValueError):
+            generate_ops("mixed", 0, 64, seed=0)
+
+    def test_value_for_is_deterministic_and_sized(self):
+        assert value_for(b"k", 8) == value_for(b"k", 8)
+        assert len(value_for(b"bench-000001", 100)) == 100
+        assert value_for(b"k", 0) == b""
+
+    def test_default_targets(self):
+        assert default_target("mixed") == "node"
+        assert default_target("reclaim-churn") == "store"
+        assert default_target("crash-recover") == "store"
+
+
+class TestRunBench:
+    def test_artifact_schema(self):
+        artifact = run_bench("mixed", ops=150, seed=3)
+        assert artifact["schema_version"] == BENCH_SCHEMA_VERSION
+        assert artifact["kind"] == "bench"
+        assert artifact["workload"] == "mixed"
+        assert artifact["target"] == "node"
+        for key in (
+            "ops",
+            "value_size",
+            "seed",
+            "op_sequence_sha256",
+            "op_counts",
+            "outcomes",
+            "wall_seconds",
+            "throughput_ops_per_sec",
+            "latency_ns",
+            "components_ns",
+        ):
+            assert key in artifact, key
+        overall = artifact["latency_ns"]["all"]
+        assert overall["count"] == sum(artifact["op_counts"].values())
+        for quantile in ("p50", "p90", "p99", "p999"):
+            assert overall[quantile] is not None
+        assert artifact["throughput_ops_per_sec"] > 0
+
+    def test_same_seed_reruns_execute_identical_ops(self):
+        a = run_bench("mixed", ops=150, seed=3)
+        b = run_bench("mixed", ops=150, seed=3)
+        assert a["op_sequence_sha256"] == b["op_sequence_sha256"]
+        assert a["op_counts"] == b["op_counts"]
+        assert a["outcomes"] == b["outcomes"]
+
+    def test_component_breakdown_covers_the_stack(self):
+        artifact = run_bench("mixed", ops=300, seed=3)
+        components = artifact["components_ns"]
+        for component in ("node", "op", "disk", "scheduler"):
+            assert component in components, component
+        node = components["node"]
+        assert node["count"] > 0
+        assert node["share_of_wall"] > 0
+        assert any(span.startswith("node.") for span in node["spans"])
+
+    def test_crash_recover_runs_on_store_target(self):
+        artifact = run_bench("crash-recover", ops=320, seed=5)
+        assert artifact["target"] == "store"
+        assert "reboot-dirty" in artifact["op_counts"]
+        assert "reboot-clean" in artifact["op_counts"]
+
+    def test_reclaim_churn_triggers_reclamation(self):
+        artifact = run_bench("reclaim-churn", ops=600, seed=2)
+        assert artifact["target"] == "store"
+        assert artifact["op_counts"]["delete"] > 0
+
+    def test_slowdown_inflates_latency(self):
+        fast = run_bench("put-heavy", ops=120, seed=9)
+        slow = run_bench("put-heavy", ops=120, seed=9, slowdown_ns=500_000)
+        assert slow["slowdown_ns_per_op"] == 500_000
+        assert "slowdown_ns_per_op" not in fast
+        # Every measured op gains >=0.5ms, so p50 must climb.
+        assert (
+            slow["latency_ns"]["all"]["p50"] > fast["latency_ns"]["all"]["p50"]
+        )
+        assert slow["latency_ns"]["all"]["p50"] >= 500_000
+
+    def test_default_output_name(self):
+        assert (
+            default_output_name("reclaim-churn", "2026_08_06")
+            == "BENCH_reclaim_churn_2026_08_06.json"
+        )
+
+
+def _synthetic_artifact(p50=1000, throughput=5000.0, **overrides):
+    artifact = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench",
+        "workload": "mixed",
+        "target": "node",
+        "ops": 2000,
+        "value_size": 64,
+        "seed": 7,
+        "op_sequence_sha256": "abc123",
+        "throughput_ops_per_sec": throughput,
+        "latency_ns": {
+            "all": {"p50": p50, "p90": 4 * p50, "p99": 8 * p50, "p999": 8 * p50}
+        },
+    }
+    artifact.update(overrides)
+    return artifact
+
+
+class TestBaselineGate:
+    def test_update_then_compare_passes(self):
+        baselines = update_baselines(_synthetic_artifact(), empty_baselines())
+        report = compare_to_baseline(_synthetic_artifact(), baselines)
+        assert report.passed
+        assert not report.config_mismatches
+
+    def test_p50_regression_beyond_band_fails(self):
+        baselines = update_baselines(
+            _synthetic_artifact(p50=1000), empty_baselines()
+        )
+        ok = compare_to_baseline(
+            _synthetic_artifact(p50=1300), baselines
+        )  # +30% < 35% band
+        assert ok.passed
+        bad = compare_to_baseline(_synthetic_artifact(p50=1400), baselines)
+        assert not bad.passed
+        failing = [entry for entry in bad.entries if not entry.passed]
+        assert failing and failing[0].metric == "p50[all]"
+
+    def test_throughput_floor(self):
+        baselines = update_baselines(
+            _synthetic_artifact(throughput=1350.0), empty_baselines()
+        )
+        ok = compare_to_baseline(
+            _synthetic_artifact(throughput=1001.0), baselines
+        )
+        assert ok.passed
+        bad = compare_to_baseline(
+            _synthetic_artifact(throughput=999.0), baselines
+        )
+        assert not bad.passed
+
+    def test_config_mismatch_fails(self):
+        baselines = update_baselines(_synthetic_artifact(), empty_baselines())
+        report = compare_to_baseline(
+            _synthetic_artifact(seed=8, op_sequence_sha256="def456"), baselines
+        )
+        assert not report.passed
+        assert any("seed" in m for m in report.config_mismatches)
+        assert any(
+            "op_sequence_sha256" in m for m in report.config_mismatches
+        )
+
+    def test_missing_workload_fails(self):
+        report = compare_to_baseline(
+            _synthetic_artifact(), empty_baselines()
+        )
+        assert not report.passed
+        assert "no baseline" in report.config_mismatches[0]
+
+    def test_tolerance_precedence(self):
+        baselines = update_baselines(
+            _synthetic_artifact(p50=1000), empty_baselines()
+        )
+        # Explicit argument wins over the default band.
+        wide = compare_to_baseline(
+            _synthetic_artifact(p50=1900), baselines, tolerance=1.0
+        )
+        assert wide.passed
+        # Per-entry tolerance wins over default_tolerance.
+        baselines["workloads"]["mixed"]["tolerance"] = 1.0
+        entry_band = compare_to_baseline(
+            _synthetic_artifact(p50=1900), baselines
+        )
+        assert entry_band.passed
+        assert DEFAULT_TOLERANCE == 0.35
+
+    def test_save_load_roundtrip_and_schema_check(self, tmp_path):
+        path = str(tmp_path / "baselines.json")
+        baselines = update_baselines(_synthetic_artifact(), empty_baselines())
+        save_baselines(baselines, path)
+        assert load_baselines(path) == baselines
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"schema_version": 99}, handle)
+        with pytest.raises(ValueError):
+            load_baselines(path)
+
+    def test_render_report_mentions_verdicts(self):
+        baselines = update_baselines(
+            _synthetic_artifact(p50=1000), empty_baselines()
+        )
+        text = render_report(
+            compare_to_baseline(_synthetic_artifact(p50=5000), baselines)
+        )
+        assert "REGRESSION" in text
+        assert "FAIL" in text
+
+
+class TestBenchCli:
+    def test_bench_writes_artifact(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        status = main(
+            [
+                "bench",
+                "--workload",
+                "mixed",
+                "--ops",
+                "150",
+                "--seed",
+                "7",
+                "--output",
+                out,
+            ]
+        )
+        assert status == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            artifact = json.load(handle)
+        assert artifact["schema_version"] == BENCH_SCHEMA_VERSION
+        assert artifact["workload"] == "mixed"
+        stdout = capsys.readouterr().out
+        assert "p50=" in stdout
+
+    def test_update_then_check_baseline_gate(self, tmp_path, capsys):
+        baselines = str(tmp_path / "baselines.json")
+        common = ["bench", "--workload", "put-heavy", "--ops", "120",
+                  "--seed", "7"]
+        assert main(common + ["--update-baseline", baselines]) == 0
+        # Back-to-back rerun on the same machine: one-bucket slack (2x)
+        # absorbs quantization of the power-of-two latency buckets.
+        assert main(
+            common + ["--check-baseline", baselines, "--tolerance", "1.0"]
+        ) == 0
+        # A synthetic 2ms/op slowdown must trip the gate.
+        status = main(
+            common
+            + [
+                "--check-baseline",
+                baselines,
+                "--tolerance",
+                "1.0",
+                "--slowdown-us",
+                "2000",
+            ]
+        )
+        assert status == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_baseline_missing_file_is_exit_2(self, tmp_path, capsys):
+        status = main(
+            [
+                "bench",
+                "--workload",
+                "mixed",
+                "--ops",
+                "120",
+                "--seed",
+                "7",
+                "--check-baseline",
+                str(tmp_path / "nope.json"),
+            ]
+        )
+        assert status == 2
+
+
+@pytest.mark.bench
+class TestCommittedBaselines:
+    """The CI bench job's gate (excluded from tier-1 via the marker)."""
+
+    def test_committed_baselines_hold(self):
+        baselines = load_baselines(BASELINES_PATH)
+        base = baselines["workloads"]["mixed"]
+        artifact = run_bench(
+            "mixed",
+            ops=base["ops"],
+            value_size=base["value_size"],
+            seed=base["seed"],
+        )
+        # Machine-independent: the op sequence digest must match exactly.
+        assert (
+            artifact["op_sequence_sha256"] == base["op_sequence_sha256"]
+        )
+        # Wall-clock gate: generous band because the committed numbers
+        # come from different hardware; CI's strict band runs against a
+        # baseline regenerated on the same runner (see ci.yml).
+        report = compare_to_baseline(artifact, baselines, tolerance=3.0)
+        assert report.passed, render_report(report)

@@ -1,0 +1,221 @@
+"""Tests for Prometheus exposition and the ``repro metrics-serve`` node.
+
+The scrape tests start the real stdlib HTTP server on an ephemeral port
+and validate the page with a small text-format parser: every sample must
+belong to a declared TYPE family, histogram buckets must be cumulative,
+and the ``le="+Inf"`` bucket must agree with ``_count``.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.bench import MetricsDemoNode, make_server
+from repro.shardstore import TimingRecorder, render_prometheus
+from repro.shardstore.observability import Metrics
+
+
+def _parse(page):
+    """-> (types, samples) where samples is [(name, labels, value)]."""
+    types = {}
+    samples = []
+    assert page.endswith("\n")
+    for line in page.rstrip("\n").split("\n"):
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+        elif line.startswith("#"):
+            continue
+        else:
+            name_part, value = line.rsplit(" ", 1)
+            if "{" in name_part:
+                name, labels = name_part.split("{", 1)
+                labels = labels.rstrip("}")
+            else:
+                name, labels = name_part, ""
+            samples.append((name, labels, float(value)))
+    return types, samples
+
+
+def _family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class TestRenderPrometheus:
+    def test_counters_gauges_histograms(self):
+        metrics = Metrics()
+        metrics.count("disk.writes", 3)
+        metrics.gauge("scheduler.queue_depth", 2)
+        metrics.gauge("scheduler.queue_depth", 1)
+        for value in (1, 2, 3, 10):
+            metrics.observe("disk.write_bytes", value)
+        page = render_prometheus(metrics.snapshot())
+        types, samples = _parse(page)
+        by_name = {(name, labels): value for name, labels, value in samples}
+
+        assert types["repro_disk_writes_total"] == "counter"
+        assert by_name[("repro_disk_writes_total", "")] == 3
+        assert types["repro_scheduler_queue_depth"] == "gauge"
+        assert by_name[("repro_scheduler_queue_depth", "")] == 1
+        assert by_name[("repro_scheduler_queue_depth_peak", "")] == 2
+        assert types["repro_disk_write_bytes"] == "histogram"
+        # Cumulative buckets over observations 1, 2, 3, 10.
+        assert by_name[("repro_disk_write_bytes_bucket", 'le="1"')] == 1
+        assert by_name[("repro_disk_write_bytes_bucket", 'le="2"')] == 2
+        assert by_name[("repro_disk_write_bytes_bucket", 'le="4"')] == 3
+        assert by_name[("repro_disk_write_bytes_bucket", 'le="16"')] == 4
+        assert by_name[("repro_disk_write_bytes_bucket", 'le="+Inf"')] == 4
+        assert by_name[("repro_disk_write_bytes_sum", "")] == 16
+        assert by_name[("repro_disk_write_bytes_count", "")] == 4
+
+    def test_every_sample_has_a_declared_type(self):
+        metrics = Metrics()
+        metrics.count("a", 1)
+        metrics.gauge("b", 1)
+        metrics.observe("c", 1)
+        recorder = TimingRecorder()
+        recorder.observe_latency("disk.write", 2048)
+        page = render_prometheus(
+            metrics.snapshot(),
+            latency=recorder.latency_snapshot(),
+            extra_counters={"node.puts": 7},
+        )
+        types, samples = _parse(page)
+        for name, _, _ in samples:
+            assert _family(name) in types, f"{name} has no TYPE declaration"
+
+    def test_latency_rendered_in_seconds_with_section_label(self):
+        recorder = TimingRecorder()
+        recorder.observe_latency("disk.write", 2048)  # exactly bound 2048ns
+        page = render_prometheus({}, latency=recorder.latency_snapshot())
+        types, samples = _parse(page)
+        assert types["repro_latency_seconds"] == "histogram"
+        buckets = [
+            (labels, value)
+            for name, labels, value in samples
+            if name == "repro_latency_seconds_bucket"
+            and 'section="disk.write"' in labels
+        ]
+        # The 2048ns bound appears as 2.048e-06 seconds.
+        assert any('le="2.048e-06"' in labels for labels, _ in buckets)
+        sums = {
+            labels: value
+            for name, labels, value in samples
+            if name == "repro_latency_seconds_sum"
+        }
+        assert sums['section="disk.write"'] == pytest.approx(2048e-9)
+
+    def test_name_sanitization_and_extra_counters(self):
+        page = render_prometheus({}, extra_counters={"node.puts": 7})
+        assert "repro_node_puts_total 7" in page
+
+    def test_empty_inputs_render_empty_page(self):
+        assert render_prometheus({}) == "\n"
+        assert render_prometheus(None) == "\n"
+
+
+def _bucket_values(samples, labels_contains):
+    rows = []
+    for name, labels, value in samples:
+        if name == "repro_latency_seconds_bucket" and labels_contains in labels:
+            le = [
+                part.split("=", 1)[1].strip('"')
+                for part in labels.split(",")
+                if part.startswith("le=")
+            ][0]
+            rows.append((float("inf") if le == "+Inf" else float(le), value))
+    rows.sort()
+    return rows
+
+
+class TestMetricsServe:
+    @pytest.fixture()
+    def server(self):
+        server, demo = make_server(
+            port=0, seed=3, warmup_ops=150, ops_per_scrape=10
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}", demo
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_scrape_metrics(self, server):
+        base_url, _ = server
+        with urllib.request.urlopen(f"{base_url}/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            page = response.read().decode("utf-8")
+        types, samples = _parse(page)
+        names = {name for name, _, _ in samples}
+        # NodeStats totals from the RPC layer are wired through.
+        assert "repro_node_puts_total" in names
+        assert "repro_disk_writes_total" in names
+        assert types["repro_latency_seconds"] == "histogram"
+        # Histogram buckets are cumulative and +Inf matches _count.
+        section = 'section="node.put"'
+        buckets = _bucket_values(samples, section)
+        assert buckets, "expected node.put latency buckets"
+        values = [value for _, value in buckets]
+        assert values == sorted(values)
+        counts = {
+            labels: value
+            for name, labels, value in samples
+            if name == "repro_latency_seconds_count"
+        }
+        assert buckets[-1][1] == counts[section]
+
+    def test_scrapes_apply_fresh_traffic(self, server):
+        base_url, _ = server
+
+        def puts_total():
+            with urllib.request.urlopen(f"{base_url}/metrics") as response:
+                page = response.read().decode("utf-8")
+            _, samples = _parse(page)
+            return {name: value for name, _, value in samples}[
+                "repro_node_puts_total"
+            ]
+
+        first = puts_total()
+        second = puts_total()
+        assert second > first
+
+    def test_healthz(self, server):
+        base_url, demo = server
+        with urllib.request.urlopen(f"{base_url}/healthz") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == "application/json"
+            payload = json.load(response)
+        assert payload["status"] == "ok"
+        assert set(payload["disks"]) == {"0", "1", "2"}
+        assert all(
+            state == "in-service" for state in payload["disks"].values()
+        )
+        assert payload["shards"] >= 0
+
+    def test_unknown_path_is_404(self, server):
+        base_url, _ = server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base_url}/nope")
+        assert excinfo.value.code == 404
+
+
+class TestMetricsDemoNode:
+    def test_traffic_epochs_roll_over(self):
+        demo = MetricsDemoNode(seed=1, warmup_ops=10, ops_per_scrape=5)
+        demo.apply_traffic(5000)  # crosses the 4096-op epoch boundary
+        assert demo._epoch >= 1
+        page = demo.metrics_page()
+        assert "repro_node_puts_total" in page
