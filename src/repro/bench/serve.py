@@ -84,6 +84,7 @@ class MetricsDemoNode:
             self.recorder.metrics.snapshot(),
             latency=self.recorder.latency_snapshot(),
             extra_counters=self.node.stats.snapshot(),
+            extra_gauges=self.node.health_snapshot()["gauges"],
         )
 
     def healthz(self) -> dict:
@@ -92,7 +93,11 @@ class MetricsDemoNode:
             "status": "ok",
             "disks": {
                 str(disk_id): (
-                    "in-service" if node.in_service(disk_id) else "removed"
+                    "removed"
+                    if not node.in_service(disk_id)
+                    else "degraded"
+                    if node.degraded(disk_id)
+                    else "in-service"
                 )
                 for disk_id in range(node.num_disks)
             },

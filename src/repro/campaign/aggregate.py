@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 from .spec import (
     ALL_KINDS,
     KIND_FAULT_MATRIX,
+    KIND_INJECTION,
     SCHEMA_VERSION,
     CampaignSpec,
     ShardResult,
@@ -167,6 +168,37 @@ def _fault_matrix_rows(results: List[ShardResult]) -> List[Dict[str, Any]]:
     return rows
 
 
+def _injection_summary(
+    results: List[ShardResult],
+) -> Optional[Dict[str, Any]]:
+    """The resilience section: per-shard plan identity plus summed fault
+    and self-healing counters (None when no injection phase ran)."""
+    shards = [r for r in results if r.kind == KIND_INJECTION]
+    if not shards:
+        return None
+    totals: Dict[str, int] = {}
+    per_shard: List[Dict[str, Any]] = []
+    for result in shards:
+        block: Dict[str, Any] = dict(result.injection or {})
+        for key, value in block.items():
+            if isinstance(value, int) and not isinstance(value, bool):
+                totals[key] = totals.get(key, 0) + value
+        block.update(
+            {
+                "shard_id": result.shard_id,
+                "seed": result.seed,
+                "cases": result.cases,
+                "ok": result.ok,
+                "skipped": result.skipped,
+            }
+        )
+        per_shard.append(block)
+    return {
+        "shards": per_shard,
+        "totals": {key: totals[key] for key in sorted(totals)},
+    }
+
+
 def _merged_metrics(results: List[ShardResult]) -> Optional[Dict[str, Any]]:
     """Merge every traced shard's metrics snapshot (None when untraced)."""
     from repro.shardstore.observability import merge_metrics
@@ -236,4 +268,7 @@ def result_to_json(outcome: CampaignResult) -> Dict[str, Any]:
     metrics = _merged_metrics(results)
     if metrics is not None:
         artifact["metrics"] = metrics
+    injection = _injection_summary(results)
+    if injection is not None:
+        artifact["injection"] = injection
     return artifact

@@ -102,6 +102,9 @@ def fault_matrix_shards(
                     detector=detector,
                     sequences=spec.fault_matrix_sequences,
                     ops=60,
+                    # Matrix shards pin the node to historical fail-fast
+                    # semantics: self-healing must not mask a known bug.
+                    retries_disabled=True,
                     trace=spec.trace,
                 )
             )

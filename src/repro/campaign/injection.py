@@ -1,0 +1,740 @@
+"""Failure-injection conformance: the section 4.4 contract under a storm.
+
+Each shard of the ``injection`` campaign phase replays conformance PBT
+while a seeded :class:`~repro.shardstore.injection.FaultPlan` fires faults
+at (operation count, disk, extent) coordinates, then asserts the paper's
+two-sided contract:
+
+* **during the storm** every operation either conforms to the model or
+  fails with a *typed* error -- a transient ``IoError`` escaping the node
+  request plane (instead of being retried and wrapped as
+  ``RetryableError``) is itself a conformance failure;
+* **after the storm** a recovery pass must restore full conformance:
+  scrub-repair heals corrupt-but-recoverable chunks and quarantines the
+  rest, drains succeed, a clean reboot works, a final scrub is clean, and
+  every key untouched by any failed operation still holds exactly its
+  model value.
+
+Two harnesses cover the two planes:
+
+* :class:`InjectionStoreHarness` extends the single-store conformance
+  harness with plan-driven arming, silent bit-flip corruption (with the
+  uncertainty relaxation that corruption forces: a cache-served read can
+  no longer pin down on-disk state), and a deterministic
+  ``recover_and_verify`` pass.
+* :class:`InjectionNodeHarness` drives the multi-disk ``StorageNode``
+  request plane, where the tolerance machinery (retry/backoff, the
+  per-disk circuit breaker, degraded mode) must *absorb* the storm:
+  settlement requires flush/drain to eventually succeed, which under a
+  permanent-fault plan only happens because the breaker demotes the dying
+  disk.  Run with the breaker disabled, the same plan must fail -- the CI
+  negative test that proves the self-healing is load-bearing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
+
+if TYPE_CHECKING:
+    from repro.campaign.spec import ShardResult, ShardSpec
+
+from repro.core.alphabet import (
+    Alphabet,
+    BiasConfig,
+    OpSpec,
+    Operation,
+    _key_args,
+    _no_args,
+    _put_args,
+    store_alphabet,
+)
+from repro.core.conformance import CheckFailure, Harness, StoreHarness
+from repro.shardstore.config import FIRST_DATA_EXTENT, StoreConfig
+from repro.shardstore.disk import DiskGeometry, FailureMode, FaultKind
+from repro.shardstore.errors import (
+    IoError,
+    KeyNotFoundError,
+    NotFoundError,
+    RetryableError,
+    ShardStoreError,
+)
+from repro.shardstore.injection import (
+    FAULT_BIT_FLIP,
+    FAULT_HEAL,
+    FAULT_PERMANENT,
+    FAULT_PERMANENT_DISK,
+    FAULT_TORN_WRITE,
+    FAULT_TRANSIENT_READ,
+    FAULT_TRANSIENT_WRITE,
+    FaultInjector,
+    FaultPlan,
+    PlannedFault,
+)
+from repro.shardstore.observability import NULL_RECORDER, Recorder, RingRecorder
+from repro.shardstore.resilience import BreakerConfig, RetryPolicy
+from repro.shardstore.rpc import StorageNode
+
+__all__ = [
+    "InjectionStoreHarness",
+    "InjectionNodeHarness",
+    "injection_node_alphabet",
+    "run_shard",
+]
+
+#: The storm geometry: the same small config conformance uses, so faults
+#: reach reclamation/rotation paths quickly.
+_NUM_EXTENTS = 12
+_DATA_EXTENTS = tuple(range(FIRST_DATA_EXTENT, _NUM_EXTENTS))
+
+
+def _storm_config(seed: int, recorder: Recorder) -> StoreConfig:
+    return StoreConfig(
+        geometry=DiskGeometry(
+            num_extents=_NUM_EXTENTS, extent_size=4096, page_size=128
+        ),
+        seed=seed,
+        recorder=recorder,
+        retry_policy=RetryPolicy(),
+    )
+
+
+def _aim_write(system: Any, planned_extent: int) -> int:
+    """Steer a write fault at an extent the store will actually write.
+
+    Planned extents are drawn uniformly, but writes concentrate on the
+    scheduler's pending queues; arming a random extent mostly misses.  The
+    plan's extent stays the deterministic tie-breaker among candidates.
+    """
+    pending = sorted(
+        extent
+        for extent, queue in system.store.scheduler._queues.items()
+        if queue and extent in _DATA_EXTENTS
+    )
+    if pending:
+        return pending[planned_extent % len(pending)]
+    return planned_extent
+
+
+def _aim_read(system: Any, planned_extent: int) -> int:
+    """Steer a read/corruption fault at an extent holding durable bytes."""
+    disk = system.disk
+    populated = [
+        extent for extent in _DATA_EXTENTS if disk.write_pointer(extent) > 0
+    ]
+    if populated:
+        return populated[planned_extent % len(populated)]
+    return planned_extent
+
+
+def injection_node_alphabet() -> Alphabet:
+    """Request-plane ops for node storms (no control-plane interference:
+    the plan owns disk lifecycle; the breaker owns demotion)."""
+    return Alphabet(
+        [
+            OpSpec("Put", 3.0, _put_args),
+            OpSpec("Get", 3.0, _key_args),
+            OpSpec("Delete", 1.0, _key_args),
+            OpSpec("Flush", 0.6, _no_args),
+            OpSpec("Drain", 0.8, _no_args),
+            OpSpec("Scrub", 0.3, _no_args),
+        ]
+    )
+
+
+class InjectionStoreHarness(StoreHarness):
+    """Single-store conformance under a plan-driven fault storm."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        seed: int = 0,
+        *,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        super().__init__(
+            None, seed, config=_storm_config(seed, recorder), recorder=recorder
+        )
+        self.plan = plan
+        self.injector = FaultInjector(plan)
+        self.armed = 0
+        self.corrupted = False
+        self.quarantined_keys: Set[bytes] = set()
+        self.repaired_keys: Set[bytes] = set()
+
+    # ------------------------------------------------------------------
+
+    def apply(self, index: int, op: Operation) -> Optional[CheckFailure]:
+        for fault in self.injector.due(index):
+            self._inject(fault)
+        if self.corrupted:
+            # Silent corruption breaks the "successful read pins state"
+            # rule: a get served from cache says nothing about the flipped
+            # bytes on disk.  Re-smear uncertainty before every operation
+            # so only the recovery pass (which scrubs the medium) may
+            # re-establish certainty.
+            self._smear_uncertainty()
+        failure = super().apply(index, op)
+        if (
+            failure is not None
+            and self.corrupted
+            and "unexpected CorruptionError" in failure.message
+        ):
+            # With flipped bits on the medium, any operation that touches
+            # the bad chunk (compaction, reclamation, eviction) may surface
+            # CorruptionError: detected-not-wrong is exactly the contract.
+            self.has_failed = True
+            return None
+        return failure
+
+    def _inject(self, fault: PlannedFault) -> None:
+        disk = self.system.disk
+        if fault.kind == FAULT_BIT_FLIP:
+            extent = _aim_read(self.system, fault.extent)
+            if disk.corrupt(extent) is not None:
+                self.corrupted = True
+                self.has_failed = True
+                self.armed += 1
+            return
+        if fault.kind == FAULT_TRANSIENT_READ:
+            extent = _aim_read(self.system, fault.extent)
+            disk.arm_fault(extent, FailureMode.ONCE, reads=True, writes=False)
+        elif fault.kind == FAULT_TRANSIENT_WRITE:
+            extent = _aim_write(self.system, fault.extent)
+            disk.arm_fault(extent, FailureMode.ONCE, reads=False, writes=True)
+        elif fault.kind == FAULT_TORN_WRITE:
+            extent = _aim_write(self.system, fault.extent)
+            disk.arm_fault(
+                extent,
+                FailureMode.ONCE,
+                reads=False,
+                writes=True,
+                kind=FaultKind.TORN_WRITE,
+            )
+        elif fault.kind == FAULT_PERMANENT:
+            disk.arm_fault(_aim_write(self.system, fault.extent), FailureMode.PERMANENT)
+        else:  # pragma: no cover - plan generation never emits others here
+            raise ValueError(f"store plan cannot inject {fault.kind!r}")
+        self.armed += 1
+        self.has_failed = True
+
+    def _smear_uncertainty(self) -> None:
+        for key in self.model.keys():
+            entry = self._uncertain.setdefault(key, set())
+            entry.add(self.model.get(key))
+            entry.add(None)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def fired(self) -> int:
+        """Faults that actually hit an IO (armed ones may never fire)."""
+        stats = self.system.disk.stats
+        return stats.injected_failures + stats.injected_corruptions
+
+    def recover_and_verify(self) -> Optional[str]:
+        """The post-storm contract: scrub-repair + reboot restore health.
+
+        Returns a failure detail string, or None when recovery conformed.
+        """
+        certain: Dict[bytes, bytes] = {}
+        for key in self.model.keys():
+            if key not in self._uncertain:
+                certain[key] = self.model.get(key)
+        self.system.disk.clear_faults()
+        # Warm pass: the cache may still hold clean bytes for chunks whose
+        # on-disk copy is corrupt, so repairing before reboot can rewrite
+        # them; after reboot those keys would only be quarantinable.
+        try:
+            self._absorb_repair(self.store.scrub_repair(), certain)
+            self.store.drain()
+        except ShardStoreError as exc:
+            return (
+                "recovery: warm scrub-repair/drain failed after faults "
+                f"cleared: {type(exc).__name__}: {exc}"
+            )
+        try:
+            self.system.clean_reboot()
+        except ShardStoreError as exc:
+            return (
+                "recovery: clean reboot failed after faults cleared "
+                f"(forward-progress violation): {type(exc).__name__}: {exc}"
+            )
+        try:
+            self._absorb_repair(self.store.scrub_repair(), certain)
+            final = self.store.scrub()
+        except ShardStoreError as exc:
+            return f"recovery: post-reboot scrub failed: {type(exc).__name__}: {exc}"
+        if not final.clean:
+            key, message = final.errors[0]
+            return (
+                "recovery: scrub still dirty after repair+quarantine: "
+                f"{key!r}: {message}"
+            )
+        failure = self._verify_certain(certain)
+        if failure is not None:
+            return failure
+        return self._probe_fresh_writes()
+
+    def _absorb_repair(self, report: Any, certain: Dict[bytes, bytes]) -> Optional[str]:
+        self.repaired_keys.update(report.repaired)
+        for key in report.quarantined:
+            # Quarantine is only legal for keys some failure touched; a
+            # certain key has no failure to blame.
+            if key in certain:
+                return f"recovery: scrub quarantined untouched key {key!r}"
+            self.quarantined_keys.add(key)
+            if self.model.contains(key):
+                self.model.delete(key)
+            self._uncertain.pop(key, None)
+        return None
+
+    def _verify_certain(self, certain: Dict[bytes, bytes]) -> Optional[str]:
+        for key in sorted(certain):
+            try:
+                value = self.store.get(key)
+            except ShardStoreError as exc:
+                return (
+                    f"recovery: certain key {key!r} unreadable after "
+                    f"recovery: {type(exc).__name__}: {exc}"
+                )
+            if value != certain[key]:
+                return (
+                    f"recovery: certain key {key!r} holds wrong data after "
+                    "recovery"
+                )
+        return None
+
+    def _probe_fresh_writes(self) -> Optional[str]:
+        probe = b"__recovery_probe__"
+        try:
+            self.store.put(probe, b"alive")
+            self.store.drain()
+            if self.store.get(probe) != b"alive":
+                return "recovery: fresh probe read returned wrong data"
+            self.store.delete(probe)
+        except ShardStoreError as exc:
+            return (
+                "recovery: fresh write/read/delete probe failed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        return None
+
+
+class InjectionNodeHarness(Harness):
+    """Node request plane under a storm: self-healing must absorb it."""
+
+    SETTLE_ATTEMPTS = 16
+    PROBE_KEY = b"__injection_probe__"
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        seed: int = 0,
+        num_disks: int = 3,
+        *,
+        breaker_enabled: bool = True,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        self.node = StorageNode(
+            num_disks=num_disks,
+            config=_storm_config(seed, recorder),
+            retry_policy=RetryPolicy(),
+            breaker=(
+                BreakerConfig() if breaker_enabled else BreakerConfig.disabled()
+            ),
+        )
+        self.plan = plan
+        self.injector = FaultInjector(plan)
+        self.model: Dict[bytes, bytes] = {}
+        self._uncertain: Dict[bytes, Set[Optional[bytes]]] = {}
+        self.has_failed = False
+        self.armed = 0
+
+    # ------------------------------------------------------------------
+
+    def apply(self, index: int, op: Operation) -> Optional[CheckFailure]:
+        for fault in self.injector.due(index):
+            self._inject(fault)
+        handler = getattr(self, f"_op_{op.name.lower()}", None)
+        if handler is None:
+            return CheckFailure(index, op, f"unknown operation {op.name}")
+        try:
+            message = handler(*op.args)
+        except ShardStoreError as exc:
+            return CheckFailure(
+                index, op, f"unexpected {type(exc).__name__}: {exc}"
+            )
+        if message is not None:
+            return CheckFailure(index, op, message)
+        return None
+
+    def _inject(self, fault: PlannedFault) -> None:
+        system = self.node.systems[fault.disk]
+        disk = system.disk
+        if fault.kind == FAULT_HEAL:
+            disk.clear_faults()
+            return
+        if fault.kind == FAULT_PERMANENT_DISK:
+            for extent in _DATA_EXTENTS:
+                disk.arm_fault(extent, FailureMode.PERMANENT)
+            self.armed += len(_DATA_EXTENTS)
+        elif fault.kind == FAULT_TRANSIENT_READ:
+            extent = _aim_read(system, fault.extent)
+            disk.arm_fault(extent, FailureMode.ONCE, reads=True, writes=False)
+            self.armed += 1
+        elif fault.kind == FAULT_TRANSIENT_WRITE:
+            extent = _aim_write(system, fault.extent)
+            disk.arm_fault(extent, FailureMode.ONCE, reads=False, writes=True)
+            self.armed += 1
+        elif fault.kind == FAULT_TORN_WRITE:
+            extent = _aim_write(system, fault.extent)
+            disk.arm_fault(
+                extent,
+                FailureMode.ONCE,
+                reads=False,
+                writes=True,
+                kind=FaultKind.TORN_WRITE,
+            )
+            self.armed += 1
+        else:  # pragma: no cover - node plans never emit bit flips
+            raise ValueError(f"node plan cannot inject {fault.kind!r}")
+        self.has_failed = True
+
+    @property
+    def fired(self) -> int:
+        return sum(
+            system.disk.stats.injected_failures for system in self.node.systems
+        )
+
+    # ------------------------------------------------------------------
+    # storm operations (section 4.4 typed-error contract)
+
+    @staticmethod
+    def _escaped(exc: ShardStoreError) -> Optional[str]:
+        """The error-contract audit: raw transient IoErrors must not
+        reach the node API (the request plane retries and wraps them)."""
+        if isinstance(exc, IoError) and exc.transient:
+            return (
+                "transient IoError escaped the node request plane "
+                f"unwrapped: {exc}"
+            )
+        return None
+
+    def _note_uncertain(self, key: bytes, attempted: Optional[bytes]) -> None:
+        entry = self._uncertain.setdefault(key, set())
+        entry.add(self.model.get(key))
+        entry.add(attempted)
+
+    def _op_put(self, key: bytes, value: bytes) -> Optional[str]:
+        try:
+            self.node.put(key, value)
+        except (RetryableError, IoError) as exc:
+            escaped = self._escaped(exc)
+            if escaped is not None:
+                return escaped
+            self.has_failed = True
+            self._note_uncertain(key, value)
+            return None
+        self.model[key] = value
+        self._uncertain.pop(key, None)
+        return None
+
+    def _op_get(self, key: bytes) -> Optional[str]:
+        model_value = self.model.get(key)
+        allowed: Set[Optional[bytes]] = {model_value}
+        allowed |= self._uncertain.get(key, set())
+        try:
+            value: Optional[bytes] = self.node.get(key)
+        except NotFoundError:
+            value = None
+        except (RetryableError, IoError) as exc:
+            escaped = self._escaped(exc)
+            if escaped is not None:
+                return escaped
+            return None  # typed failure, no data: allowed; state untouched
+        if value in allowed:
+            if value is not None:
+                self._uncertain.pop(key, None)
+            return None
+        return (
+            f"get({key!r}) returned wrong data under injection "
+            f"({len(allowed)} allowed values)"
+        )
+
+    def _op_delete(self, key: bytes) -> Optional[str]:
+        try:
+            self.node.delete(key)
+        except KeyNotFoundError:
+            if key in self._uncertain:
+                if None not in self._uncertain[key]:
+                    return (
+                        "delete raised KeyNotFoundError for a key that "
+                        "cannot be absent"
+                    )
+                self._uncertain.pop(key, None)
+                self.model.pop(key, None)
+                return None
+            if key in self.model:
+                return "delete raised KeyNotFoundError but the model has the key"
+            return None
+        except (RetryableError, IoError) as exc:
+            escaped = self._escaped(exc)
+            if escaped is not None:
+                return escaped
+            self.has_failed = True
+            self._note_uncertain(key, None)
+            return None
+        if key in self.model:
+            del self.model[key]
+        elif key not in self._uncertain:
+            return "delete succeeded but the model lacks the key"
+        self._uncertain.pop(key, None)
+        return None
+
+    def _op_flush(self) -> Optional[str]:
+        return self._background(self.node.flush)
+
+    def _op_drain(self) -> Optional[str]:
+        return self._background(self.node.drain)
+
+    def _op_scrub(self) -> Optional[str]:
+        # Mid-storm scrubs tolerate dirty reports (pending/torn state);
+        # cleanliness is asserted by the settlement pass.
+        return self._background(self.node.scrub_all)
+
+    def _background(self, fn: Any) -> Optional[str]:
+        try:
+            fn()
+        except (RetryableError, IoError) as exc:
+            escaped = self._escaped(exc)
+            if escaped is not None:
+                return escaped
+            self.has_failed = True
+        return None
+
+    # ------------------------------------------------------------------
+
+    def settle_and_verify(self) -> Optional[str]:
+        """Post-storm settlement: the node must regain availability.
+
+        Transient faults are absorbed by retries; a permanently failing
+        disk keeps failing drains until the breaker trips, demotes it and
+        migrates/strands its shards -- after which drains succeed without
+        it.  With the breaker disabled there is no isolation mechanism and
+        the settlement loop exhausts: the deterministic negative case CI
+        relies on.
+        """
+        certain = {
+            key: value
+            for key, value in self.model.items()
+            if key not in self._uncertain
+        }
+        last = "never attempted"
+        for _ in range(self.SETTLE_ATTEMPTS):
+            try:
+                self.node.flush()
+                self.node.drain()
+                break
+            except (RetryableError, IoError) as exc:
+                last = f"{type(exc).__name__}: {exc}"
+        else:
+            return (
+                f"node failed to settle after {self.SETTLE_ATTEMPTS} "
+                f"flush/drain rounds (last error: {last}); the failing disk "
+                "was never isolated"
+            )
+        self.node.scrub_repair_all()
+        failure = self._verify_certain(certain)
+        if failure is not None:
+            return failure
+        return self._probe_fresh_writes()
+
+    def _verify_certain(self, certain: Dict[bytes, bytes]) -> Optional[str]:
+        for key in sorted(certain):
+            try:
+                value = self.node.get(key)
+            except (RetryableError, IoError) as exc:
+                target = self.node.route_of(key)
+                if target is not None and (
+                    not self.node.in_service(target)
+                    or self.node.degraded(target)
+                ):
+                    # Stranded on a demoted disk: honest, typed
+                    # unavailability, not silent data loss.
+                    continue
+                return (
+                    f"certain key {key!r} unreadable on a healthy disk: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+            except NotFoundError:
+                return f"certain key {key!r} lost after settlement"
+            if value != certain[key]:
+                return f"certain key {key!r} holds wrong data after settlement"
+        return None
+
+    def _probe_fresh_writes(self) -> Optional[str]:
+        """Fresh writes must eventually work, client-style: a probe that
+        lands on a not-yet-tripped dying disk fails with a typed error and
+        is retried; each failure feeds the breaker until the disk is
+        demoted and steering avoids it.  Never succeeding means the node
+        lost write availability for good."""
+        last = "never attempted"
+        for _ in range(self.SETTLE_ATTEMPTS):
+            try:
+                self.node.put(self.PROBE_KEY, b"alive")
+                self.node.drain()
+                if self.node.get(self.PROBE_KEY) != b"alive":
+                    return "post-settlement probe read returned wrong data"
+                self.node.delete(self.PROBE_KEY)
+                return None
+            except (RetryableError, IoError) as exc:
+                escaped = self._escaped(exc)
+                if escaped is not None:
+                    return escaped
+                last = f"{type(exc).__name__}: {exc}"
+        return (
+            "post-settlement fresh writes never succeeded after "
+            f"{self.SETTLE_ATTEMPTS} attempts (last error: {last})"
+        )
+
+
+# ----------------------------------------------------------------------
+# campaign entry point
+
+
+def run_shard(spec: "ShardSpec") -> "ShardResult":
+    """Picklable campaign entry point: one injection work unit.
+
+    Params: ``harness`` (store/node), ``profile`` (a
+    :data:`~repro.shardstore.injection.STORE_PROFILES` /
+    :data:`~repro.shardstore.injection.NODE_PROFILES` name), ``sequences``,
+    ``ops``, ``num_disks``, ``breaker_enabled``, ``trace``.  All randomness
+    derives from ``spec.seed`` (sequence ``i`` uses ``seed + i`` for both
+    its fault plan and its operation stream), so shards replay
+    byte-identically for any worker count.
+    """
+    from repro.campaign.spec import ShardFailure, ShardResult
+
+    harness_kind = spec.param("harness", "store")
+    profile = spec.param("profile", "transient")
+    sequences = spec.param("sequences", 6)
+    ops = spec.param("ops", 40)
+    num_disks = spec.param("num_disks", 3)
+    breaker_enabled = bool(spec.param("breaker_enabled", True))
+    trace_enabled = bool(spec.param("trace", False))
+    shard_recorder = RingRecorder() if trace_enabled else None
+    recorder: Recorder = shard_recorder if shard_recorder else NULL_RECORDER
+    if shard_recorder is not None:
+        shard_recorder.event(
+            "shard",
+            kind=spec.kind,
+            harness=harness_kind,
+            profile=profile,
+            seed=spec.seed,
+        )
+
+    if harness_kind == "node":
+        alphabet = injection_node_alphabet()
+        ctx_kwargs: Dict[str, Any] = {"num_disks": num_disks}
+    else:
+        alphabet = store_alphabet()
+        ctx_kwargs = {}
+
+    totals: Dict[str, int] = {
+        "planned": 0,
+        "armed": 0,
+        "fired": 0,
+        "retries": 0,
+        "breaker_trips": 0,
+        "readmissions": 0,
+        "demotions": 0,
+        "shards_stranded": 0,
+        "repaired": 0,
+        "quarantined": 0,
+    }
+    failures: List[ShardFailure] = []
+    cases = 0
+    ops_run = 0
+    for i in range(sequences):
+        seed = spec.seed + i
+        plan = FaultPlan.generate(
+            seed,
+            ops=ops,
+            extents=_DATA_EXTENTS,
+            profile=profile,
+            num_disks=num_disks if harness_kind == "node" else 0,
+        )
+        if harness_kind == "node":
+            harness: Any = InjectionNodeHarness(
+                plan,
+                seed,
+                num_disks=num_disks,
+                breaker_enabled=breaker_enabled,
+                recorder=recorder,
+            )
+        else:
+            harness = InjectionStoreHarness(plan, seed, recorder=recorder)
+        sequence = alphabet.generate_sequence(
+            random.Random(seed), ops, BiasConfig(), **ctx_kwargs
+        )
+        failure = harness.run(sequence)
+        cases += 1
+        ops_run += len(sequence)
+        if failure is None:
+            if harness_kind == "node":
+                detail = harness.settle_and_verify()
+            else:
+                detail = harness.recover_and_verify()
+            if detail is not None:
+                failure = CheckFailure(
+                    len(sequence), Operation("Recover", ()), detail
+                )
+        totals["planned"] += len(plan.faults)
+        totals["armed"] += harness.armed
+        totals["fired"] += harness.fired
+        if harness_kind == "node":
+            stats = harness.node.stats
+            totals["retries"] += stats.retries
+            totals["breaker_trips"] += stats.breaker_trips
+            totals["readmissions"] += stats.readmissions
+            totals["demotions"] += stats.demotions
+            totals["shards_stranded"] += stats.shards_stranded
+            totals["repaired"] += stats.repaired
+            totals["quarantined"] += stats.quarantined
+        else:
+            totals["retries"] += harness.store.retry_count
+            totals["repaired"] += len(harness.repaired_keys)
+            totals["quarantined"] += len(harness.quarantined_keys)
+        if failure is not None:
+            snap = shard_recorder.snapshot() if shard_recorder else None
+            failures.append(
+                ShardFailure(
+                    kind=spec.kind,
+                    seed=seed,
+                    detail=str(failure),
+                    fault=f"injection:{profile}",
+                    trace=snap["trace"] if snap else None,
+                    fault_events=snap["fault_events"] if snap else None,
+                )
+            )
+            break
+    shard_snap = shard_recorder.snapshot() if shard_recorder else None
+    return ShardResult(
+        shard_id=spec.shard_id,
+        kind=spec.kind,
+        seed=spec.seed,
+        cases=cases,
+        ops=ops_run,
+        failures=failures,
+        detector="failure-injection conformance (section 4.4)",
+        injection={
+            "harness": harness_kind,
+            "profile": profile,
+            "breaker_enabled": breaker_enabled,
+            **totals,
+        },
+        metrics=shard_snap["metrics"] if shard_snap else None,
+        fault_events=shard_snap["fault_events"] if shard_snap else None,
+        trace=shard_snap["trace"] if shard_snap else None,
+    )

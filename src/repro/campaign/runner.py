@@ -32,6 +32,7 @@ from .spec import (
     KIND_CRASH,
     KIND_FAULT_MATRIX,
     KIND_FUZZ,
+    KIND_INJECTION,
     CampaignSpec,
     ShardFailure,
     ShardResult,
@@ -51,6 +52,19 @@ _CONFORMANCE_PLAN: Tuple[Tuple[str, str], ...] = (
     ("store", "model"),
 )
 
+#: Injection-phase coverage, cycled through ``injection_shards`` slots:
+#: (harness, fault-plan profile) pairs.  The node/permanent slot is the
+#: one the circuit breaker must survive -- and the one that must FAIL when
+#: a campaign runs with ``breaker_enabled=False``.
+_INJECTION_PLAN: Tuple[Tuple[str, str], ...] = (
+    ("store", "transient"),
+    ("store", "corruption"),
+    ("node", "transient"),
+    ("node", "permanent"),
+    ("store", "mixed"),
+    ("node", "mixed"),
+)
+
 
 def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
     """Compile the campaign into its ordered, deterministic shard list."""
@@ -58,6 +72,27 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
 
     def next_seed() -> int:
         return spec.base_seed + len(shards) * SEED_STRIDE
+
+    def add_injection_shards() -> None:
+        for index in range(spec.injection_shards):
+            harness, profile = _INJECTION_PLAN[index % len(_INJECTION_PLAN)]
+            shards.append(
+                ShardSpec.make(
+                    len(shards),
+                    KIND_INJECTION,
+                    next_seed(),
+                    harness=harness,
+                    profile=profile,
+                    sequences=spec.injection_sequences,
+                    ops=spec.injection_ops,
+                    breaker_enabled=spec.breaker_enabled,
+                    trace=spec.trace,
+                )
+            )
+
+    if spec.suite == "injection":
+        add_injection_shards()
+        return shards
 
     for alphabet, harness in _CONFORMANCE_PLAN:
         for _ in range(spec.conformance_shards_per_alphabet):
@@ -113,6 +148,7 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
         )
     if spec.fault_matrix:
         shards.extend(fault_matrix_shards(spec, len(shards)))
+    add_injection_shards()
     return shards
 
 
@@ -133,6 +169,8 @@ def execute_shard(spec: ShardSpec) -> Tuple[ShardResult, float]:
             from repro.serialization.fuzz import run_shard
         elif spec.kind == KIND_FAULT_MATRIX:
             from .fault_matrix import run_shard
+        elif spec.kind == KIND_INJECTION:
+            from .injection import run_shard
         else:
             raise ValueError(f"unknown shard kind {spec.kind!r}")
         result = run_shard(spec)

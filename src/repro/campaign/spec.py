@@ -21,15 +21,24 @@ from typing import Any, Dict, List, Optional, Tuple
 #: EXPERIMENTS.md).  Bump when the schema changes shape.
 #: v2: adds the observability sections -- top-level ``metrics``, per-shard
 #: and per-failure ``trace``/``fault_events``.
-SCHEMA_VERSION = 2
+#: v3: adds the failure-injection phase -- per-shard ``injection`` blocks
+#: and the aggregated top-level ``injection`` section.
+SCHEMA_VERSION = 3
 
 #: Shard kinds, dispatched by the runner to the owning checker module.
 KIND_CONFORMANCE = "conformance"
 KIND_CRASH = "crash"
 KIND_FUZZ = "fuzz"
 KIND_FAULT_MATRIX = "fault-matrix"
+KIND_INJECTION = "injection"
 
-ALL_KINDS = (KIND_CONFORMANCE, KIND_CRASH, KIND_FUZZ, KIND_FAULT_MATRIX)
+ALL_KINDS = (
+    KIND_CONFORMANCE,
+    KIND_CRASH,
+    KIND_FUZZ,
+    KIND_FAULT_MATRIX,
+    KIND_INJECTION,
+)
 
 
 @dataclass(frozen=True)
@@ -123,6 +132,10 @@ class ShardResult:
     metrics: Optional[Dict[str, Any]] = None
     fault_events: Optional[List[Dict[str, Any]]] = None
     trace: Optional[List[Dict[str, Any]]] = None
+    #: Injection-shard summary: plan/harness identity plus fault and
+    #: self-healing counters (planned/armed/fired faults, retries, breaker
+    #: trips, readmissions, demotions, stranded/repaired/quarantined).
+    injection: Optional[Dict[str, Any]] = None
 
     @property
     def detected(self) -> bool:
@@ -144,6 +157,9 @@ class CampaignSpec:
     """Everything needed to compile and run one campaign."""
 
     profile: str = "full"
+    #: Which phases to compile: "full" (everything) or "injection" (the
+    #: failure-injection phase alone, for focused resilience runs).
+    suite: str = "full"
     workers: int = 2
     base_seed: int = 0
     budget_seconds: Optional[float] = None
@@ -161,6 +177,13 @@ class CampaignSpec:
     # fault matrix
     fault_matrix: bool = True
     fault_matrix_sequences: int = 8
+    # failure-injection phase (section 4.4 storms + recovery contract)
+    injection_shards: int = 4
+    injection_sequences: int = 4
+    injection_ops: int = 40
+    #: Disable the node's disk circuit breaker in injection shards -- the
+    #: negative configuration: permanent-fault plans must then FAIL.
+    breaker_enabled: bool = True
     # coverage is collected on the first store-alphabet shard only
     # (sys.settrace costs ~10x; one shard is enough for blind-spot stats)
     coverage: bool = True
@@ -175,11 +198,14 @@ def smoke_spec(
     base_seed: int = 0,
     budget_seconds: Optional[float] = None,
     trace: bool = False,
+    suite: str = "full",
+    breaker_enabled: bool = True,
 ) -> CampaignSpec:
     """The per-commit CI profile: every phase, small budgets (~tens of
     seconds on two workers), still detecting all 16 Fig. 5 bugs."""
     return CampaignSpec(
         profile="smoke",
+        suite=suite,
         workers=workers,
         base_seed=base_seed,
         budget_seconds=budget_seconds,
@@ -194,5 +220,9 @@ def smoke_spec(
         fuzz_exhaustive_len=1,
         fault_matrix=True,
         fault_matrix_sequences=8,
+        injection_shards=4,
+        injection_sequences=2,
+        injection_ops=40,
+        breaker_enabled=breaker_enabled,
         coverage=True,
     )

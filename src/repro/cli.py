@@ -250,6 +250,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             base_seed=args.seed,
             budget_seconds=args.budget_seconds,
             trace=args.trace,
+            suite=args.suite,
+            breaker_enabled=not args.no_breaker,
         )
     else:
         spec = CampaignSpec(
@@ -257,6 +259,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             base_seed=args.seed,
             budget_seconds=args.budget_seconds,
             trace=args.trace,
+            suite=args.suite,
+            breaker_enabled=not args.no_breaker,
         )
     result = run_campaign(spec, log=print)
     artifact = result.to_json()
@@ -577,6 +581,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record per-shard metrics, fault events, and op traces in "
         "the artifact (schema v2 observability sections)",
+    )
+    campaign.add_argument(
+        "--suite",
+        choices=("full", "injection"),
+        default="full",
+        help="'injection' compiles only the failure-injection shards "
+        "(resilience storm + recovery conformance)",
+    )
+    campaign.add_argument(
+        "--no-breaker",
+        action="store_true",
+        help="run injection shards with the disk-health circuit breaker "
+        "disabled (the permanent-fault shard is expected to FAIL)",
     )
     campaign.set_defaults(fn=_cmd_campaign)
 

@@ -56,6 +56,7 @@ from repro.shardstore.errors import (
 )
 from repro.shardstore.faults import FaultSet
 from repro.shardstore.observability import NULL_RECORDER, Recorder
+from repro.shardstore.resilience import BreakerConfig, RetryPolicy
 from repro.shardstore.rpc import StorageNode
 from repro.shardstore.store import RebootType, StoreSystem
 
@@ -488,11 +489,15 @@ class NodeHarness(Harness):
         *,
         wire: bool = False,
         recorder: Recorder = NULL_RECORDER,
+        retry_policy: Optional["RetryPolicy"] = None,
+        breaker: Optional["BreakerConfig"] = None,
     ) -> None:
         self.faults = faults or FaultSet.none()
         self.node = StorageNode(
             num_disks=num_disks,
             config=_small_test_config(self.faults, seed, 0.0, recorder),
+            retry_policy=retry_policy,
+            breaker=breaker,
         )
         self.model = ReferenceKvStore()
         self.wire = wire
@@ -856,10 +861,23 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
     if harness_kind == "node":
         ctx_kwargs = {"num_disks": num_disks}
 
+    # Fault-matrix shards run with ``retries_disabled`` so the node keeps
+    # the historical fail-fast semantics the Fig. 5 detectors were tuned
+    # against (e.g. fault #5's dropped-shard read must surface, not be
+    # masked by a retry or absorbed by a breaker demotion).
+    retries_disabled = bool(spec.param("retries_disabled", False))
+
     def make_factory(recorder: Recorder) -> Callable[[int], Harness]:
         if harness_kind == "node":
+            retry_policy = RetryPolicy.disabled() if retries_disabled else None
+            breaker = BreakerConfig.disabled() if retries_disabled else None
             return lambda s: NodeHarness(
-                faults, s, num_disks=num_disks, recorder=recorder
+                faults,
+                s,
+                num_disks=num_disks,
+                recorder=recorder,
+                retry_policy=retry_policy,
+                breaker=breaker,
             )
         if harness_kind == "model":
             return lambda s: ChunkStoreModelHarness(faults, s)

@@ -6,6 +6,31 @@ surface, never a crash.  Every error a component can return to a caller is a
 subclass of :class:`ShardStoreError`; anything else escaping a component is a
 bug (and is exactly what the panic-freedom harness in
 :mod:`repro.serialization.fuzz` hunts for).
+
+Error contract at the ``KVNode`` API surface (section 4.4)
+----------------------------------------------------------
+
+What a substrate failure looks like by the time it reaches a
+``StorageNode``/``KVNode`` client.  Raw *transient* ``IoError``\\ s never
+escape the node: the request plane retries them under its
+:class:`~repro.shardstore.resilience.RetryPolicy` and wraps survivors.
+
+====================================  ==============================  =========
+raised by the substrate               surfaces at the node API as     retryable
+====================================  ==============================  =========
+``IoError(transient=True)``           ``RetryableError`` (after the   yes
+                                      bounded retry budget)
+``IoError(transient=False)``          ``IoError`` (permanent medium   no
+                                      failure; feeds the breaker)
+``CorruptionError``                   ``CorruptionError`` (or
+                                      ``NotFoundError`` once scrub
+                                      quarantines the key)            no
+routing target out of service /       ``RetryableError``              yes
+breaker-demoted disk (writes)
+missing key                           ``NotFoundError`` /             no
+                                      ``KeyNotFoundError``
+malformed request                     ``InvalidRequestError``         no
+====================================  ==============================  =========
 """
 
 from __future__ import annotations

@@ -21,7 +21,7 @@ from .config import (
     StoreConfig,
 )
 from .dependency import Dependency, DurabilityTracker, FutureCell
-from .disk import DiskGeometry, FailureMode, InMemoryDisk
+from .disk import DiskGeometry, FailureMode, FaultKind, InMemoryDisk
 from .errors import (
     MAX_KEY_LEN,
     CorruptionError,
@@ -49,25 +49,40 @@ from .observability import (
 )
 from .reclamation import Reclaimer, ReclaimResult
 from .protocol import KVNode, Request, Response, decode_request, decode_response, dispatch, encode_request, encode_response
+from .resilience import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    DiskHealth,
+    RetryPolicy,
+)
+from .injection import FaultPlan, FaultInjector, PlannedFault
 from .rpc import NodeDependency, StorageNode
-from .scrub import ScrubReport, Scrubber
+from .scrub import RepairReport, ScrubReport, Scrubber
 from .scheduler import IoScheduler
 from .store import RebootType, ShardStore, StoreSystem
 from .superblock import Superblock, SuperblockState
 
 __all__ = [
+    "BreakerConfig",
+    "BreakerState",
     "BufferCache",
     "ChunkStore",
+    "CircuitBreaker",
     "CorruptionError",
     "DecodedChunk",
     "Dependency",
     "DiskGeometry",
     "DurabilityTracker",
     "ExtentError",
+    "DiskHealth",
     "FAULT_CATALOG",
     "FIRST_DATA_EXTENT",
     "FailureMode",
     "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "FaultSet",
     "FutureCell",
     "InMemoryDisk",
@@ -87,13 +102,16 @@ __all__ = [
     "NodeDependency",
     "NotFoundError",
     "NullRecorder",
+    "PlannedFault",
     "RebootType",
     "Recorder",
+    "RepairReport",
     "RingRecorder",
     "Request",
     "Response",
     "ReclaimResult",
     "Reclaimer",
+    "RetryPolicy",
     "RetryableError",
     "Run",
     "ScrubReport",

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from .disk import DiskGeometry
 from .faults import FaultSet
 from .observability import NULL_RECORDER, Recorder
+from .resilience import RetryPolicy
 
 #: Extents 0 and 1 alternate as the superblock log (section 2.1's extent 0).
 SUPERBLOCK_EXTENTS: Tuple[int, int] = (0, 1)
@@ -50,6 +51,11 @@ class StoreConfig:
     #: :class:`NullRecorder` keeps hot paths allocation-free; pass a
     #: :class:`~repro.shardstore.observability.RingRecorder` to capture.
     recorder: Recorder = field(default=NULL_RECORDER)
+    #: Request-plane retry policy for transient IO errors.  ``None`` (the
+    #: default) keeps the historical fail-fast behaviour the Fig. 5 fault
+    #: matrix detects against; the node layer and the injection campaign
+    #: opt in explicitly.
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.geometry.num_extents < FIRST_DATA_EXTENT + 2:

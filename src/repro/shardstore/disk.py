@@ -41,11 +41,20 @@ class FailureMode(enum.Enum):
     PERMANENT = "permanent"  # every matching IO fails until cleared
 
 
+class FaultKind(enum.Enum):
+    """What an armed fault does to the matching IO."""
+
+    IO_ERROR = "io-error"  # the IO fails outright, no medium change
+    TORN_WRITE = "torn-write"  # a write lands a prefix, then fails
+
+
 @dataclass
 class _ArmedFault:
     mode: FailureMode
     reads: bool
     writes: bool
+    kind: FaultKind = FaultKind.IO_ERROR
+    delay: int = 0  # matching IOs to let through before firing
 
 
 @dataclass(frozen=True)
@@ -94,6 +103,7 @@ class DiskStats:
     bytes_written: int = 0
     bytes_read: int = 0
     injected_failures: int = 0
+    injected_corruptions: int = 0
 
 
 class InMemoryDisk:
@@ -143,6 +153,8 @@ class InMemoryDisk:
         *,
         reads: bool = True,
         writes: bool = True,
+        kind: FaultKind = FaultKind.IO_ERROR,
+        delay: int = 0,
     ) -> None:
         """Arm an IO fault on ``extent``.
 
@@ -150,9 +162,18 @@ class InMemoryDisk:
         fault disarms (a transient failure); with
         :attr:`FailureMode.PERMANENT` every matching IO fails until
         :meth:`clear_faults` (a dead region / failed head).
+
+        ``kind`` selects the failure mechanics: :attr:`FaultKind.IO_ERROR`
+        fails the IO without touching the medium, while
+        :attr:`FaultKind.TORN_WRITE` durably lands a prefix of the write
+        before failing (a power-loss-mid-IO tear; reads are unaffected).
+        ``delay`` lets that many matching IOs through before the fault
+        fires, so a fault plan can schedule failures ahead of time.
         """
         self._check_extent(extent)
-        self._faults[extent] = _ArmedFault(mode=mode, reads=reads, writes=writes)
+        self._faults[extent] = _ArmedFault(
+            mode=mode, reads=reads, writes=writes, kind=kind, delay=delay
+        )
 
     def clear_faults(self, extent: Optional[int] = None) -> None:
         """Clear armed faults on ``extent``, or all faults if ``None``."""
@@ -164,25 +185,63 @@ class InMemoryDisk:
     def has_armed_fault(self, extent: int) -> bool:
         return extent in self._faults
 
-    def _maybe_fail(self, extent: int, *, is_read: bool) -> None:
+    def _fire(self, extent: int, *, is_read: bool) -> Optional[_ArmedFault]:
+        """Consume an armed fault for a matching IO, or return None.
+
+        Handles delay countdown, ONCE disarming, stats and recorder
+        bookkeeping; the caller raises (or tears the write) as appropriate.
+        """
         fault = self._faults.get(extent)
         if fault is None:
-            return
+            return None
         if is_read and not fault.reads:
-            return
+            return None
         if not is_read and not fault.writes:
-            return
+            return None
+        if fault.delay > 0:
+            fault.delay -= 1
+            return None
         if fault.mode is FailureMode.ONCE:
             del self._faults[extent]
         self.stats.injected_failures += 1
-        kind = "read" if is_read else "write"
+        io = "read" if is_read else "write"
         if self.recorder.enabled:
             self.recorder.count("disk.injected_failures")
-            self.recorder.event("disk.injected_failure", extent=extent, kind=kind)
+            self.recorder.event(
+                "disk.injected_failure", extent=extent, kind=io, fault=fault.kind.value
+            )
+        return fault
+
+    def _maybe_fail(self, extent: int, *, is_read: bool) -> None:
+        fault = self._fire(extent, is_read=is_read)
+        if fault is None:
+            return
+        io = "read" if is_read else "write"
         raise IoError(
-            f"injected {kind} failure on extent {extent}",
+            f"injected {io} failure on extent {extent}",
             transient=fault.mode is FailureMode.ONCE,
         )
+
+    def corrupt(self, extent: int, offset: Optional[int] = None, *, bit: int = 0) -> Optional[int]:
+        """Flip one bit in the durable region of ``extent`` (silent corruption).
+
+        ``offset`` defaults to the middle of the written region; out-of-range
+        offsets are clamped below the write pointer.  Returns the corrupted
+        offset, or None (no-op) when the extent has no durable data.  The
+        damage is silent: only a CRC check downstream (get/scrub) notices.
+        """
+        state = self._check_extent(extent)
+        if state.write_pointer == 0:
+            return None
+        if offset is None:
+            offset = state.write_pointer // 2
+        offset = max(0, min(offset, state.write_pointer - 1))
+        state.data[offset] ^= 1 << (bit % 8)
+        self.stats.injected_corruptions += 1
+        if self.recorder.enabled:
+            self.recorder.count("disk.injected_corruptions")
+            self.recorder.event("disk.corruption", extent=extent, offset=offset)
+        return offset
 
     # ------------------------------------------------------------------
     # IO
@@ -207,7 +266,25 @@ class InMemoryDisk:
             )
         if offset + len(data) > self.geometry.extent_size:
             raise ExtentError(f"write overruns extent {extent}")
-        self._maybe_fail(extent, is_read=False)
+        fault = self._fire(extent, is_read=False)
+        if fault is not None:
+            transient = fault.mode is FailureMode.ONCE
+            if fault.kind is FaultKind.TORN_WRITE:
+                # Land a durable prefix before failing: the caller sees an
+                # error, the medium sees a tear.
+                prefix = len(data) // 2
+                if prefix:
+                    state.data[offset : offset + prefix] = data[:prefix]
+                    state.write_pointer = offset + prefix
+                    self.stats.bytes_written += prefix
+                raise IoError(
+                    f"injected torn write on extent {extent} "
+                    f"({prefix}/{len(data)} bytes landed)",
+                    transient=transient,
+                )
+            raise IoError(
+                f"injected write failure on extent {extent}", transient=transient
+            )
         state.data[offset : offset + len(data)] = data
         state.write_pointer = offset + len(data)
         self.stats.writes += 1

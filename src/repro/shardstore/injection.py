@@ -1,0 +1,236 @@
+"""Seeded, deterministic failure-injection plans (section 4.4).
+
+The paper's failure-injection mode asserts that *any* IO may fail and the
+node must still either complete each operation or fail it with a typed
+retryable error.  A :class:`FaultPlan` makes that dimension systematic: it
+is a seeded schedule of faults addressed by **(operation count, disk,
+extent)** coordinates -- no wall clock anywhere -- so a campaign shard
+replays byte-identically from its seed alone.
+
+Fault kinds map onto the disk's injection primitives
+(:meth:`~repro.shardstore.disk.InMemoryDisk.arm_fault` /
+:meth:`~repro.shardstore.disk.InMemoryDisk.corrupt`):
+
+==================  ========================================================
+``transient-read``   next read on the extent fails (``IoError(transient)``)
+``transient-write``  next write on the extent fails
+``torn-write``       next write lands a durable prefix, then fails
+``permanent``        every IO on the extent fails until faults are cleared
+``permanent-disk``   every data-extent IO on one disk fails (a dying disk)
+``bit-flip``         one durable bit flips silently (CRC catches it later)
+``heal``             all faults on one disk clear (the disk was replaced)
+==================  ========================================================
+
+Plans only ever target *data* extents: superblock/metadata extents carry
+the recovery machinery itself, and corrupting those models a different
+failure class (a dead node) than the per-IO contract this campaign checks.
+
+The checker side lives in :mod:`repro.campaign.injection`; the tolerance
+side (retry/backoff, the disk circuit breaker, scrub-repair) lives in
+:mod:`repro.shardstore.resilience`, :mod:`repro.shardstore.rpc` and
+:mod:`repro.shardstore.store`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FAULT_TRANSIENT_READ",
+    "FAULT_TRANSIENT_WRITE",
+    "FAULT_TORN_WRITE",
+    "FAULT_PERMANENT",
+    "FAULT_PERMANENT_DISK",
+    "FAULT_BIT_FLIP",
+    "FAULT_HEAL",
+    "STORE_PROFILES",
+    "NODE_PROFILES",
+    "PlannedFault",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+FAULT_TRANSIENT_READ = "transient-read"
+FAULT_TRANSIENT_WRITE = "transient-write"
+FAULT_TORN_WRITE = "torn-write"
+FAULT_PERMANENT = "permanent"
+FAULT_PERMANENT_DISK = "permanent-disk"
+FAULT_BIT_FLIP = "bit-flip"
+FAULT_HEAL = "heal"
+
+#: Store-level plan profiles: which fault kinds a profile draws from.
+STORE_PROFILES: Dict[str, Tuple[str, ...]] = {
+    "transient": (FAULT_TRANSIENT_READ, FAULT_TRANSIENT_WRITE, FAULT_TORN_WRITE),
+    "corruption": (
+        FAULT_TRANSIENT_READ,
+        FAULT_TRANSIENT_WRITE,
+        FAULT_TORN_WRITE,
+        FAULT_BIT_FLIP,
+    ),
+    "mixed": (
+        FAULT_TRANSIENT_READ,
+        FAULT_TRANSIENT_WRITE,
+        FAULT_TORN_WRITE,
+        FAULT_PERMANENT,
+        FAULT_BIT_FLIP,
+    ),
+}
+
+#: Node-level plan profiles.  ``permanent`` guarantees one dying disk with
+#: no heal event -- the scenario the circuit breaker must survive (and the
+#: one the CI negative test proves fails with the breaker disabled).
+NODE_PROFILES: Dict[str, Tuple[str, ...]] = {
+    "transient": (FAULT_TRANSIENT_READ, FAULT_TRANSIENT_WRITE, FAULT_TORN_WRITE),
+    "permanent": (
+        FAULT_TRANSIENT_READ,
+        FAULT_TRANSIENT_WRITE,
+        FAULT_PERMANENT_DISK,
+    ),
+    "mixed": (
+        FAULT_TRANSIENT_READ,
+        FAULT_TRANSIENT_WRITE,
+        FAULT_TORN_WRITE,
+        FAULT_PERMANENT_DISK,
+        FAULT_HEAL,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One scheduled fault: *before* operation ``op_index``, do ``kind``."""
+
+    op_index: int
+    kind: str
+    disk: int = 0
+    extent: int = 0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "op": self.op_index,
+            "kind": self.kind,
+            "disk": self.disk,
+            "extent": self.extent,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults for one operation sequence."""
+
+    seed: int
+    profile: str
+    ops: int
+    faults: Tuple[PlannedFault, ...]
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        ops: int,
+        extents: Iterable[int],
+        profile: str = "transient",
+        num_disks: int = 0,
+        fault_count: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Draw a plan from ``seed``.
+
+        ``num_disks`` = 0 generates a store-level plan (one disk, extent
+        coordinates only); > 0 a node-level plan that also picks disks.
+        ``permanent``/``mixed`` node profiles schedule at most one dying
+        disk (never disk 0, so the node always keeps a survivor) killed in
+        the first half of the sequence; ``mixed`` may heal it later.
+        """
+        if ops <= 0:
+            raise ValueError("ops must be positive")
+        extent_list = sorted(set(extents))
+        if not extent_list:
+            raise ValueError("a fault plan needs target extents")
+        node = num_disks > 0
+        profiles = NODE_PROFILES if node else STORE_PROFILES
+        if profile not in profiles:
+            raise ValueError(
+                f"unknown {'node' if node else 'store'} profile {profile!r}"
+            )
+        kinds = profiles[profile]
+        rng = random.Random(seed)
+        count = fault_count if fault_count is not None else max(2, ops // 8)
+        faults: List[PlannedFault] = []
+        if node and FAULT_PERMANENT_DISK in kinds and num_disks > 1:
+            dying = rng.randrange(1, num_disks)
+            kill_at = rng.randrange(max(1, ops // 4), max(2, ops // 2))
+            faults.append(
+                PlannedFault(kill_at, FAULT_PERMANENT_DISK, disk=dying)
+            )
+            if FAULT_HEAL in kinds and rng.random() < 0.5 and kill_at + 2 < ops:
+                heal_at = rng.randrange(kill_at + 2, ops)
+                faults.append(PlannedFault(heal_at, FAULT_HEAL, disk=dying))
+        point_kinds = [
+            k for k in kinds if k not in (FAULT_PERMANENT_DISK, FAULT_HEAL)
+        ]
+        for _ in range(count):
+            faults.append(
+                PlannedFault(
+                    op_index=rng.randrange(ops),
+                    kind=rng.choice(point_kinds),
+                    disk=rng.randrange(num_disks) if node else 0,
+                    extent=rng.choice(extent_list),
+                )
+            )
+        faults.sort(key=lambda f: (f.op_index, f.kind, f.disk, f.extent))
+        return cls(seed=seed, profile=profile, ops=ops, faults=tuple(faults))
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for fault in self.faults:
+            out[fault.kind] = out.get(fault.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    @property
+    def has_permanent(self) -> bool:
+        permanent = {FAULT_PERMANENT, FAULT_PERMANENT_DISK}
+        healed = {f.disk for f in self.faults if f.kind == FAULT_HEAL}
+        return any(
+            f.kind in permanent and f.disk not in healed for f in self.faults
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "profile": self.profile,
+            "ops": self.ops,
+            "counts": self.counts(),
+            "faults": [fault.to_json() for fault in self.faults],
+        }
+
+
+class FaultInjector:
+    """Walks a :class:`FaultPlan` alongside an operation sequence.
+
+    The driver calls :meth:`due` with each operation index (monotonically
+    increasing); every planned fault scheduled at or before that index is
+    handed out exactly once, in plan order.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._cursor = 0
+        self.delivered = 0
+
+    def due(self, op_index: int) -> Sequence[PlannedFault]:
+        out: List[PlannedFault] = []
+        while (
+            self._cursor < len(self.plan.faults)
+            and self.plan.faults[self._cursor].op_index <= op_index
+        ):
+            out.append(self.plan.faults[self._cursor])
+            self._cursor += 1
+        self.delivered += len(out)
+        return out
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.plan.faults)

@@ -77,6 +77,7 @@ def render_prometheus(
     *,
     latency: Optional[Dict[str, Any]] = None,
     extra_counters: Optional[Dict[str, int]] = None,
+    extra_gauges: Optional[Dict[str, float]] = None,
     namespace: str = "repro",
 ) -> str:
     """Render metric snapshots as a Prometheus text-format page.
@@ -84,7 +85,9 @@ def render_prometheus(
     ``metrics`` is a :meth:`Metrics.snapshot` dict (or a merged campaign
     block); ``latency`` is a :meth:`TimingRecorder.latency_snapshot` dict
     in nanoseconds, exposed in seconds per Prometheus convention;
-    ``extra_counters`` adds flat name->int counters (e.g. ``NodeStats``).
+    ``extra_counters`` adds flat name->int counters (e.g. ``NodeStats``);
+    ``extra_gauges`` adds flat name->float gauges (e.g. the breaker
+    states and error rates from ``StorageNode.health_snapshot()``).
     """
     lines: List[str] = []
     metrics = metrics or {}
@@ -98,8 +101,11 @@ def render_prometheus(
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {_format_value(counters[name])}")
 
-    for name in sorted(metrics.get("gauges", {})):
-        value = metrics["gauges"][name]
+    gauges = dict(metrics.get("gauges", {}))
+    for name, value in (extra_gauges or {}).items():
+        gauges[name] = value
+    for name in sorted(gauges):
+        value = gauges[name]
         metric = _metric_name(name, namespace)
         last = value.get("last") if isinstance(value, dict) else value
         peak = value.get("max") if isinstance(value, dict) else value

@@ -1,0 +1,255 @@
+"""Deterministic resilience primitives: retry policy and disk circuit breaker.
+
+The paper's failure-injection dimension (section 4.4) requires that "any IO
+may fail" while the node still either completes each request or fails it
+with a typed retryable error.  This module supplies the *tolerance* side of
+that contract:
+
+* :class:`RetryPolicy` -- a bounded retry-with-backoff policy for transient
+  :class:`~repro.shardstore.errors.IoError`\\ s.  Backoff is expressed in
+  *logical units* so checkers never sleep; a wall-clock unit can be
+  configured for production-style use.
+* :class:`DiskHealth` -- a sliding window of per-disk IO outcomes with an
+  error rate derived from it.
+* :class:`CircuitBreaker` -- a per-disk breaker driven purely by the node's
+  operation counter (no wall clock, so campaigns stay deterministic):
+
+  ``CLOSED`` --(error threshold within the window)--> ``OPEN``
+  --(cooldown ops elapse, probe scrub succeeds)--> ``PROBATION``
+  --(clean ops)--> ``CLOSED``; a failed probe re-opens, an error during
+  probation trips immediately.
+
+Everything here is pure bookkeeping: the :class:`~repro.shardstore.rpc.
+StorageNode` owns the actions (demoting a disk via shard migration, probing
+via scrub, re-admitting into service).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional, TypeVar
+
+from .errors import IoError
+
+__all__ = [
+    "RetryPolicy",
+    "BreakerConfig",
+    "BreakerState",
+    "DiskHealth",
+    "CircuitBreaker",
+]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient IO errors.
+
+    ``max_attempts`` counts the initial try: 3 means one try plus two
+    retries.  Backoff between attempts is ``min(cap, start * multiplier **
+    (failures - 1))`` logical units; the policy only sleeps when
+    ``sleep_unit_seconds`` is nonzero, so checkers and tests run at full
+    speed while a production configuration can map units to wall time.
+    Non-transient errors are never retried.
+    """
+
+    max_attempts: int = 3
+    backoff_start: int = 1
+    backoff_multiplier: int = 2
+    backoff_cap: int = 8
+    sleep_unit_seconds: float = 0.0
+
+    @classmethod
+    def disabled(cls) -> "RetryPolicy":
+        """A policy that never retries (the pre-resilience behaviour)."""
+        return cls(max_attempts=1)
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_attempts > 1
+
+    def backoff_units(self, failures: int) -> int:
+        """Logical backoff before the next attempt after ``failures`` errors."""
+        if failures <= 0:
+            return 0
+        return min(
+            self.backoff_cap,
+            self.backoff_start * self.backoff_multiplier ** (failures - 1),
+        )
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        on_retry: Optional[Callable[[int, int, IoError], None]] = None,
+    ) -> T:
+        """Run ``fn``, retrying transient :class:`IoError` up to the budget.
+
+        ``on_retry(attempt, backoff_units, exc)`` fires before each retry so
+        callers can count retries and emit events.  The final error (or any
+        non-transient one) propagates unchanged.
+        """
+        failures = 0
+        while True:
+            try:
+                return fn()
+            except IoError as exc:
+                if not exc.transient:
+                    raise
+                failures += 1
+                if failures >= self.max_attempts:
+                    raise
+                units = self.backoff_units(failures)
+                if on_retry is not None:
+                    on_retry(failures, units, exc)
+                if self.sleep_unit_seconds > 0.0:
+                    time.sleep(units * self.sleep_unit_seconds)
+
+
+class BreakerState(enum.Enum):
+    """Lifecycle of one disk's circuit breaker."""
+
+    CLOSED = "closed"  # healthy, in service
+    OPEN = "open"  # tripped: demoted out of service, cooling down
+    HALF_OPEN = "half-open"  # cooldown elapsed, awaiting a probe result
+    PROBATION = "probation"  # re-admitted, watched for clean operation
+
+    @property
+    def code(self) -> int:
+        """Stable numeric encoding for metrics export."""
+        return _STATE_CODES[self]
+
+
+_STATE_CODES = {
+    BreakerState.CLOSED: 0,
+    BreakerState.OPEN: 1,
+    BreakerState.HALF_OPEN: 2,
+    BreakerState.PROBATION: 3,
+}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning for :class:`CircuitBreaker` (all thresholds in node ops)."""
+
+    enabled: bool = True
+    window: int = 16  # IO outcomes remembered per disk
+    trip_failures: int = 3  # errors within the window that trip the breaker
+    cooldown_ops: int = 16  # node ops a tripped disk waits before a probe
+    probation_ops: int = 12  # clean node ops to close from probation
+
+    @classmethod
+    def disabled(cls) -> "BreakerConfig":
+        return cls(enabled=False)
+
+
+@dataclass
+class DiskHealth:
+    """Sliding-window health view of one disk's request-plane IO."""
+
+    window: int = 16
+    outcomes: Deque[bool] = field(default_factory=deque)  # True = ok
+    total_errors: int = 0
+    total_successes: int = 0
+
+    def record(self, ok: bool) -> None:
+        self.outcomes.append(ok)
+        while len(self.outcomes) > self.window:
+            self.outcomes.popleft()
+        if ok:
+            self.total_successes += 1
+        else:
+            self.total_errors += 1
+
+    def recent_failures(self) -> int:
+        return sum(1 for ok in self.outcomes if not ok)
+
+    def error_rate(self) -> float:
+        """Fraction of recent IO outcomes that failed (0.0 when idle)."""
+        if not self.outcomes:
+            return 0.0
+        return self.recent_failures() / len(self.outcomes)
+
+    def reset_window(self) -> None:
+        self.outcomes.clear()
+
+
+class CircuitBreaker:
+    """Error-rate breaker for one disk, clocked by the node op counter."""
+
+    def __init__(self, config: BreakerConfig) -> None:
+        self.config = config
+        self.state = BreakerState.CLOSED
+        self.health = DiskHealth(window=config.window)
+        self.tripped_at_op = 0
+        self.probation_clean = 0
+        self.trips = 0
+        self.probes = 0
+        self.readmissions = 0
+
+    # ------------------------------------------------------------------
+    # outcome feed
+
+    def record_success(self, now_op: int) -> None:
+        self.health.record(True)
+        if self.state is BreakerState.PROBATION:
+            self.probation_clean += 1
+            if self.probation_clean >= self.config.probation_ops:
+                self.state = BreakerState.CLOSED
+
+    def record_failure(self, now_op: int) -> bool:
+        """Feed one IO error; returns True when this error trips the breaker.
+
+        The caller (the node) reacts to a trip by demoting the disk.
+        """
+        self.health.record(False)
+        if not self.config.enabled:
+            return False
+        if self.state is BreakerState.PROBATION:
+            # Probation has no second chances: any error re-trips.
+            self._trip(now_op)
+            return True
+        if (
+            self.state is BreakerState.CLOSED
+            and self.health.recent_failures() >= self.config.trip_failures
+        ):
+            self._trip(now_op)
+            return True
+        return False
+
+    def _trip(self, now_op: int) -> None:
+        self.state = BreakerState.OPEN
+        self.tripped_at_op = now_op
+        self.probation_clean = 0
+        self.trips += 1
+        self.health.reset_window()
+
+    # ------------------------------------------------------------------
+    # probe / re-admission (driven by the node's op counter)
+
+    def should_probe(self, now_op: int) -> bool:
+        return (
+            self.config.enabled
+            and self.state is BreakerState.OPEN
+            and now_op - self.tripped_at_op >= self.config.cooldown_ops
+        )
+
+    def begin_probe(self) -> None:
+        self.state = BreakerState.HALF_OPEN
+
+    def on_probe(self, ok: bool, now_op: int) -> None:
+        """Feed a probe result; a success moves the disk into probation."""
+        self.probes += 1
+        if ok:
+            self.state = BreakerState.PROBATION
+            self.probation_clean = 0
+            self.readmissions += 1
+            self.health.reset_window()
+        else:
+            # Restart the cooldown clock from the failed probe.
+            self.state = BreakerState.OPEN
+            self.tripped_at_op = now_op

@@ -14,6 +14,20 @@ live in:
   table without the node lock, racing concurrent removals.
 * ``bulk_create``/``bulk_delete`` -- fault #16 releases the node lock
   between items, so concurrent bulk operations interleave non-atomically.
+
+The request plane is also where the node's *self-healing* lives (the
+tolerance side of the paper's section 4.4 failure injection):
+
+* transient disk IO errors are retried under a bounded deterministic
+  :class:`~repro.shardstore.resilience.RetryPolicy`; if they persist they
+  surface as :class:`RetryableError` (never a raw transient ``IoError``);
+* every final per-disk outcome feeds a per-disk
+  :class:`~repro.shardstore.resilience.CircuitBreaker`; enough errors trip
+  it, auto-demoting the disk via the same shard migration ``remove_disk``
+  uses, and a cooldown-then-probe cycle re-admits it through probation;
+* a disk whose shards cannot all be migrated (the disk is failing reads
+  mid-migration) enters *degraded read-only* mode: stranded shards stay
+  routed to it and are served best-effort, while writes re-steer away.
 """
 
 from __future__ import annotations
@@ -21,7 +35,7 @@ from __future__ import annotations
 import warnings
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
 from repro.concurrency.primitives import Mutex, yield_point
 
@@ -29,13 +43,22 @@ from .config import StoreConfig
 from .dependency import Dependency
 from .errors import (
     InvalidRequestError,
+    IoError,
     KeyNotFoundError,
     NotFoundError,
     RetryableError,
+    ShardStoreError,
     validate_key,
 )
 from .faults import Fault, FaultSet
+from .resilience import BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy
+from .scrub import RepairReport
 from .store import ShardStore, StoreSystem
+
+_T = TypeVar("_T")
+
+#: Reserved shard id the breaker writes/reads/deletes to probe a disk.
+PROBE_KEY = b"__breaker_probe__"
 
 
 def _steer(key: bytes, num_disks: int) -> int:
@@ -68,6 +91,15 @@ class NodeStats:
     gets: int = 0
     deletes: int = 0
     migrations: int = 0
+    retries: int = 0
+    wrapped_transients: int = 0  # transient IoErrors surfaced as RetryableError
+    breaker_trips: int = 0
+    breaker_probes: int = 0
+    readmissions: int = 0
+    demotions: int = 0
+    shards_stranded: int = 0
+    repaired: int = 0
+    quarantined: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         """Request-plane totals, named for metrics exposition."""
@@ -76,6 +108,15 @@ class NodeStats:
             "node.gets": self.gets,
             "node.deletes": self.deletes,
             "node.migrations": self.migrations,
+            "node.retries": self.retries,
+            "node.wrapped_transients": self.wrapped_transients,
+            "node.breaker_trips": self.breaker_trips,
+            "node.breaker_probes": self.breaker_probes,
+            "node.readmissions": self.readmissions,
+            "node.demotions": self.demotions,
+            "node.shards_stranded": self.shards_stranded,
+            "node.scrub_repaired": self.repaired,
+            "node.scrub_quarantined": self.quarantined,
         }
 
 
@@ -86,6 +127,9 @@ class StorageNode:
         self,
         num_disks: int = 3,
         config: Optional[StoreConfig] = None,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
     ) -> None:
         if num_disks < 1:
             raise InvalidRequestError("a storage node needs at least one disk")
@@ -93,6 +137,8 @@ class StorageNode:
         self.config = base
         self.faults: FaultSet = base.faults
         self.recorder = base.recorder
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker_config = breaker if breaker is not None else BreakerConfig()
         self.systems: List[StoreSystem] = []
         for disk_id in range(num_disks):
             cfg = StoreConfig(
@@ -108,11 +154,16 @@ class StorageNode:
             )
             self.systems.append(StoreSystem(cfg))
         self._in_service: List[bool] = [True] * num_disks
+        self._degraded: List[bool] = [False] * num_disks
         self._shard_map: Dict[bytes, int] = {}
         # Fault #4's stale state: routing entries saved at removal time.
         self._removed_routing: Dict[int, Dict[bytes, int]] = {}
         self._lock = Mutex(None, name="storage-node")
         self.stats = NodeStats()
+        self._breakers: List[CircuitBreaker] = [
+            CircuitBreaker(self.breaker_config) for _ in range(num_disks)
+        ]
+        self._op_count = 0
 
     # ------------------------------------------------------------------
     # request plane
@@ -120,45 +171,127 @@ class StorageNode:
     def _store(self, disk_id: int) -> ShardStore:
         return self.systems[disk_id].store
 
+    # -- resilience plumbing -------------------------------------------
+
+    def _tick(self) -> None:
+        """Advance the node's logical op clock and probe cooled-down disks.
+
+        The breaker is clocked by this counter, not wall time, so the whole
+        trip/cooldown/probe/probation cycle is deterministic under the
+        validation harnesses.
+        """
+        self._op_count += 1
+        if not self.breaker_config.enabled:
+            return
+        for disk_id, breaker in enumerate(self._breakers):
+            if breaker.should_probe(self._op_count):
+                self._probe_disk(disk_id)
+
+    def _retry(self, disk_id: int, fn: Callable[[], _T]) -> _T:
+        def note(failures: int, backoff: int, exc: IoError) -> None:
+            self.stats.retries += 1
+            if self.recorder.enabled:
+                self.recorder.count("node.retries")
+                self.recorder.event(
+                    "node.retry",
+                    disk=disk_id,
+                    attempt=failures,
+                    backoff=backoff,
+                    error=str(exc),
+                )
+
+        return self.retry_policy.call(fn, on_retry=note)
+
+    def _disk_io(self, disk_id: int, fn: Callable[[], _T]) -> _T:
+        """Run a per-disk store operation with retries and health tracking.
+
+        The error contract (see :mod:`repro.errors`): a transient
+        :class:`IoError` that survives the retry budget surfaces as
+        :class:`RetryableError`; a non-transient one propagates as-is.
+        Every *final* outcome (not individual retry attempts) feeds the
+        disk's circuit breaker.
+        """
+        try:
+            result = self._retry(disk_id, fn)
+        except IoError as exc:
+            self._record_failure(disk_id)
+            if exc.transient:
+                self.stats.wrapped_transients += 1
+                if self.recorder.enabled:
+                    self.recorder.count("node.wrapped_transients")
+                raise RetryableError(
+                    f"disk {disk_id}: transient IO failure persisted past "
+                    f"{self.retry_policy.max_attempts} attempts: {exc}"
+                ) from exc
+            raise
+        self._record_success(disk_id)
+        return result
+
+    def _record_success(self, disk_id: int) -> None:
+        self._breakers[disk_id].record_success(self._op_count)
+
+    def _record_failure(self, disk_id: int) -> None:
+        breaker = self._breakers[disk_id]
+        tripped = breaker.record_failure(self._op_count)
+        if self.recorder.enabled:
+            self.recorder.gauge(
+                f"node.disk{disk_id}.error_rate",
+                breaker.health.error_rate(),
+            )
+        if tripped:
+            self.stats.breaker_trips += 1
+            if self.recorder.enabled:
+                self.recorder.count("node.breaker_trips")
+                self.recorder.event(
+                    "node.breaker_trip", disk=disk_id, op=self._op_count
+                )
+            self._demote(disk_id)
+
     def put(self, key: bytes, value: bytes) -> Dependency:
         # Request validation belongs at the RPC boundary: an invalid key
         # must be rejected identically by every operation, not only by the
         # ones whose routing happens to reach a per-disk store.
         validate_key(key)
         self.stats.puts += 1
+        self._tick()
         with self._lock:
             target = self._shard_map.get(key)
             if target is None or not self._in_service[target]:
                 target = self._pick_target(key)
             self._shard_map[key] = target
         if not self.recorder.enabled:
-            return self._store(target).put(key, value)
+            return self._disk_io(target, lambda: self._store(target).put(key, value))
         with self.recorder.span("node.put", key=repr(key), disk=target):
-            return self._store(target).put(key, value)
+            return self._disk_io(target, lambda: self._store(target).put(key, value))
 
     def get(self, key: bytes) -> bytes:
         validate_key(key)
         self.stats.gets += 1
+        self._tick()
         with self._lock:
             target = self._shard_map.get(key)
         if target is None:
             raise NotFoundError(f"no shard for key {key!r}")
-        if not self._in_service[target]:
+        if not self._in_service[target] and not self._degraded[target]:
             raise RetryableError(f"disk {target} is out of service")
+        # A degraded disk is out of service for writes but still serves
+        # best-effort reads of its stranded shards.
         if not self.recorder.enabled:
-            return self._store(target).get(key)
+            return self._disk_io(target, lambda: self._store(target).get(key))
         with self.recorder.span("node.get", key=repr(key), disk=target):
-            return self._store(target).get(key)
+            return self._disk_io(target, lambda: self._store(target).get(key))
 
     def delete(self, key: bytes) -> Dependency:
         """Remove ``key``; raises :class:`KeyNotFoundError` when absent.
 
         Out-of-service routing targets surface as :class:`RetryableError`
         *without* dropping the routing entry, so a retry after
-        ``return_disk`` still finds the shard.
+        ``return_disk`` still finds the shard.  A failed tombstone write
+        restores the routing entry for the same reason.
         """
         validate_key(key)
         self.stats.deletes += 1
+        self._tick()
         with self._lock:
             target = self._shard_map.get(key)
             if target is None:
@@ -166,10 +299,19 @@ class StorageNode:
             if not self._in_service[target]:
                 raise RetryableError(f"disk {target} is out of service")
             del self._shard_map[key]
-        if not self.recorder.enabled:
-            return self._store(target).delete(key)
-        with self.recorder.span("node.delete", key=repr(key), disk=target):
-            return self._store(target).delete(key)
+        try:
+            if not self.recorder.enabled:
+                return self._disk_io(
+                    target, lambda: self._store(target).delete(key)
+                )
+            with self.recorder.span("node.delete", key=repr(key), disk=target):
+                return self._disk_io(
+                    target, lambda: self._store(target).delete(key)
+                )
+        except (RetryableError, IoError):
+            with self._lock:
+                self._shard_map.setdefault(key, target)
+            raise
 
     def _pick_target(self, key: bytes) -> int:
         primary = _steer(key, len(self.systems))
@@ -229,7 +371,9 @@ class StorageNode:
             self._in_service[disk_id] = False
             migrated = 0
             for key in owned:
-                value = self._store(disk_id).get(key)
+                value = self._wrap_transient(
+                    lambda k=key: self._store(disk_id).get(k)
+                )
                 target = self._pick_target(key)
                 self._store(target).put(key, value)
                 self._shard_map[key] = target
@@ -250,6 +394,10 @@ class StorageNode:
             if self._in_service[disk_id]:
                 raise InvalidRequestError(f"disk {disk_id} is in service")
             self._in_service[disk_id] = True
+            # An operator returning a disk vouches for it: clear degraded
+            # mode and start its breaker fresh.
+            self._degraded[disk_id] = False
+            self._breakers[disk_id] = CircuitBreaker(self.breaker_config)
             stale = self._removed_routing.pop(disk_id, {})
             if self.faults.enabled(Fault.DISK_RETURN_DROPS_SHARDS):
                 if self.recorder.enabled:
@@ -281,12 +429,25 @@ class StorageNode:
                 raise RetryableError(f"disk {target} is out of service")
             if source == target:
                 return True
-            value = self._store(source).get(key)
+            value = self._wrap_transient(lambda: self._store(source).get(key))
             self._store(target).put(key, value)
             self._shard_map[key] = target
             self._store(source).delete(key)
             self.stats.migrations += 1
             return True
+
+    def _wrap_transient(self, fn: Callable[[], _T]) -> _T:
+        """The error contract for under-lock store IO (no breaker feed:
+        demotion re-acquires the node lock, so locked paths only wrap)."""
+        try:
+            return fn()
+        except IoError as exc:
+            if exc.transient:
+                self.stats.wrapped_transients += 1
+                raise RetryableError(
+                    f"transient IO failure during control-plane operation: {exc}"
+                ) from exc
+            raise
 
     def scrub_all(self):
         """Repair-oriented integrity pass over every in-service disk."""
@@ -295,6 +456,162 @@ class StorageNode:
             if self._in_service[disk_id]:
                 reports[disk_id] = system.store.scrub()
         return reports
+
+    def scrub_repair_all(self) -> Dict[int, RepairReport]:
+        """Scrub-and-heal every in-service disk (see
+        :meth:`ShardStore.scrub_repair`); failures feed the disk breaker."""
+        reports: Dict[int, RepairReport] = {}
+        for disk_id, system in enumerate(self.systems):
+            if not self._in_service[disk_id]:
+                continue
+            try:
+                report = self._disk_io(disk_id, system.store.scrub_repair)
+            except (RetryableError, IoError):
+                continue  # the breaker saw the failure; heal what we can
+            reports[disk_id] = report
+            self.stats.repaired += len(report.repaired)
+            self.stats.quarantined += len(report.quarantined)
+        return reports
+
+    # ------------------------------------------------------------------
+    # self-healing: breaker-driven demotion, probe, re-admission
+
+    def _demote(self, disk_id: int) -> None:
+        """Take a tripped disk out of service, migrating what it will yield.
+
+        Unlike :meth:`remove_disk` (an operator action that expects a
+        healthy disk), demotion tolerates per-shard read failures: shards
+        the dying disk refuses to yield stay routed to it and the disk
+        enters *degraded read-only* mode -- stranded reads are attempted
+        best-effort, writes re-steer to healthy disks.
+        """
+        with self._lock:
+            if not self._in_service[disk_id]:
+                return
+            if sum(self._in_service) == 1:
+                # Nowhere to migrate: the last disk limps along degraded.
+                self._degraded[disk_id] = True
+                return
+            owned = sorted(
+                key for key, d in self._shard_map.items() if d == disk_id
+            )
+            self._in_service[disk_id] = False
+            migrated = 0
+            stranded = 0
+            for key in owned:
+                try:
+                    value = self._retry(
+                        disk_id, lambda k=key: self._store(disk_id).get(k)
+                    )
+                except ShardStoreError:
+                    stranded += 1
+                    continue  # stays routed to the demoted disk
+                target = self._pick_target(key)
+                self._store(target).put(key, value)
+                self._shard_map[key] = target
+                migrated += 1
+                self.stats.migrations += 1
+            if stranded:
+                self._degraded[disk_id] = True
+            self.stats.demotions += 1
+            self.stats.shards_stranded += stranded
+            if self.recorder.enabled:
+                self.recorder.event(
+                    "node.disk_demoted",
+                    disk=disk_id,
+                    migrated=migrated,
+                    stranded=stranded,
+                )
+
+    def _probe_disk(self, disk_id: int) -> None:
+        """Health-check a tripped disk end to end; re-admit on success.
+
+        The probe exercises the whole medium path -- write, drain to disk,
+        read back, delete, scrub -- because a disk with no shards left
+        would otherwise pass a scrub-only probe vacuously.
+        """
+        breaker = self._breakers[disk_id]
+        breaker.begin_probe()
+        self.stats.breaker_probes += 1
+        if self.recorder.enabled:
+            self.recorder.count("node.breaker_probes")
+        store = self._store(disk_id)
+        try:
+            store.put(PROBE_KEY, b"probe")
+            store.drain()
+            ok = store.get(PROBE_KEY) == b"probe"
+            store.delete(PROBE_KEY)
+            store.drain()
+            report = store.scrub()
+            ok = ok and report.io_errors == 0 and report.clean
+        except ShardStoreError:
+            ok = False
+        breaker.on_probe(ok, self._op_count)
+        if self.recorder.enabled:
+            self.recorder.event("node.breaker_probe", disk=disk_id, ok=ok)
+        if breaker.state is BreakerState.PROBATION:
+            self._readmit(disk_id)
+
+    def _readmit(self, disk_id: int) -> None:
+        """Bring a probed-healthy disk back into service on probation.
+
+        Routing is untouched: shards migrated away at demotion stay where
+        they are, and stranded shards become fully servable again.
+        """
+        with self._lock:
+            self._in_service[disk_id] = True
+            self._degraded[disk_id] = False
+        self.stats.readmissions += 1
+        if self.recorder.enabled:
+            self.recorder.count("node.readmissions")
+            self.recorder.event("node.disk_readmitted", disk=disk_id)
+
+    def degraded(self, disk_id: int) -> bool:
+        """Whether ``disk_id`` is in degraded read-only mode."""
+        self._check_disk(disk_id)
+        return self._degraded[disk_id]
+
+    def route_of(self, key: bytes) -> Optional[int]:
+        """The disk ``key`` currently routes to (None when unrouted).
+
+        Checkers use this to decide whether a failed read is honest
+        unavailability (the shard is stranded on a demoted/degraded disk)
+        or a conformance violation on a healthy one.
+        """
+        validate_key(key)
+        with self._lock:
+            return self._shard_map.get(key)
+
+    def breaker_state(self, disk_id: int) -> BreakerState:
+        self._check_disk(disk_id)
+        return self._breakers[disk_id].state
+
+    def health_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-disk breaker/health view for metrics exposition.
+
+        Returns ``{"counters": {...}, "gauges": {...}}``; the gauges carry
+        breaker state codes (0=closed 1=open 2=half-open 3=probation),
+        sliding-window error rates, and service/degraded flags per disk.
+        """
+        counters: Dict[str, float] = {
+            "node.breaker_trips": self.stats.breaker_trips,
+            "node.breaker_probes": self.stats.breaker_probes,
+            "node.readmissions": self.stats.readmissions,
+            "node.retries": self.stats.retries,
+            "node.wrapped_transients": self.stats.wrapped_transients,
+            "node.demotions": self.stats.demotions,
+            "node.shards_stranded": self.stats.shards_stranded,
+            "node.scrub_repaired": self.stats.repaired,
+            "node.scrub_quarantined": self.stats.quarantined,
+        }
+        gauges: Dict[str, float] = {}
+        for disk_id, breaker in enumerate(self._breakers):
+            prefix = f"node.disk{disk_id}"
+            gauges[f"{prefix}.breaker_state"] = breaker.state.code
+            gauges[f"{prefix}.error_rate"] = breaker.health.error_rate()
+            gauges[f"{prefix}.in_service"] = float(self._in_service[disk_id])
+            gauges[f"{prefix}.degraded"] = float(self._degraded[disk_id])
+        return {"counters": counters, "gauges": gauges}
 
     # ------------------------------------------------------------------
     # bulk control-plane operations
@@ -326,7 +643,9 @@ class StorageNode:
                 if target is None or not self._in_service[target]:
                     target = self._pick_target(key)
                 self._shard_map[key] = target
-                self._store(target).put(key, value)
+                self._wrap_transient(
+                    lambda t=target, k=key, v=value: self._store(t).put(k, v)
+                )
                 created += 1
             return created
 
@@ -354,7 +673,9 @@ class StorageNode:
             for key in keys:
                 target = self._shard_map.pop(key, None)
                 if target is not None and self._in_service[target]:
-                    self._store(target).delete(key)
+                    self._wrap_transient(
+                        lambda t=target, k=key: self._store(t).delete(k)
+                    )
                     deleted += 1
             return deleted
 
@@ -377,25 +698,59 @@ class StorageNode:
 
     def flush(self) -> NodeDependency:
         """Flush every in-service disk; the combined durability dependency."""
+        self._tick()
         if not self.recorder.enabled:
             return self._flush()
         with self.recorder.span("node.flush"):
             return self._flush()
 
     def _flush(self) -> NodeDependency:
-        return NodeDependency(
-            [
-                system.store.flush()
-                for disk_id, system in enumerate(self.systems)
-                if self._in_service[disk_id]
-            ]
-        )
+        deps, errors = self._each_in_service(lambda store: store.flush())
+        self._raise_if_still_failing(errors, "flush")
+        return NodeDependency([dep for dep in deps if dep is not None])
 
     def drain(self) -> None:
-        """Write back everything pending on every in-service disk."""
+        """Write back everything pending on every in-service disk.
+
+        Per-disk failures feed the circuit breaker; a failure only
+        propagates if its disk is *still* in service afterwards -- a disk
+        the breaker demoted mid-drain had its shards migrated, so the node
+        as a whole made forward progress.
+        """
+        self._tick()
+        _, errors = self._each_in_service(lambda store: store.drain())
+        self._raise_if_still_failing(errors, "drain")
+
+    def _each_in_service(
+        self, fn: Callable[[ShardStore], _T]
+    ) -> Tuple[List[Optional[_T]], List[Tuple[int, IoError]]]:
+        results: List[Optional[_T]] = []
+        errors: List[Tuple[int, IoError]] = []
         for disk_id, system in enumerate(self.systems):
-            if self._in_service[disk_id]:
-                system.store.drain()
+            if not self._in_service[disk_id]:
+                continue
+            try:
+                results.append(self._retry(disk_id, lambda s=system: fn(s.store)))
+            except IoError as exc:
+                self._record_failure(disk_id)
+                errors.append((disk_id, exc))
+                results.append(None)
+                continue
+            self._record_success(disk_id)
+        return results, errors
+
+    def _raise_if_still_failing(
+        self, errors: List[Tuple[int, IoError]], op: str
+    ) -> None:
+        for disk_id, exc in errors:
+            if not self._in_service[disk_id]:
+                continue
+            if exc.transient:
+                self.stats.wrapped_transients += 1
+                raise RetryableError(
+                    f"disk {disk_id}: {op} failed past retries: {exc}"
+                ) from exc
+            raise exc
 
     def drain_all(self) -> None:
         self.drain()

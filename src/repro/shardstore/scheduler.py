@@ -58,6 +58,7 @@ class SchedulerStats:
     records_written: int = 0
     resets_applied: int = 0
     ios_issued: int = 0  # contiguous same-extent runs merged at drain time
+    writeback_requeues: int = 0  # failed writebacks put back for retry
 
 
 class IoScheduler:
@@ -282,7 +283,11 @@ class IoScheduler:
                 del self._queues[extent]
             if len(batch) > 1:
                 merged = b"".join(r.data for r in batch)
-                self.disk.write(extent, batch[0].offset, merged)
+                try:
+                    self.disk.write(extent, batch[0].offset, merged)
+                except IoError:
+                    self._requeue_failed(extent, batch)
+                    raise
                 for merged_record in batch:
                     self.tracker.mark_durable(merged_record.record_id)
                 self.stats.records_written += len(batch)
@@ -294,12 +299,57 @@ class IoScheduler:
                         "scheduler.queue_depth", self.pending_count
                     )
                 return True
-            self._apply(batch[0])
+            self._apply_or_requeue(extent, batch[0])
             return True
         if not queue:
             del self._queues[extent]
-        self._apply(record)
+        self._apply_or_requeue(extent, record)
         return True
+
+    def _apply_or_requeue(self, extent: int, record: _PendingRecord) -> None:
+        try:
+            self._apply(record)
+        except IoError:
+            self._requeue_failed(extent, [record])
+            raise
+
+    def _requeue_failed(self, extent: int, records: List[_PendingRecord]) -> None:
+        """Put back records whose writeback failed, trimming any torn prefix.
+
+        A failed IO must not lose the logical append: the record returns to
+        the head of its extent queue so a later pump (after the transient
+        fault clears, or after a node-level retry) can complete it.  A torn
+        write may have durably landed a prefix; the surviving portion of each
+        record is trimmed to start at the new hard pointer, and records the
+        tear fully absorbed are marked durable after all.
+        """
+        hard = self.disk.write_pointer(extent)
+        survivors: List[_PendingRecord] = []
+        for record in records:
+            if record.kind == "write":
+                end = record.offset + len(record.data)
+                if end <= hard:
+                    # The medium absorbed this record before the fault fired
+                    # (a torn batch): it is durable after all.
+                    self.tracker.mark_durable(record.record_id)
+                    self.stats.records_written += 1
+                    continue
+                if record.offset < hard:
+                    record.data = record.data[hard - record.offset :]
+                    record.offset = hard
+                    info = self.tracker.record_info.get(record.record_id)
+                    if info is not None:
+                        info.offset = record.offset
+                        info.length = len(record.data)
+            survivors.append(record)
+        if survivors:
+            self._queues.setdefault(extent, [])[:0] = survivors
+        self.stats.writeback_requeues += 1
+        if self.recorder.enabled:
+            self.recorder.count("scheduler.writeback_requeues")
+            self.recorder.event(
+                "scheduler.writeback_requeued", extent=extent, records=len(survivors)
+            )
 
     def _apply(self, record: _PendingRecord) -> None:
         if record.kind == "reset":

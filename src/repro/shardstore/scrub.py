@@ -33,10 +33,36 @@ class ScrubReport:
     #: (key or run locator description, error message)
     errors: List[Tuple[str, str]] = field(default_factory=list)
     io_errors: int = 0
+    #: Keys whose chunks failed validation (inputs to scrub-repair).
+    bad_keys: List[bytes] = field(default_factory=list)
+    #: LSM run chunks that failed validation.
+    bad_runs: int = 0
 
     @property
     def clean(self) -> bool:
         return not self.errors
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one scrub-repair pass (:meth:`ShardStore.scrub_repair`).
+
+    ``repaired`` keys were re-read successfully (cache or a surviving
+    replica chunk) and rewritten to fresh chunks; ``quarantined`` keys were
+    unrecoverable and removed from the index so clients get a typed
+    :class:`~repro.shardstore.errors.NotFoundError` instead of silent
+    corruption.  ``run_compactions`` counts compactions triggered to rewrite
+    corrupt LSM run chunks.
+    """
+
+    scanned: ScrubReport = field(default_factory=ScrubReport)
+    repaired: List[bytes] = field(default_factory=list)
+    quarantined: List[bytes] = field(default_factory=list)
+    run_compactions: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.scanned.clean
 
 
 class Scrubber:
@@ -61,6 +87,8 @@ class Scrubber:
                     report.chunks_checked += 1
                 except CorruptionError as exc:
                     report.errors.append((repr(key), str(exc)))
+                    if key not in report.bad_keys:
+                        report.bad_keys.append(key)
                 except IoError:
                     report.io_errors += 1
         for locator in self.index.run_locators():
@@ -69,6 +97,7 @@ class Scrubber:
                 report.runs_checked += 1
             except CorruptionError as exc:
                 report.errors.append((f"run@{locator}", str(exc)))
+                report.bad_runs += 1
             except IoError:
                 report.io_errors += 1
         return report

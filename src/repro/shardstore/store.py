@@ -20,20 +20,30 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Set, TypeVar
 
 from .buffer_cache import BufferCache
 from .chunk_store import ChunkStore
 from .config import StoreConfig
 from .dependency import Dependency, DurabilityTracker
 from .disk import InMemoryDisk
-from .errors import MAX_KEY_LEN, KeyNotFoundError, NotFoundError, validate_key
+from .errors import (
+    MAX_KEY_LEN,
+    CorruptionError,
+    IoError,
+    KeyNotFoundError,
+    NotFoundError,
+    ShardStoreError,
+    validate_key,
+)
 from .faults import component_of
 from .lsm import LsmIndex
 from .reclamation import Reclaimer, ReclaimResult
 from .scheduler import IoScheduler
-from .scrub import Scrubber
+from .scrub import RepairReport, Scrubber
 from .superblock import Superblock
+
+_T = TypeVar("_T")
 
 __all__ = ["ShardStore", "StoreSystem", "RebootType", "MAX_KEY_LEN"]
 
@@ -88,6 +98,8 @@ class ShardStore:
         )
         self.scrubber = Scrubber(self.chunk_store, self.index)
         self.chunk_store.on_out_of_space = self._reclaim_for_space
+        self.retry_count = 0
+        self.quarantined: Set[bytes] = set()
         if self.recorder.enabled and config.faults:
             # Record which Fig. 5 faults this store was built with, so every
             # traced fault-matrix shard carries a non-empty fault-event
@@ -141,15 +153,36 @@ class ShardStore:
     # ------------------------------------------------------------------
     # request plane
 
+    def _retrying(self, fn: Callable[[], _T]) -> _T:
+        """Run a request-plane operation under the configured retry policy.
+
+        Only transient :class:`IoError`\\ s are retried; the default
+        (``retry_policy=None``) is the historical fail-fast behaviour.
+        """
+        policy = self.config.retry_policy
+        if policy is None or not policy.enabled:
+            return fn()
+        return policy.call(fn, on_retry=self._note_retry)
+
+    def _note_retry(self, failures: int, backoff: int, exc: IoError) -> None:
+        self.retry_count += 1
+        if self.recorder.enabled:
+            self.recorder.count("store.retries")
+            self.recorder.event(
+                "store.retry", attempt=failures, backoff=backoff, error=str(exc)
+            )
+
     def put(self, key: bytes, value: bytes) -> Dependency:
         """Store ``value`` under ``key``; returns its durability dependency."""
         validate_key(key)
         if not self.recorder.enabled:
-            locators, data_dep = self.chunk_store.put_shard(key, value)
-            return self.index.put(key, locators, data_dep)
+            return self._retrying(lambda: self._put_validated(key, value))
         with self.recorder.span("put", key=repr(key), size=len(value)):
-            locators, data_dep = self.chunk_store.put_shard(key, value)
-            return self.index.put(key, locators, data_dep)
+            return self._retrying(lambda: self._put_validated(key, value))
+
+    def _put_validated(self, key: bytes, value: bytes) -> Dependency:
+        locators, data_dep = self.chunk_store.put_shard(key, value)
+        return self.index.put(key, locators, data_dep)
 
     def get(self, key: bytes) -> bytes:
         """The value stored under ``key``.
@@ -159,9 +192,9 @@ class ShardStore:
         """
         validate_key(key)
         if not self.recorder.enabled:
-            return self._get_validated(key)
+            return self._retrying(lambda: self._get_validated(key))
         with self.recorder.span("get", key=repr(key)):
-            return self._get_validated(key)
+            return self._retrying(lambda: self._get_validated(key))
 
     def _get_validated(self, key: bytes) -> bytes:
         locators = self.index.get(key)
@@ -177,9 +210,9 @@ class ShardStore:
         """
         validate_key(key)
         if not self.recorder.enabled:
-            return self._delete_validated(key)
+            return self._retrying(lambda: self._delete_validated(key))
         with self.recorder.span("delete", key=repr(key)):
-            return self._delete_validated(key)
+            return self._retrying(lambda: self._delete_validated(key))
 
     def _delete_validated(self, key: bytes) -> Dependency:
         if self.index.get(key) is None:
@@ -237,6 +270,52 @@ class ShardStore:
         """Proactively validate every live chunk (no state changes)."""
         with self.recorder.span("scrub"):
             return self.scrubber.scrub()
+
+    def scrub_repair(self) -> RepairReport:
+        """Scrub, then heal what the scrub found (section 4.4 tolerance).
+
+        Keys whose chunks fail validation are re-read through the normal
+        path -- the buffer cache or a surviving chunk may still hold good
+        bytes -- and rewritten to fresh chunks (*repair*).  Unrecoverable
+        keys are removed from the index and remembered in
+        :attr:`quarantined`, converting silent corruption into a typed
+        :class:`NotFoundError` (*quarantine*).  Corrupt LSM run chunks are
+        rewritten by forcing a compaction.  Transient IO errors propagate:
+        repairing a disk that is still failing is the circuit breaker's
+        decision, not the scrubber's.
+        """
+        with self.recorder.span("scrub_repair"):
+            report = RepairReport(scanned=self.scrubber.scrub())
+            for key in report.scanned.bad_keys:
+                try:
+                    value = self.get(key)
+                except CorruptionError:
+                    try:
+                        self.index.delete(key)
+                    except KeyNotFoundError:
+                        pass
+                    self.quarantined.add(key)
+                    report.quarantined.append(key)
+                    if self.recorder.enabled:
+                        self.recorder.count("scrub.quarantined")
+                        self.recorder.event("scrub.quarantine", key=repr(key))
+                    continue
+                except NotFoundError:
+                    continue  # deleted since the scrub pass: nothing to heal
+                self.put(key, value)
+                report.repaired.append(key)
+                if self.recorder.enabled:
+                    self.recorder.count("scrub.repaired")
+                    self.recorder.event("scrub.repair", key=repr(key))
+            if report.scanned.bad_runs:
+                try:
+                    self.compact()
+                    report.run_compactions += 1
+                    if self.recorder.enabled:
+                        self.recorder.count("scrub.run_compactions")
+                except ShardStoreError:
+                    pass  # the corrupt run is unreadable even for compaction
+            return report
 
     # ------------------------------------------------------------------
     # writeback control (the crash checker drives these)

@@ -21,6 +21,7 @@ from repro.campaign.spec import (
     KIND_CRASH,
     KIND_FAULT_MATRIX,
     KIND_FUZZ,
+    KIND_INJECTION,
 )
 from repro.shardstore import Fault
 
@@ -39,6 +40,7 @@ class TestShardPartitioning:
             KIND_CRASH,
             KIND_FUZZ,
             KIND_FAULT_MATRIX,
+            KIND_INJECTION,
         }
 
     def test_fault_matrix_covers_all_16_issues(self):
@@ -52,8 +54,8 @@ class TestShardPartitioning:
         """Shard k draws sequence seeds from base + k*stride: disjoint."""
         shards = build_shards(smoke_spec(base_seed=3))
         unpinned = [s for s in shards if s.kind != KIND_FAULT_MATRIX]
-        for index, shard in enumerate(unpinned):
-            assert shard.seed == 3 + index * SEED_STRIDE
+        for shard in unpinned:
+            assert shard.seed == 3 + shard.shard_id * SEED_STRIDE
         spans = [
             (s.seed, s.seed + s.param("sequences", 1)) for s in unpinned
         ]
@@ -293,7 +295,7 @@ class TestRunCampaign:
 
     def test_artifact_schema_headline_fields(self):
         artifact = result_to_json(run_campaign(_tiny_spec()))
-        assert artifact["schema_version"] == 2
+        assert artifact["schema_version"] == 3
         for key in (
             "campaign",
             "totals",
@@ -310,4 +312,5 @@ class TestRunCampaign:
             KIND_CRASH,
             KIND_FUZZ,
             KIND_FAULT_MATRIX,
+            KIND_INJECTION,
         }

@@ -6,6 +6,7 @@ from repro.shardstore import (
     DiskGeometry,
     ExtentError,
     FailureMode,
+    FaultKind,
     InMemoryDisk,
     IoError,
 )
@@ -167,6 +168,100 @@ class TestFailureInjection:
         with pytest.raises(IoError):
             disk.write(0, 0, b"x")
         assert disk.stats.injected_failures == 1
+
+
+class TestArmedFaultSemantics:
+    """The fault-plan contract the injection campaign builds on."""
+
+    def test_once_fault_consumed_by_first_matching_io_of_either_kind(
+        self, disk
+    ):
+        disk.write(1, 0, b"abc")
+        disk.arm_fault(1, FailureMode.ONCE)
+        with pytest.raises(IoError):
+            disk.read(1, 0, 1)
+        disk.write(1, 3, b"d")  # the read consumed the fault
+        assert disk.read(1, 0, 4) == b"abcd"
+        assert disk.stats.injected_failures == 1
+
+    def test_delay_lets_matching_ios_through_before_firing(self, disk):
+        disk.write(1, 0, b"abc")
+        disk.arm_fault(1, FailureMode.ONCE, delay=2)
+        assert disk.read(1, 0, 1) == b"a"
+        assert disk.read(1, 0, 1) == b"a"
+        with pytest.raises(IoError):
+            disk.read(1, 0, 1)
+        assert disk.read(1, 0, 1) == b"a"  # ONCE disarmed after firing
+
+    def test_torn_write_lands_durable_prefix_then_fails(self, disk):
+        disk.arm_fault(
+            1, FailureMode.ONCE, kind=FaultKind.TORN_WRITE, reads=False
+        )
+        with pytest.raises(IoError, match="torn write"):
+            disk.write(1, 0, b"abcdef")
+        # Half the write landed durably; the pointer sits at the tear.
+        assert disk.write_pointer(1) == 3
+        assert disk.read(1, 0, 3) == b"abc"
+        # The tear consumed the fault: a retry from the torn pointer works.
+        disk.write(1, 3, b"def")
+        assert disk.read(1, 0, 6) == b"abcdef"
+
+    def test_torn_write_error_is_transient_for_once_mode(self, disk):
+        disk.arm_fault(1, FailureMode.ONCE, kind=FaultKind.TORN_WRITE)
+        with pytest.raises(IoError) as excinfo:
+            disk.write(1, 0, b"abcd")
+        assert excinfo.value.transient
+
+    def test_permanent_fault_survives_snapshot_restore(self, disk):
+        """Restoring the medium does not heal a dead region.
+
+        ``snapshot``/``restore`` model the durable medium across a crash
+        or reboot; armed PERMANENT faults model failed hardware, which a
+        reboot does not fix -- only ``clear_faults`` (a repair) does.
+        """
+        disk.write(1, 0, b"abc")
+        disk.arm_fault(1, FailureMode.PERMANENT)
+        snap = disk.snapshot()
+        disk.restore(snap)
+        assert disk.has_armed_fault(1)
+        with pytest.raises(IoError) as excinfo:
+            disk.read(1, 0, 1)
+        assert not excinfo.value.transient
+        disk.clear_faults(1)
+        assert disk.read(1, 0, 3) == b"abc"
+
+    def test_rearming_an_extent_replaces_the_fault(self, disk):
+        disk.write(1, 0, b"abc")
+        disk.arm_fault(1, FailureMode.PERMANENT)
+        disk.arm_fault(1, FailureMode.ONCE)
+        with pytest.raises(IoError):
+            disk.read(1, 0, 1)
+        assert disk.read(1, 0, 1) == b"a"  # ONCE won: disarmed
+
+    def test_corrupt_flips_exactly_one_bit(self, disk):
+        disk.write(1, 0, bytes(16))
+        offset = disk.corrupt(1, 5, bit=3)
+        assert offset == 5
+        data = disk.read(1, 0, 16)
+        assert data[5] == 1 << 3
+        assert all(b == 0 for i, b in enumerate(data) if i != 5)
+        assert disk.stats.injected_corruptions == 1
+
+    def test_corrupt_defaults_to_middle_and_clamps(self, disk):
+        disk.write(1, 0, b"\x00" * 10)
+        assert disk.corrupt(1) == 5
+        assert disk.corrupt(1, 999) == 9  # clamped below the pointer
+
+    def test_corrupt_of_empty_extent_is_a_noop(self, disk):
+        assert disk.corrupt(2) is None
+        assert disk.stats.injected_corruptions == 0
+
+    def test_corruption_is_silent(self, disk):
+        """A flipped bit raises nothing at the disk layer -- only a CRC
+        check downstream can notice (which is the point)."""
+        disk.write(1, 0, b"payload")
+        disk.corrupt(1, 2)
+        assert disk.read(1, 0, 7) != b"payload"  # no exception
 
 
 class TestSnapshotRestore:

@@ -115,6 +115,64 @@ class TestRenderPrometheus:
         page = render_prometheus({}, extra_counters={"node.puts": 7})
         assert "repro_node_puts_total 7" in page
 
+    def test_extra_gauges_render_as_flat_gauges(self):
+        page = render_prometheus(
+            {},
+            extra_gauges={
+                "node.disk0.breaker_state": 1,
+                "node.disk0.error_rate": 0.25,
+            },
+        )
+        types, samples = _parse(page)
+        by_name = {(name, labels): value for name, labels, value in samples}
+        assert types["repro_node_disk0_breaker_state"] == "gauge"
+        assert by_name[("repro_node_disk0_breaker_state", "")] == 1
+        assert by_name[("repro_node_disk0_error_rate", "")] == 0.25
+        # Flat extras have no separate peak history: last == peak.
+        assert by_name[("repro_node_disk0_error_rate_peak", "")] == 0.25
+
+    def test_extra_gauges_merge_with_registry_gauges(self):
+        metrics = Metrics()
+        metrics.gauge("scheduler.queue_depth", 4)
+        page = render_prometheus(
+            metrics.snapshot(), extra_gauges={"node.disk1.in_service": 1.0}
+        )
+        assert "repro_scheduler_queue_depth 4" in page
+        assert "repro_node_disk1_in_service 1" in page
+
+    def test_health_snapshot_round_trips_through_exposition(self):
+        """StorageNode.health_snapshot() -> render_prometheus: the breaker
+        state, error rate and service flags of every disk appear as
+        gauges, and the resilience counters as _total counters."""
+        from repro.shardstore import StorageNode
+
+        node = StorageNode(num_disks=2)
+        node.put(b"k", b"v")
+        health = node.health_snapshot()
+        page = render_prometheus(
+            {},
+            extra_counters=node.stats.snapshot(),
+            extra_gauges=health["gauges"],
+        )
+        types, samples = _parse(page)
+        by_name = {(name, labels): value for name, labels, value in samples}
+        for disk_id in range(2):
+            prefix = f"repro_node_disk{disk_id}"
+            assert types[f"{prefix}_breaker_state"] == "gauge"
+            assert by_name[(f"{prefix}_breaker_state", "")] == 0  # CLOSED
+            assert by_name[(f"{prefix}_error_rate", "")] == 0
+            assert by_name[(f"{prefix}_in_service", "")] == 1
+            assert by_name[(f"{prefix}_degraded", "")] == 0
+        for counter in (
+            "repro_node_retries_total",
+            "repro_node_breaker_trips_total",
+            "repro_node_readmissions_total",
+            "repro_node_scrub_repaired_total",
+            "repro_node_scrub_quarantined_total",
+        ):
+            assert types[counter] == "counter"
+            assert by_name[(counter, "")] == 0
+
     def test_empty_inputs_render_empty_page(self):
         assert render_prometheus({}) == "\n"
         assert render_prometheus(None) == "\n"
@@ -163,6 +221,13 @@ class TestMetricsServe:
         # NodeStats totals from the RPC layer are wired through.
         assert "repro_node_puts_total" in names
         assert "repro_disk_writes_total" in names
+        # Breaker health gauges from health_snapshot() are wired through.
+        for disk_id in range(3):
+            assert f"repro_node_disk{disk_id}_breaker_state" in names
+            assert f"repro_node_disk{disk_id}_error_rate" in names
+            assert f"repro_node_disk{disk_id}_in_service" in names
+        assert "repro_node_breaker_trips_total" in names
+        assert "repro_node_retries_total" in names
         assert types["repro_latency_seconds"] == "histogram"
         # Histogram buckets are cumulative and +Inf matches _count.
         section = 'section="node.put"'

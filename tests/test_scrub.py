@@ -90,6 +90,95 @@ class TestScrubber:
         assert report.clean  # errors are counted, not corruption
 
 
+class TestScrubRepair:
+    """Scrub-and-heal: the recovery half of the section 4.4 contract."""
+
+    def test_clean_store_repair_is_a_noop(self):
+        store = _system().store
+        store.put(b"k", b"v" * 120)
+        store.flush_index()
+        report = store.scrub_repair()
+        assert report.clean
+        assert report.repaired == []
+        assert report.quarantined == []
+        assert report.run_compactions == 0
+
+    def test_unrecoverable_key_is_quarantined(self):
+        """A corrupt chunk with no good copy anywhere becomes a typed
+        NotFoundError instead of silent corruption."""
+        system = _system()
+        store = system.store
+        store.put(b"k", b"v" * 200)
+        store.flush_index()
+        store.drain()
+        store.cache.invalidate_all()  # no good copy survives in cache
+        locator = store.index.get(b"k")[0]
+        system.disk.corrupt(locator.extent, locator.offset + 8)
+        report = store.scrub_repair()
+        assert report.quarantined == [b"k"]
+        assert b"k" in store.quarantined
+        with pytest.raises(NotFoundError):
+            store.get(b"k")
+        # The index no longer references the corrupt chunk.
+        assert store.scrub().clean
+
+    def test_corrupt_run_chunk_is_rewritten_by_compaction(self):
+        system = _system()
+        store = system.store
+        for i in range(6):
+            store.put(b"r%d" % i, bytes([i]) * 150)
+        store.flush_index()
+        store.drain()
+        run = store.index.run_locators()[0]
+        store.cache.invalidate_all()
+        system.disk.corrupt(run.extent, run.offset + run.length // 2)
+        report = store.scrub_repair()
+        assert report.run_compactions == 1
+        assert store.scrub().clean
+        for i in range(6):
+            assert store.get(b"r%d" % i) == bytes([i]) * 150
+
+    def test_fresh_value_supersedes_corrupt_chunk(self):
+        """A re-put key routes around its corrupt old chunk entirely."""
+        system = _system()
+        store = system.store
+        store.put(b"k", b"old" * 60)
+        store.flush_index()
+        store.drain()
+        store.cache.invalidate_all()
+        locator = store.index.get(b"k")[0]
+        system.disk.corrupt(locator.extent, locator.offset + 8)
+        store.put(b"k", b"new" * 60)
+        report = store.scrub_repair()
+        assert report.quarantined == []
+        assert store.get(b"k") == b"new" * 60
+
+    def test_node_scrub_repair_all_counts_quarantines(self):
+        node = StorageNode(
+            num_disks=3,
+            config=StoreConfig(
+                geometry=DiskGeometry(
+                    num_extents=10, extent_size=2048, page_size=128
+                )
+            ),
+        )
+        for i in range(6):
+            node.put(b"s%d" % i, bytes([0x30 + i]) * 150)
+        node.drain()
+        victim_key = b"s0"
+        disk_id = node.route_of(victim_key)
+        store = node.systems[disk_id].store
+        store.cache.invalidate_all()
+        locator = store.index.get(victim_key)[0]
+        node.systems[disk_id].disk.corrupt(locator.extent, locator.offset + 8)
+        reports = node.scrub_repair_all()
+        assert set(reports) == {0, 1, 2}
+        assert reports[disk_id].quarantined == [victim_key]
+        assert node.stats.quarantined == 1
+        with pytest.raises(NotFoundError):
+            node.get(victim_key)
+
+
 class TestNodeControlPlane:
     def _node(self):
         return StorageNode(
