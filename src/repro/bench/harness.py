@@ -21,13 +21,16 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.shardstore import (
+    DeadlineExceededError,
     DiskGeometry,
     KeyNotFoundError,
     NotFoundError,
+    OverloadedError,
     StorageNode,
     StoreConfig,
     StoreSystem,
 )
+from repro.shardstore.resilience import AdmissionConfig
 from repro.shardstore.observability import (
     TimingRecorder,
     component_of_latency,
@@ -96,7 +99,8 @@ class _Target:
     """The system under test: a KVNode plus its reboot capability."""
 
     def __init__(self, kind: str, workload: str, seed: int, num_disks: int,
-                 recorder: TimingRecorder) -> None:
+                 recorder: TimingRecorder,
+                 admission: Optional[AdmissionConfig] = None) -> None:
         self.kind = kind
         config = bench_store_config(workload, seed, recorder)
         if kind == "store":
@@ -104,7 +108,9 @@ class _Target:
             self.node: Optional[StorageNode] = None
         elif kind == "node":
             self.system = None
-            self.node = StorageNode(num_disks=num_disks, config=config)
+            self.node = StorageNode(
+                num_disks=num_disks, config=config, admission=admission
+            )
         else:
             raise ValueError(f"unknown bench target {kind!r}")
 
@@ -153,6 +159,10 @@ def execute_op(target: _Target, op: BenchOp, value_size: int) -> str:
             target.reboot(clean=False)
         else:
             raise ValueError(f"unknown bench op {op.op!r}")
+    except (OverloadedError, DeadlineExceededError):
+        # Admission-enabled targets shed under pressure; a shed is a
+        # legitimate outcome bucket, not a harness failure.
+        return "shed"
     except (NotFoundError, KeyNotFoundError):
         return "not_found"
     return "ok"

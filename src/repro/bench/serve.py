@@ -6,9 +6,14 @@ deterministic warmup workload, and serves:
 
 * ``/metrics``  -- Prometheus text format over the node's metric registry,
   wall-clock latency histograms, and the RPC layer's ``NodeStats`` totals.
+  The demo node runs with the deadline-aware admission plane enabled, so
+  per-disk queue gauges (``queue_backlog_units``, ``queue_depth``,
+  ``latency_ewma``, ``inflight``) and the shed/hedge counters are live.
   Each scrape also applies a small slice of fresh mixed traffic so the
   counters move like a node under load.
-* ``/healthz``  -- JSON liveness: disk service states and shard count.
+* ``/healthz``  -- JSON liveness: disk service states, shard count, and
+  the per-disk admission-queue view (``queues`` + a rolled-up
+  ``queue_state`` of ``ok``/``degraded``).
 
 Stdlib ``http.server`` only.  Single-threaded by design: request handling
 and workload application never interleave.
@@ -22,6 +27,7 @@ from typing import Optional, Tuple
 
 from repro.shardstore import StorageNode
 from repro.shardstore.observability import TimingRecorder, render_prometheus
+from repro.shardstore.resilience import AdmissionConfig, BreakerState
 
 from .harness import _Target, execute_op
 from .workloads import generate_ops
@@ -44,13 +50,19 @@ class MetricsDemoNode:
         value_size: int = 64,
         warmup_ops: int = 400,
         ops_per_scrape: int = 25,
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         self.seed = seed
         self.value_size = value_size
         self.ops_per_scrape = ops_per_scrape
         self.recorder = TimingRecorder()
+        # The demo node runs the deadline-aware request plane by default:
+        # healthy demo traffic never sheds, but the queue gauges, hedge
+        # counters, and retry-budget token gauge are live on /metrics.
+        self.admission = admission if admission is not None else AdmissionConfig()
         self._target = _Target(
-            "node", "mixed", seed, num_disks, self.recorder
+            "node", "mixed", seed, num_disks, self.recorder,
+            admission=self.admission,
         )
         self._epoch = 0
         self._sequence = generate_ops("mixed", _EPOCH_OPS, value_size, seed)
@@ -89,6 +101,25 @@ class MetricsDemoNode:
 
     def healthz(self) -> dict:
         node = self.node
+        gauges = node.health_snapshot()["gauges"]
+        queues = {}
+        degraded_queues = 0
+        for disk_id in range(node.num_disks):
+            prefix = f"node.disk{disk_id}"
+            backlog = int(gauges.get(f"{prefix}.queue_backlog_units", 0))
+            slow = node.breaker_state(disk_id) is BreakerState.SLOW
+            # A queue is degraded when its backlog crosses half the shed
+            # bound (the next storm wave would shed) or its disk has been
+            # demoted SLOW by the brownout detector.
+            degraded = slow or (
+                backlog >= self.admission.max_backlog_units // 2
+            )
+            degraded_queues += degraded
+            queues[str(disk_id)] = {
+                "backlog_units": backlog,
+                "depth": int(gauges.get(f"{prefix}.queue_depth", 0)),
+                "state": "degraded" if degraded else "ok",
+            }
         return {
             "status": "ok",
             "disks": {
@@ -101,6 +132,8 @@ class MetricsDemoNode:
                 )
                 for disk_id in range(node.num_disks)
             },
+            "queues": queues,
+            "queue_state": "degraded" if degraded_queues else "ok",
             "shards": len(node.keys()),
         }
 

@@ -20,6 +20,7 @@ from .fault_matrix import fault_matrix_shards
 from .runner import build_shards, run_campaign
 from .spec import (
     SCHEMA_VERSION,
+    SUITE_REGISTRY,
     CampaignSpec,
     ShardFailure,
     ShardResult,
@@ -29,6 +30,7 @@ from .spec import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUITE_REGISTRY",
     "CampaignResult",
     "CampaignSpec",
     "ShardFailure",

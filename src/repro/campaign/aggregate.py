@@ -199,6 +199,58 @@ def _injection_summary(
     }
 
 
+#: Counter keys the ``brownout`` section carries (the admission-plane
+#: slice of the injection totals), in artifact order.
+_BROWNOUT_KEYS = (
+    "storm_events",
+    "shed_overload",
+    "shed_deadline",
+    "hedges",
+    "slow_trips",
+    "deadline_violations",
+    "retry_budget_exhausted",
+    "replica_writes",
+)
+
+
+def _brownout_summary(
+    results: List[ShardResult],
+) -> Optional[Dict[str, Any]]:
+    """The gray-failure section: shed/hedge/deadline behaviour of every
+    admission-enabled injection shard (None when none ran).
+
+    ``deadline_violations`` is the load-bearing gate total: 0 whenever
+    shedding is on (late requests are shed, never run), non-zero under a
+    ``--no-shedding`` storm -- which is also why the negative-control CI
+    job asserts this campaign FAILS.
+    """
+    shards = [
+        r
+        for r in results
+        if r.kind == KIND_INJECTION
+        and (r.injection or {}).get("admission_enabled")
+    ]
+    if not shards:
+        return None
+    totals = {key: 0 for key in _BROWNOUT_KEYS}
+    per_shard: List[Dict[str, Any]] = []
+    for result in shards:
+        block = result.injection or {}
+        for key in _BROWNOUT_KEYS:
+            totals[key] += int(block.get(key, 0))
+        per_shard.append(
+            {
+                "shard_id": result.shard_id,
+                "seed": result.seed,
+                "profile": block.get("profile"),
+                "shedding_enabled": bool(block.get("shedding_enabled")),
+                "ok": result.ok,
+                **{key: int(block.get(key, 0)) for key in _BROWNOUT_KEYS},
+            }
+        )
+    return {"shards": per_shard, "totals": totals}
+
+
 def _merged_metrics(results: List[ShardResult]) -> Optional[Dict[str, Any]]:
     """Merge every traced shard's metrics snapshot (None when untraced)."""
     from repro.shardstore.observability import merge_metrics
@@ -271,4 +323,7 @@ def result_to_json(outcome: CampaignResult) -> Dict[str, Any]:
     injection = _injection_summary(results)
     if injection is not None:
         artifact["injection"] = injection
+    brownout = _brownout_summary(results)
+    if brownout is not None:
+        artifact["brownout"] = brownout
     return artifact

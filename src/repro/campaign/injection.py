@@ -29,6 +29,19 @@ Two harnesses cover the two planes:
   permanent-fault plan only happens because the breaker demotes the dying
   disk.  Run with the breaker disabled, the same plan must fail -- the CI
   negative test that proves the self-healing is load-bearing.
+
+The ``brownout`` and ``overload`` node profiles extend the storm into the
+gray-failure dimension: a slow disk ramps its per-IO latency, or arrival
+bursts outpace the admission clock.  Under these plans the node runs with
+its deadline-aware admission plane enabled; a shed
+(``OverloadedError``/``DeadlineExceededError``) is a *clean* typed failure
+raised before any substrate IO, so -- unlike a mid-IO transient -- it
+never smears model uncertainty.  The settlement gate additionally
+requires ``deadline_violations == 0``: requests that ran past their
+deadline instead of being shed.  With shedding disabled
+(``--no-shedding``) the same storm accumulates violations and the gate
+fails -- the deterministic negative control proving the shedding is
+load-bearing.
 """
 
 from __future__ import annotations
@@ -53,17 +66,21 @@ from repro.core.conformance import CheckFailure, Harness, StoreHarness
 from repro.shardstore.config import FIRST_DATA_EXTENT, StoreConfig
 from repro.shardstore.disk import DiskGeometry, FailureMode, FaultKind
 from repro.shardstore.errors import (
+    DeadlineExceededError,
     IoError,
     KeyNotFoundError,
     NotFoundError,
+    OverloadedError,
     RetryableError,
     ShardStoreError,
 )
 from repro.shardstore.injection import (
     FAULT_BIT_FLIP,
+    FAULT_BURST,
     FAULT_HEAL,
     FAULT_PERMANENT,
     FAULT_PERMANENT_DISK,
+    FAULT_SLOW_DISK,
     FAULT_TORN_WRITE,
     FAULT_TRANSIENT_READ,
     FAULT_TRANSIENT_WRITE,
@@ -72,15 +89,49 @@ from repro.shardstore.injection import (
     PlannedFault,
 )
 from repro.shardstore.observability import NULL_RECORDER, Recorder, RingRecorder
-from repro.shardstore.resilience import BreakerConfig, RetryPolicy
+from repro.shardstore.resilience import (
+    AdmissionConfig,
+    BreakerConfig,
+    RetryPolicy,
+)
 from repro.shardstore.rpc import StorageNode
 
 __all__ = [
     "InjectionStoreHarness",
     "InjectionNodeHarness",
     "injection_node_alphabet",
+    "injection_storm_alphabet",
+    "storm_admission",
     "run_shard",
 ]
+
+#: Gray-failure storm profiles: these run with the admission plane on.
+STORM_PROFILES = ("brownout", "overload")
+
+#: The storm SLO, tighter than the node's defaults: campaign sequences are
+#: short, so the deadline must be breachable within one storm window while
+#: healthy traffic (whose per-op cost is a few units against an arrival
+#: interval of 8) still never comes near it.
+STORM_DEADLINE_UNITS = 96
+STORM_MAX_BACKLOG_UNITS = 256
+
+#: Storm sequences are longer than point-fault sequences: backlog has to
+#: *accumulate* across a latency ramp or a held-arrival burst before the
+#: deadline can be breached.
+STORM_OPS = 160
+
+
+def storm_admission(shedding: bool) -> AdmissionConfig:
+    """The admission config storm shards run under (both polarities)."""
+    if shedding:
+        return AdmissionConfig(
+            deadline_units=STORM_DEADLINE_UNITS,
+            max_backlog_units=STORM_MAX_BACKLOG_UNITS,
+        )
+    return AdmissionConfig.no_shedding(
+        deadline_units=STORM_DEADLINE_UNITS,
+        max_backlog_units=STORM_MAX_BACKLOG_UNITS,
+    )
 
 #: The storm geometry: the same small config conformance uses, so faults
 #: reach reclamation/rotation paths quickly.
@@ -137,6 +188,26 @@ def injection_node_alphabet() -> Alphabet:
             OpSpec("Delete", 1.0, _key_args),
             OpSpec("Flush", 0.6, _no_args),
             OpSpec("Drain", 0.8, _no_args),
+            OpSpec("Scrub", 0.3, _no_args),
+        ]
+    )
+
+
+def injection_storm_alphabet() -> Alphabet:
+    """Drain-heavier mix for brownout/overload storms.
+
+    Slow disks only *show* their latency when queued writeback actually
+    hits the medium, so storms flush/drain more often than the point-fault
+    alphabet -- a write-heavy tenant on a browned-out node, not a pathological
+    workload.
+    """
+    return Alphabet(
+        [
+            OpSpec("Put", 3.0, _put_args),
+            OpSpec("Get", 2.0, _key_args),
+            OpSpec("Delete", 0.7, _key_args),
+            OpSpec("Flush", 1.0, _no_args),
+            OpSpec("Drain", 1.6, _no_args),
             OpSpec("Scrub", 0.3, _no_args),
         ]
     )
@@ -334,6 +405,7 @@ class InjectionNodeHarness(Harness):
         num_disks: int = 3,
         *,
         breaker_enabled: bool = True,
+        admission: Optional[AdmissionConfig] = None,
         recorder: Recorder = NULL_RECORDER,
     ) -> None:
         self.node = StorageNode(
@@ -343,6 +415,7 @@ class InjectionNodeHarness(Harness):
             breaker=(
                 BreakerConfig() if breaker_enabled else BreakerConfig.disabled()
             ),
+            admission=admission,
         )
         self.plan = plan
         self.injector = FaultInjector(plan)
@@ -350,6 +423,7 @@ class InjectionNodeHarness(Harness):
         self._uncertain: Dict[bytes, Set[Optional[bytes]]] = {}
         self.has_failed = False
         self.armed = 0
+        self.storm_events = 0
 
     # ------------------------------------------------------------------
 
@@ -374,6 +448,18 @@ class InjectionNodeHarness(Harness):
         disk = system.disk
         if fault.kind == FAULT_HEAL:
             disk.clear_faults()
+            disk.set_latency(1)
+            return
+        if fault.kind == FAULT_SLOW_DISK:
+            # A gray failure: the disk keeps answering, just slowly.  No
+            # uncertainty -- slow is not wrong -- but the admission plane
+            # (EWMA, SLOW trip, hedged reads) must react.
+            disk.set_latency(max(1, fault.arg))
+            self.storm_events += 1
+            return
+        if fault.kind == FAULT_BURST:
+            self.node.hold_arrivals(fault.arg)
+            self.storm_events += 1
             return
         if fault.kind == FAULT_PERMANENT_DISK:
             for extent in _DATA_EXTENTS:
@@ -429,6 +515,10 @@ class InjectionNodeHarness(Harness):
     def _op_put(self, key: bytes, value: bytes) -> Optional[str]:
         try:
             self.node.put(key, value)
+        except (OverloadedError, DeadlineExceededError):
+            # Shed before any substrate IO: a typed clean failure that
+            # provably left the store unchanged -- no uncertainty smear.
+            return None
         except (RetryableError, IoError) as exc:
             escaped = self._escaped(exc)
             if escaped is not None:
@@ -446,6 +536,9 @@ class InjectionNodeHarness(Harness):
         allowed |= self._uncertain.get(key, set())
         try:
             value: Optional[bytes] = self.node.get(key)
+        except (OverloadedError, DeadlineExceededError):
+            # Shed (and no viable hedge): clean failure, state untouched.
+            return None
         except NotFoundError:
             value = None
         except (RetryableError, IoError) as exc:
@@ -465,6 +558,9 @@ class InjectionNodeHarness(Harness):
     def _op_delete(self, key: bytes) -> Optional[str]:
         try:
             self.node.delete(key)
+        except (OverloadedError, DeadlineExceededError):
+            # Shed before the routing entry was dropped: state untouched.
+            return None
         except KeyNotFoundError:
             if key in self._uncertain:
                 if None not in self._uncertain[key]:
@@ -524,7 +620,28 @@ class InjectionNodeHarness(Harness):
         it.  With the breaker disabled there is no isolation mechanism and
         the settlement loop exhausts: the deterministic negative case CI
         relies on.
+
+        Under an admission-enabled storm the gate additionally requires
+        ``deadline_violations == 0``: every request that could not meet
+        its deadline must have been *shed* (typed, pre-IO), never allowed
+        to run late.  Violations only accrue with shedding disabled, so
+        ``--no-shedding`` deterministically fails here -- the brownout
+        negative control.  Settlement does **not** heal disk latency: a
+        still-slow disk must have been isolated by the SLOW breaker trip,
+        exactly as a dying disk must have been isolated by an error trip.
         """
+        violations = self.node.stats.deadline_violations
+        if violations:
+            return (
+                f"{violations} requests ran past their logical deadline "
+                "without being shed (load-shedding disabled or mis-sized): "
+                "the deadline-aware admission plane is load-bearing"
+            )
+        if self.node.admission is not None:
+            # Post-storm cool-down: release any held arrivals and advance
+            # the op clock far enough to drain every admission backlog, so
+            # settlement measures recovered behaviour, not residual queue.
+            self.node.advance_clock(self.node.admission.max_backlog_units * 4)
         certain = {
             key: value
             for key, value in self.model.items()
@@ -609,20 +726,27 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
     Params: ``harness`` (store/node), ``profile`` (a
     :data:`~repro.shardstore.injection.STORE_PROFILES` /
     :data:`~repro.shardstore.injection.NODE_PROFILES` name), ``sequences``,
-    ``ops``, ``num_disks``, ``breaker_enabled``, ``trace``.  All randomness
-    derives from ``spec.seed`` (sequence ``i`` uses ``seed + i`` for both
-    its fault plan and its operation stream), so shards replay
-    byte-identically for any worker count.
+    ``ops``, ``num_disks``, ``breaker_enabled``, ``shedding_enabled``,
+    ``admission`` (defaults on for the ``brownout``/``overload`` profiles),
+    ``trace``.  All randomness derives from ``spec.seed`` (sequence ``i``
+    uses ``seed + i`` for both its fault plan and its operation stream), so
+    shards replay byte-identically for any worker count.
     """
     from repro.campaign.spec import ShardFailure, ShardResult
 
     harness_kind = spec.param("harness", "store")
     profile = spec.param("profile", "transient")
+    storm = profile in STORM_PROFILES
     sequences = spec.param("sequences", 6)
-    ops = spec.param("ops", 40)
+    ops = spec.param("ops", STORM_OPS if storm else 40)
     num_disks = spec.param("num_disks", 3)
     breaker_enabled = bool(spec.param("breaker_enabled", True))
+    shedding_enabled = bool(spec.param("shedding_enabled", True))
+    admission_enabled = bool(spec.param("admission", storm))
     trace_enabled = bool(spec.param("trace", False))
+    admission: Optional[AdmissionConfig] = None
+    if harness_kind == "node" and admission_enabled:
+        admission = storm_admission(shedding_enabled)
     shard_recorder = RingRecorder() if trace_enabled else None
     recorder: Recorder = shard_recorder if shard_recorder else NULL_RECORDER
     if shard_recorder is not None:
@@ -635,7 +759,9 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
         )
 
     if harness_kind == "node":
-        alphabet = injection_node_alphabet()
+        alphabet = (
+            injection_storm_alphabet() if storm else injection_node_alphabet()
+        )
         ctx_kwargs: Dict[str, Any] = {"num_disks": num_disks}
     else:
         alphabet = store_alphabet()
@@ -652,6 +778,14 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
         "shards_stranded": 0,
         "repaired": 0,
         "quarantined": 0,
+        "storm_events": 0,
+        "shed_overload": 0,
+        "shed_deadline": 0,
+        "hedges": 0,
+        "slow_trips": 0,
+        "deadline_violations": 0,
+        "retry_budget_exhausted": 0,
+        "replica_writes": 0,
     }
     failures: List[ShardFailure] = []
     cases = 0
@@ -671,6 +805,7 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
                 seed,
                 num_disks=num_disks,
                 breaker_enabled=breaker_enabled,
+                admission=admission,
                 recorder=recorder,
             )
         else:
@@ -702,6 +837,14 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
             totals["shards_stranded"] += stats.shards_stranded
             totals["repaired"] += stats.repaired
             totals["quarantined"] += stats.quarantined
+            totals["storm_events"] += harness.storm_events
+            totals["shed_overload"] += stats.shed_overload
+            totals["shed_deadline"] += stats.shed_deadline
+            totals["hedges"] += stats.hedges
+            totals["slow_trips"] += stats.slow_trips
+            totals["deadline_violations"] += stats.deadline_violations
+            totals["retry_budget_exhausted"] += stats.retry_budget_exhausted
+            totals["replica_writes"] += stats.replica_writes
         else:
             totals["retries"] += harness.store.retry_count
             totals["repaired"] += len(harness.repaired_keys)
@@ -732,6 +875,8 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
             "harness": harness_kind,
             "profile": profile,
             "breaker_enabled": breaker_enabled,
+            "admission_enabled": admission is not None,
+            "shedding_enabled": shedding_enabled,
             **totals,
         },
         metrics=shard_snap["metrics"] if shard_snap else None,

@@ -65,6 +65,15 @@ _INJECTION_PLAN: Tuple[Tuple[str, str], ...] = (
     ("node", "mixed"),
 )
 
+#: The ``brownout`` suite's plan: gray-failure storms (latency ramps and
+#: arrival bursts) against the admission-enabled node request plane.  With
+#: shedding disabled (``--no-shedding``) every slot must FAIL its
+#: ``deadline_violations == 0`` settlement gate -- the negative control.
+_BROWNOUT_PLAN: Tuple[Tuple[str, str], ...] = (
+    ("node", "brownout"),
+    ("node", "overload"),
+)
+
 
 def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
     """Compile the campaign into its ordered, deterministic shard list."""
@@ -73,9 +82,20 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
     def next_seed() -> int:
         return spec.base_seed + len(shards) * SEED_STRIDE
 
-    def add_injection_shards() -> None:
+    def add_injection_shards(
+        plan: Tuple[Tuple[str, str], ...] = _INJECTION_PLAN,
+    ) -> None:
+        from .injection import STORM_OPS, STORM_PROFILES
+
         for index in range(spec.injection_shards):
-            harness, profile = _INJECTION_PLAN[index % len(_INJECTION_PLAN)]
+            harness, profile = plan[index % len(plan)]
+            # Storm sequences need room for backlog to accumulate across a
+            # latency ramp or burst; point-fault sequences stay short.
+            ops = (
+                max(spec.injection_ops, STORM_OPS)
+                if profile in STORM_PROFILES
+                else spec.injection_ops
+            )
             shards.append(
                 ShardSpec.make(
                     len(shards),
@@ -84,14 +104,18 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
                     harness=harness,
                     profile=profile,
                     sequences=spec.injection_sequences,
-                    ops=spec.injection_ops,
+                    ops=ops,
                     breaker_enabled=spec.breaker_enabled,
+                    shedding_enabled=spec.shedding_enabled,
                     trace=spec.trace,
                 )
             )
 
     if spec.suite == "injection":
         add_injection_shards()
+        return shards
+    if spec.suite == "brownout":
+        add_injection_shards(_BROWNOUT_PLAN)
         return shards
 
     for alphabet, harness in _CONFORMANCE_PLAN:

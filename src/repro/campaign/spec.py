@@ -23,7 +23,22 @@ from typing import Any, Dict, List, Optional, Tuple
 #: and per-failure ``trace``/``fault_events``.
 #: v3: adds the failure-injection phase -- per-shard ``injection`` blocks
 #: and the aggregated top-level ``injection`` section.
-SCHEMA_VERSION = 3
+#: v4: adds the brownout/overload storm dimension -- injection blocks gain
+#: admission/shedding identity plus shed/hedge/slow-trip/deadline-violation
+#: counters, and the aggregate gains a top-level ``brownout`` section.
+SCHEMA_VERSION = 4
+
+#: Campaign suites: which slice of the shard plan a run compiles.  The CLI
+#: builds its ``--suite`` choices and help text from this registry, so a
+#: new suite lands in ``repro campaign --help`` by being added here.
+SUITE_REGISTRY: Dict[str, str] = {
+    "full": "every phase: conformance, crash, fuzz, fault matrix, injection",
+    "injection": "failure-injection storms only (section 4.4 contract)",
+    "brownout": (
+        "gray-failure storms only: slow-disk brownouts and arrival "
+        "overloads against the deadline-aware admission plane"
+    ),
+}
 
 #: Shard kinds, dispatched by the runner to the owning checker module.
 KIND_CONFORMANCE = "conformance"
@@ -157,8 +172,7 @@ class CampaignSpec:
     """Everything needed to compile and run one campaign."""
 
     profile: str = "full"
-    #: Which phases to compile: "full" (everything) or "injection" (the
-    #: failure-injection phase alone, for focused resilience runs).
+    #: Which phases to compile -- a :data:`SUITE_REGISTRY` name.
     suite: str = "full"
     workers: int = 2
     base_seed: int = 0
@@ -184,6 +198,10 @@ class CampaignSpec:
     #: Disable the node's disk circuit breaker in injection shards -- the
     #: negative configuration: permanent-fault plans must then FAIL.
     breaker_enabled: bool = True
+    #: Disable load shedding in admission-enabled (brownout/overload)
+    #: shards -- the negative configuration: storm plans must then FAIL
+    #: their ``deadline_violations == 0`` settlement gate.
+    shedding_enabled: bool = True
     # coverage is collected on the first store-alphabet shard only
     # (sys.settrace costs ~10x; one shard is enough for blind-spot stats)
     coverage: bool = True
@@ -200,9 +218,12 @@ def smoke_spec(
     trace: bool = False,
     suite: str = "full",
     breaker_enabled: bool = True,
+    shedding_enabled: bool = True,
 ) -> CampaignSpec:
     """The per-commit CI profile: every phase, small budgets (~tens of
     seconds on two workers), still detecting all 16 Fig. 5 bugs."""
+    if suite not in SUITE_REGISTRY:
+        raise ValueError(f"unknown campaign suite {suite!r}")
     return CampaignSpec(
         profile="smoke",
         suite=suite,
@@ -224,5 +245,6 @@ def smoke_spec(
         injection_sequences=2,
         injection_ops=40,
         breaker_enabled=breaker_enabled,
+        shedding_enabled=shedding_enabled,
         coverage=True,
     )

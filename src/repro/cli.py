@@ -252,6 +252,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             trace=args.trace,
             suite=args.suite,
             breaker_enabled=not args.no_breaker,
+            shedding_enabled=not args.no_shedding,
         )
     else:
         spec = CampaignSpec(
@@ -261,6 +262,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             trace=args.trace,
             suite=args.suite,
             breaker_enabled=not args.no_breaker,
+            shedding_enabled=not args.no_shedding,
         )
     result = run_campaign(spec, log=print)
     artifact = result.to_json()
@@ -582,18 +584,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-shard metrics, fault events, and op traces in "
         "the artifact (schema v2 observability sections)",
     )
+    from repro.campaign.spec import SUITE_REGISTRY
+
     campaign.add_argument(
         "--suite",
-        choices=("full", "injection"),
+        choices=tuple(SUITE_REGISTRY),
         default="full",
-        help="'injection' compiles only the failure-injection shards "
-        "(resilience storm + recovery conformance)",
+        help="; ".join(
+            f"'{name}': {blurb}" for name, blurb in SUITE_REGISTRY.items()
+        ),
     )
     campaign.add_argument(
         "--no-breaker",
         action="store_true",
         help="run injection shards with the disk-health circuit breaker "
         "disabled (the permanent-fault shard is expected to FAIL)",
+    )
+    campaign.add_argument(
+        "--no-shedding",
+        action="store_true",
+        help="run admission-enabled (brownout/overload) shards with load "
+        "shedding disabled (storm shards are expected to FAIL their "
+        "deadline_violations == 0 gate)",
     )
     campaign.set_defaults(fn=_cmd_campaign)
 

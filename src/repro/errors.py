@@ -27,10 +27,22 @@ raised by the substrate               surfaces at the node API as     retryable
                                       quarantines the key)            no
 routing target out of service /       ``RetryableError``              yes
 breaker-demoted disk (writes)
+admission queue full (shed before     ``OverloadedError``             yes,
+touching the disk)                                                    budgeted
+estimated wait exceeds the request    ``DeadlineExceededError``       yes,
+deadline (shed before the disk)                                       budgeted
 missing key                           ``NotFoundError`` /             no
                                       ``KeyNotFoundError``
 malformed request                     ``InvalidRequestError``         no
 ====================================  ==============================  =========
+
+``OverloadedError`` and ``DeadlineExceededError`` are *load-shedding*
+errors: the request plane rejects the call **before** any substrate IO,
+so the store state is guaranteed unchanged -- there is no torn-write or
+lost-ack uncertainty to track.  Both are retryable in principle, but
+clients must retry under a bounded retry *budget* (see
+:class:`~repro.shardstore.resilience.RetryBudget`) so that shedding does
+not trigger a retry storm.
 """
 
 from __future__ import annotations
@@ -74,3 +86,21 @@ class InvalidRequestError(ShardStoreError):
 
 class RetryableError(ShardStoreError):
     """The operation can be retried (e.g. disk temporarily out of service)."""
+
+
+class OverloadedError(RetryableError):
+    """The request was shed because the target disk's admission queue is full.
+
+    Raised by the request plane *before* any substrate IO: the store state
+    is unchanged.  Retry later, under a :class:`RetryBudget`.
+    """
+
+
+class DeadlineExceededError(RetryableError):
+    """The request was shed because the estimated queue wait exceeds its
+    logical deadline.
+
+    Like :class:`OverloadedError` this is raised before any substrate IO,
+    so the store state is unchanged.  Deadlines are measured on the node's
+    deterministic op-clock, never wall time.
+    """

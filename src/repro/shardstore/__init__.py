@@ -25,11 +25,13 @@ from .disk import DiskGeometry, FailureMode, FaultKind, InMemoryDisk
 from .errors import (
     MAX_KEY_LEN,
     CorruptionError,
+    DeadlineExceededError,
     ExtentError,
     InvalidRequestError,
     IoError,
     KeyNotFoundError,
     NotFoundError,
+    OverloadedError,
     RetryableError,
     ShardStoreError,
     validate_key,
@@ -50,10 +52,14 @@ from .observability import (
 from .reclamation import Reclaimer, ReclaimResult
 from .protocol import KVNode, Request, Response, decode_request, decode_response, dispatch, encode_request, encode_response
 from .resilience import (
+    AdmissionConfig,
     BreakerConfig,
     BreakerState,
     CircuitBreaker,
+    DiskAdmission,
     DiskHealth,
+    LatencyEwma,
+    RetryBudget,
     RetryPolicy,
 )
 from .injection import FaultPlan, FaultInjector, PlannedFault
@@ -64,18 +70,24 @@ from .store import RebootType, ShardStore, StoreSystem
 from .superblock import Superblock, SuperblockState
 
 __all__ = [
+    "AdmissionConfig",
     "BreakerConfig",
     "BreakerState",
     "BufferCache",
     "ChunkStore",
     "CircuitBreaker",
     "CorruptionError",
+    "DeadlineExceededError",
     "DecodedChunk",
     "Dependency",
+    "DiskAdmission",
     "DiskGeometry",
     "DurabilityTracker",
     "ExtentError",
     "DiskHealth",
+    "LatencyEwma",
+    "OverloadedError",
+    "RetryBudget",
     "FAULT_CATALOG",
     "FIRST_DATA_EXTENT",
     "FailureMode",

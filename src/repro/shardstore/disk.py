@@ -104,6 +104,10 @@ class DiskStats:
     bytes_read: int = 0
     injected_failures: int = 0
     injected_corruptions: int = 0
+    #: Logical service time accrued by completed IOs, in op-clock units
+    #: (`latency_units` per IO).  The request plane's latency EWMA is fed
+    #: from deltas of this counter, so brownout detection is deterministic.
+    busy_units: int = 0
 
 
 class InMemoryDisk:
@@ -122,6 +126,18 @@ class InMemoryDisk:
         self._faults: Dict[int, _ArmedFault] = {}
         self.stats = DiskStats()
         self.recorder = recorder
+        #: Logical service time per IO, in op-clock units.  1 is a healthy
+        #: disk; a brownout storm ramps this up (and heals it back down)
+        #: via :meth:`set_latency`.  Purely virtual: no wall time anywhere.
+        self.latency_units: int = 1
+
+    def set_latency(self, units: int) -> None:
+        """Set the logical per-IO service time (brownout injection knob)."""
+        if units < 1:
+            raise ValueError("latency_units must be >= 1")
+        self.latency_units = units
+        if self.recorder.enabled:
+            self.recorder.event("disk.latency", units=units)
 
     # ------------------------------------------------------------------
     # basic geometry helpers
@@ -289,6 +305,7 @@ class InMemoryDisk:
         state.write_pointer = offset + len(data)
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
+        self.stats.busy_units += self.latency_units
         if self.recorder.enabled:
             self.recorder.count("disk.writes")
             self.recorder.count("disk.bytes_written", len(data))
@@ -313,6 +330,7 @@ class InMemoryDisk:
         self._maybe_fail(extent, is_read=True)
         self.stats.reads += 1
         self.stats.bytes_read += length
+        self.stats.busy_units += self.latency_units
         if self.recorder.enabled:
             self.recorder.count("disk.reads")
             self.recorder.count("disk.bytes_read", length)
@@ -329,6 +347,7 @@ class InMemoryDisk:
         state.write_pointer = 0
         state.reset_count += 1
         self.stats.resets += 1
+        self.stats.busy_units += self.latency_units
         if self.recorder.enabled:
             self.recorder.count("disk.resets")
             self.recorder.event("disk.reset", extent=extent)

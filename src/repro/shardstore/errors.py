@@ -16,11 +16,13 @@ the `KVNode` protocol exists to prevent.
 
 from repro.errors import (
     CorruptionError,
+    DeadlineExceededError,
     ExtentError,
     InvalidRequestError,
     IoError,
     KeyNotFoundError,
     NotFoundError,
+    OverloadedError,
     RetryableError,
     ShardStoreError,
 )
@@ -44,11 +46,13 @@ def validate_key(key: object) -> None:
 
 __all__ = [
     "CorruptionError",
+    "DeadlineExceededError",
     "ExtentError",
     "InvalidRequestError",
     "IoError",
     "KeyNotFoundError",
     "NotFoundError",
+    "OverloadedError",
     "RetryableError",
     "ShardStoreError",
     "MAX_KEY_LEN",

@@ -19,6 +19,10 @@ Fault kinds map onto the disk's injection primitives
 ``permanent-disk``   every data-extent IO on one disk fails (a dying disk)
 ``bit-flip``         one durable bit flips silently (CRC catches it later)
 ``heal``             all faults on one disk clear (the disk was replaced)
+``slow-disk``        one disk's per-IO latency ramps to ``arg`` units (gray
+                     failure / brownout; latency EWMA + SLOW breaker react)
+``burst``            ``arg`` arrivals land in zero logical time (the node's
+                     op clock freezes; admission backlog builds and sheds)
 ==================  ========================================================
 
 Plans only ever target *data* extents: superblock/metadata extents carry
@@ -45,6 +49,11 @@ __all__ = [
     "FAULT_PERMANENT_DISK",
     "FAULT_BIT_FLIP",
     "FAULT_HEAL",
+    "FAULT_SLOW_DISK",
+    "FAULT_BURST",
+    "BROWNOUT_RAMP",
+    "OVERLOAD_BURSTS",
+    "OVERLOAD_SLOWDOWNS",
     "STORE_PROFILES",
     "NODE_PROFILES",
     "PlannedFault",
@@ -59,6 +68,8 @@ FAULT_PERMANENT = "permanent"
 FAULT_PERMANENT_DISK = "permanent-disk"
 FAULT_BIT_FLIP = "bit-flip"
 FAULT_HEAL = "heal"
+FAULT_SLOW_DISK = "slow-disk"
+FAULT_BURST = "burst"
 
 #: Store-level plan profiles: which fault kinds a profile draws from.
 STORE_PROFILES: Dict[str, Tuple[str, ...]] = {
@@ -95,17 +106,47 @@ NODE_PROFILES: Dict[str, Tuple[str, ...]] = {
         FAULT_PERMANENT_DISK,
         FAULT_HEAL,
     ),
+    # Gray-failure profiles (brownouts; the deadline-aware request plane
+    # reacts).  Point faults stay mild -- no corruption, no dying disk --
+    # because these plans gate on *latency* behaviour, not repair.
+    "brownout": (
+        FAULT_TRANSIENT_READ,
+        FAULT_TRANSIENT_WRITE,
+        FAULT_SLOW_DISK,
+        FAULT_HEAL,
+    ),
+    "overload": (
+        FAULT_TRANSIENT_READ,
+        FAULT_TRANSIENT_WRITE,
+        FAULT_SLOW_DISK,
+        FAULT_BURST,
+    ),
 }
+
+#: Latency ramp (units per IO) a brownout plan walks the disks through.
+BROWNOUT_RAMP: Tuple[int, ...] = (8, 16, 24)
+
+#: Burst sizes (held arrivals) storm plans draw from.
+OVERLOAD_BURSTS: Tuple[int, ...] = (48, 64, 96)
+
+#: Moderate per-IO slowdowns an overload plan pairs with its bursts.
+OVERLOAD_SLOWDOWNS: Tuple[int, ...] = (4, 6, 8)
 
 
 @dataclass(frozen=True)
 class PlannedFault:
-    """One scheduled fault: *before* operation ``op_index``, do ``kind``."""
+    """One scheduled fault: *before* operation ``op_index``, do ``kind``.
+
+    ``arg`` parameterises kinds that need a magnitude: the per-IO latency
+    for ``slow-disk``, the number of held arrivals for ``burst``.  Point
+    faults leave it 0.
+    """
 
     op_index: int
     kind: str
     disk: int = 0
     extent: int = 0
+    arg: int = 0
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -113,6 +154,7 @@ class PlannedFault:
             "kind": self.kind,
             "disk": self.disk,
             "extent": self.extent,
+            "arg": self.arg,
         }
 
 
@@ -143,6 +185,17 @@ class FaultPlan:
         ``permanent``/``mixed`` node profiles schedule at most one dying
         disk (never disk 0, so the node always keeps a survivor) killed in
         the first half of the sequence; ``mixed`` may heal it later.
+
+        ``brownout`` walks *every* disk through the :data:`BROWNOUT_RAMP`
+        latency steps early in the sequence (a fleet-wide gray failure:
+        the SLOW breaker can demote disks, but the last one limps along
+        slow, so pressure is sustained), lands one arrival burst mid-ramp,
+        and heals one disk later -- the replaced-disk event that gives
+        migration and hedges a fast target again.  ``overload`` slows all
+        disks moderately (:data:`OVERLOAD_SLOWDOWNS`) and then schedules
+        three arrival bursts from :data:`OVERLOAD_BURSTS` across the rest
+        of the sequence.  Neither draws corruption or dying-disk faults:
+        they gate on the latency/admission behaviour, not on repair.
         """
         if ops <= 0:
             raise ValueError("ops must be positive")
@@ -168,8 +221,57 @@ class FaultPlan:
             if FAULT_HEAL in kinds and rng.random() < 0.5 and kill_at + 2 < ops:
                 heal_at = rng.randrange(kill_at + 2, ops)
                 faults.append(PlannedFault(heal_at, FAULT_HEAL, disk=dying))
+        if node and profile == "brownout":
+            start = rng.randrange(max(1, ops // 8), max(2, ops // 6 + 1))
+            step = max(1, ops // 12)
+            for disk in range(num_disks):
+                for i, latency in enumerate(BROWNOUT_RAMP):
+                    faults.append(
+                        PlannedFault(
+                            start + i * step,
+                            FAULT_SLOW_DISK,
+                            disk=disk,
+                            arg=latency,
+                        )
+                    )
+            faults.append(
+                PlannedFault(
+                    start + step + 1,
+                    FAULT_BURST,
+                    arg=rng.choice(OVERLOAD_BURSTS),
+                )
+            )
+            ramp_end = start + (len(BROWNOUT_RAMP) - 1) * step
+            heal_at = rng.randrange(
+                ramp_end + 2, max(ramp_end + 3, ops * 3 // 4)
+            )
+            faults.append(
+                PlannedFault(heal_at, FAULT_HEAL, disk=rng.randrange(num_disks))
+            )
+        if node and profile == "overload":
+            slow_at = rng.randrange(max(1, ops // 8), max(2, ops // 6 + 1))
+            for disk in range(num_disks):
+                faults.append(
+                    PlannedFault(
+                        slow_at,
+                        FAULT_SLOW_DISK,
+                        disk=disk,
+                        arg=rng.choice(OVERLOAD_SLOWDOWNS),
+                    )
+                )
+            for i in range(3):
+                faults.append(
+                    PlannedFault(
+                        slow_at + 2 + i * max(1, ops // 5),
+                        FAULT_BURST,
+                        arg=rng.choice(OVERLOAD_BURSTS),
+                    )
+                )
         point_kinds = [
-            k for k in kinds if k not in (FAULT_PERMANENT_DISK, FAULT_HEAL)
+            k
+            for k in kinds
+            if k
+            not in (FAULT_PERMANENT_DISK, FAULT_HEAL, FAULT_SLOW_DISK, FAULT_BURST)
         ]
         for _ in range(count):
             faults.append(
@@ -180,7 +282,7 @@ class FaultPlan:
                     extent=rng.choice(extent_list),
                 )
             )
-        faults.sort(key=lambda f: (f.op_index, f.kind, f.disk, f.extent))
+        faults.sort(key=lambda f: (f.op_index, f.kind, f.disk, f.extent, f.arg))
         return cls(seed=seed, profile=profile, ops=ops, faults=tuple(faults))
 
     def counts(self) -> Dict[str, int]:

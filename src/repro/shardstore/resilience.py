@@ -19,6 +19,27 @@ that contract:
   --(clean ops)--> ``CLOSED``; a failed probe re-opens, an error during
   probation trips immediately.
 
+The *deadline-aware request plane* extends the same contract into the time
+domain: a disk that merely gets **slow** (a brownout) must not stall every
+request behind it.  The primitives here are all clocked by logical units
+derived from the node's op counter -- never wall time -- so campaign
+artifacts stay byte-identical:
+
+* :class:`LatencyEwma` -- integer fixed-point (milli-unit) exponential
+  moving average of per-IO service cost, fed from
+  :attr:`~repro.shardstore.disk.DiskStats.busy_units` deltas;
+* :class:`AdmissionConfig`/:class:`DiskAdmission` -- a bounded virtual
+  admission queue per disk.  Each request's estimated queue wait is
+  compared against its logical deadline; requests are shed with typed
+  :class:`~repro.shardstore.errors.OverloadedError` /
+  :class:`~repro.shardstore.errors.DeadlineExceededError` *before* any
+  substrate IO;
+* :class:`RetryBudget` -- an op-clocked token bucket bounding how many
+  retries a client may spend, so shedding does not trigger a retry storm;
+* :attr:`BreakerState.SLOW` -- a brownout trip state for
+  :class:`CircuitBreaker`, entered on a sustained high latency EWMA and
+  healed through the same cooldown/probe/probation cycle as error trips.
+
 Everything here is pure bookkeeping: the :class:`~repro.shardstore.rpc.
 StorageNode` owns the actions (demoting a disk via shard migration, probing
 via scrub, re-admitting into service).
@@ -32,7 +53,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Optional, TypeVar
 
-from .errors import IoError
+from .errors import DeadlineExceededError, IoError, OverloadedError
 
 __all__ = [
     "RetryPolicy",
@@ -40,6 +61,10 @@ __all__ = [
     "BreakerState",
     "DiskHealth",
     "CircuitBreaker",
+    "LatencyEwma",
+    "AdmissionConfig",
+    "DiskAdmission",
+    "RetryBudget",
 ]
 
 T = TypeVar("T")
@@ -86,12 +111,17 @@ class RetryPolicy:
         fn: Callable[[], T],
         *,
         on_retry: Optional[Callable[[int, int, IoError], None]] = None,
+        should_retry: Optional[Callable[[], bool]] = None,
     ) -> T:
         """Run ``fn``, retrying transient :class:`IoError` up to the budget.
 
         ``on_retry(attempt, backoff_units, exc)`` fires before each retry so
-        callers can count retries and emit events.  The final error (or any
-        non-transient one) propagates unchanged.
+        callers can count retries and emit events.  ``should_retry`` is an
+        extra gate consulted before every retry -- the hook a
+        :class:`RetryBudget` plugs into; when it returns False the retry is
+        abandoned and the error propagates even though ``max_attempts`` is
+        not exhausted.  The final error (or any non-transient one)
+        propagates unchanged.
         """
         failures = 0
         while True:
@@ -102,6 +132,8 @@ class RetryPolicy:
                     raise
                 failures += 1
                 if failures >= self.max_attempts:
+                    raise
+                if should_retry is not None and not should_retry():
                     raise
                 units = self.backoff_units(failures)
                 if on_retry is not None:
@@ -117,6 +149,7 @@ class BreakerState(enum.Enum):
     OPEN = "open"  # tripped: demoted out of service, cooling down
     HALF_OPEN = "half-open"  # cooldown elapsed, awaiting a probe result
     PROBATION = "probation"  # re-admitted, watched for clean operation
+    SLOW = "slow"  # brownout trip: demoted for sustained high latency
 
     @property
     def code(self) -> int:
@@ -129,7 +162,11 @@ _STATE_CODES = {
     BreakerState.OPEN: 1,
     BreakerState.HALF_OPEN: 2,
     BreakerState.PROBATION: 3,
+    BreakerState.SLOW: 4,
 }
+
+#: Breaker states in which the disk is demoted and awaiting cooldown/probe.
+_TRIPPED_STATES = (BreakerState.OPEN, BreakerState.SLOW)
 
 
 @dataclass(frozen=True)
@@ -188,8 +225,12 @@ class CircuitBreaker:
         self.tripped_at_op = 0
         self.probation_clean = 0
         self.trips = 0
+        self.slow_trips = 0
         self.probes = 0
         self.readmissions = 0
+        # Which tripped state a failed probe should fall back to: a
+        # still-slow disk re-enters SLOW, an erroring one re-enters OPEN.
+        self._tripped_state = BreakerState.OPEN
 
     # ------------------------------------------------------------------
     # outcome feed
@@ -223,9 +264,30 @@ class CircuitBreaker:
 
     def _trip(self, now_op: int) -> None:
         self.state = BreakerState.OPEN
+        self._tripped_state = BreakerState.OPEN
         self.tripped_at_op = now_op
         self.probation_clean = 0
         self.trips += 1
+        self.health.reset_window()
+
+    def trip_slow(self, now_op: int) -> None:
+        """Brownout trip: demote for sustained high latency, not errors.
+
+        The caller (the node's admission layer) decides *when* -- typically
+        after the per-disk latency EWMA stays above threshold for several
+        consecutive requests.  The healing path is identical to an error
+        trip: cooldown, probe, probation; the probe additionally checks the
+        measured per-IO cost, so a still-slow disk fails its probe and
+        falls back to SLOW rather than OPEN.
+        """
+        if not self.config.enabled:
+            return
+        self.state = BreakerState.SLOW
+        self._tripped_state = BreakerState.SLOW
+        self.tripped_at_op = now_op
+        self.probation_clean = 0
+        self.trips += 1
+        self.slow_trips += 1
         self.health.reset_window()
 
     # ------------------------------------------------------------------
@@ -234,7 +296,7 @@ class CircuitBreaker:
     def should_probe(self, now_op: int) -> bool:
         return (
             self.config.enabled
-            and self.state is BreakerState.OPEN
+            and self.state in _TRIPPED_STATES
             and now_op - self.tripped_at_op >= self.config.cooldown_ops
         )
 
@@ -250,6 +312,231 @@ class CircuitBreaker:
             self.readmissions += 1
             self.health.reset_window()
         else:
-            # Restart the cooldown clock from the failed probe.
-            self.state = BreakerState.OPEN
+            # Restart the cooldown clock from the failed probe, returning
+            # to whichever tripped state (OPEN/SLOW) the disk came from.
+            self.state = self._tripped_state
             self.tripped_at_op = now_op
+
+
+# ----------------------------------------------------------------------
+# deadline-aware admission control (brownout / overload tolerance)
+
+
+class LatencyEwma:
+    """Integer fixed-point EWMA of per-IO service cost, in milli-units.
+
+    Arithmetic is pure integer (floor division), so the trajectory is
+    bit-identical on every platform and worker count -- a float EWMA would
+    still be IEEE-deterministic, but integers make the artifact contract
+    trivially auditable.  ``value`` is the conventional float view for
+    gauges; comparisons against thresholds use the milli integer.
+    """
+
+    __slots__ = ("alpha_num", "alpha_den", "milli", "samples")
+
+    def __init__(
+        self,
+        alpha_num: int = 1,
+        alpha_den: int = 4,
+        initial_milli: int = 1000,
+    ) -> None:
+        if not 0 < alpha_num <= alpha_den:
+            raise ValueError("EWMA alpha must be in (0, 1]")
+        self.alpha_num = alpha_num
+        self.alpha_den = alpha_den
+        self.milli = initial_milli
+        self.samples = 0
+
+    def update(self, sample_milli: int) -> int:
+        """Fold in one per-IO cost sample (milli-units); returns the EWMA."""
+        self.milli += (sample_milli - self.milli) * self.alpha_num // self.alpha_den
+        self.samples += 1
+        return self.milli
+
+    @property
+    def value(self) -> float:
+        return self.milli / 1000.0
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning for the deadline-aware request plane (all units logical).
+
+    The node's virtual clock advances ``arrival_interval_units`` per
+    request-plane op, which exceeds a healthy disk's mean per-op service
+    cost -- so a healthy queue drains and the backlog hovers near zero.
+    Under a brownout (per-IO cost ramped by injection) or an overload burst
+    (arrivals with the clock held), completed-work cost outpaces the clock
+    and the backlog grows until requests shed.
+    """
+
+    #: Shed (raise typed errors) when the queue model says a request cannot
+    #: meet its deadline.  ``False`` keeps all the accounting (including
+    #: the deadline-violation counter) but executes everything -- the
+    #: campaign's negative control.
+    shedding: bool = True
+    #: On a shed ``get``, try the key's replica shard on a healthy disk.
+    hedge_reads: bool = True
+    #: Default logical deadline carried by every request.
+    deadline_units: int = 384
+    #: Bounded admission queue: shed with ``OverloadedError`` when the
+    #: estimated backlog reaches this many units.
+    max_backlog_units: int = 1024
+    #: Virtual-clock advance per request-plane op.
+    arrival_interval_units: int = 8
+    #: Write/reset IO (writeback, flush/drain, GC reclaim) and queued
+    #: records charge the virtual queue at ``1/2**shift`` weight: they are
+    #: throughput work the device overlaps with foreground requests, so
+    #: billing them at full weight would make healthy reclaim churn look
+    #: like a brownout.  Reads always bill at full cost, and the per-IO
+    #: cost samples feeding the latency EWMA are never discounted.
+    background_weight_shift: int = 3
+    #: EWMA smoothing factor (alpha = num/den) for per-IO cost.
+    ewma_alpha_num: int = 1
+    ewma_alpha_den: int = 4
+    #: Per-IO cost EWMA (milli-units) above which a disk counts as slow.
+    slow_threshold_milli: int = 4000
+    #: Consecutive slow completions before the breaker trips SLOW.
+    slow_trip_requests: int = 3
+    #: Probe acceptance: measured per-IO cost (milli-units) a probed disk
+    #: must stay under to be re-admitted.
+    probe_io_budget_milli: int = 2000
+    #: Retry token-bucket capacity (per client; this node models one).
+    retry_budget: int = 8
+    #: Clock units per retry token refilled.
+    retry_refill_units: int = 16
+
+    @classmethod
+    def no_shedding(cls, **overrides: object) -> "AdmissionConfig":
+        """Accounting-only configuration (the ``--no-shedding`` control)."""
+        overrides.setdefault("shedding", False)
+        overrides.setdefault("hedge_reads", False)
+        return cls(**overrides)  # type: ignore[arg-type]
+
+
+class DiskAdmission:
+    """Virtual admission queue for one disk, on the node's logical clock.
+
+    ``busy_until`` is the absolute clock unit at which previously admitted
+    work is estimated to finish; the *backlog* of a new request is how far
+    that lies beyond ``now`` plus the writeback cost already queued in the
+    IO scheduler.  :meth:`admit` sheds (typed errors) when the backlog
+    breaches the queue bound or the request's deadline; :meth:`complete`
+    charges measured cost and feeds the brownout detector.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self.busy_until = 0
+        self.ewma = LatencyEwma(config.ewma_alpha_num, config.ewma_alpha_den)
+        self.slow_streak = 0
+        self.inflight = 0
+        self.admitted = 0
+        self.shed_overload = 0
+        self.shed_deadline = 0
+
+    def backlog_units(self, now: int, pending_cost: int = 0) -> int:
+        """Estimated queue wait, in clock units, for a request arriving now."""
+        return max(0, self.busy_until - now) + max(0, pending_cost)
+
+    def estimated_cost_units(self) -> int:
+        """Expected service cost of one more request (at least one IO)."""
+        return max(1, self.ewma.milli // 1000)
+
+    def admit(self, now: int, deadline: int, pending_cost: int = 0) -> int:
+        """Admit or shed a request; returns the backlog it saw.
+
+        With shedding enabled, raises :class:`OverloadedError` when the
+        backlog has reached the queue bound, or
+        :class:`DeadlineExceededError` when backlog plus estimated service
+        cost overruns ``deadline``.  Both fire *before* any substrate IO.
+        With shedding disabled the request always passes; the caller is
+        responsible for counting the deadline violation it just accepted.
+        """
+        backlog = self.backlog_units(now, pending_cost)
+        if self.config.shedding:
+            if backlog >= self.config.max_backlog_units:
+                self.shed_overload += 1
+                raise OverloadedError(
+                    f"admission queue full: backlog {backlog} units >= "
+                    f"bound {self.config.max_backlog_units}"
+                )
+            if backlog + self.estimated_cost_units() > deadline:
+                self.shed_deadline += 1
+                raise DeadlineExceededError(
+                    f"estimated wait {backlog}+{self.estimated_cost_units()} "
+                    f"units exceeds deadline {deadline}"
+                )
+        self.admitted += 1
+        return backlog
+
+    def complete(
+        self,
+        now: int,
+        busy_delta: int,
+        io_delta: int,
+        charge_units: Optional[int] = None,
+    ) -> bool:
+        """Charge a finished request's measured cost; True = trip SLOW.
+
+        ``busy_delta``/``io_delta`` are the disk's ``busy_units`` and
+        IO-count deltas across the request.  The per-IO quotient feeds the
+        latency EWMA; ``slow_trip_requests`` consecutive completions with
+        the EWMA above threshold ask the caller to trip the breaker SLOW.
+        ``charge_units`` overrides how much the virtual queue is billed
+        (background writeback passes a discounted charge; the EWMA always
+        sees the undiscounted per-IO cost).
+        """
+        charge = busy_delta if charge_units is None else charge_units
+        self.busy_until = max(self.busy_until, now) + max(0, charge)
+        if io_delta > 0:
+            self.ewma.update(busy_delta * 1000 // io_delta)
+            if self.ewma.milli >= self.config.slow_threshold_milli:
+                self.slow_streak += 1
+            else:
+                self.slow_streak = 0
+        return self.slow_streak >= self.config.slow_trip_requests
+
+    def reset(self, now: int) -> None:
+        """Forget queue state and latency history (probe-passed readmit)."""
+        self.busy_until = now
+        self.ewma = LatencyEwma(
+            self.config.ewma_alpha_num, self.config.ewma_alpha_den
+        )
+        self.slow_streak = 0
+
+
+class RetryBudget:
+    """Op-clocked token bucket bounding a client's retries (storm control).
+
+    Starts full; each retry spends a token and the bucket refills one token
+    per ``refill_units`` of node-clock progress.  When empty, retries are
+    abandoned early (the underlying error propagates) rather than hammering
+    a browned-out disk.
+    """
+
+    def __init__(self, capacity: int, refill_units: int) -> None:
+        if capacity < 0 or refill_units <= 0:
+            raise ValueError("capacity must be >= 0 and refill_units > 0")
+        self.capacity = capacity
+        self.refill_units = refill_units
+        self.tokens = capacity
+        self.last_refill = 0
+        self.spent = 0
+        self.denied = 0
+
+    def acquire(self, now: int) -> bool:
+        """Spend one retry token; False when the budget is exhausted."""
+        if now > self.last_refill:
+            refill = (now - self.last_refill) // self.refill_units
+            if refill:
+                self.tokens = min(self.capacity, self.tokens + refill)
+                self.last_refill += refill * self.refill_units
+        else:
+            self.last_refill = max(self.last_refill, now)
+        if self.tokens > 0:
+            self.tokens -= 1
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False

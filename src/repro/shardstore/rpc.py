@@ -28,6 +28,19 @@ tolerance side of the paper's section 4.4 failure injection):
 * a disk whose shards cannot all be migrated (the disk is failing reads
   mid-migration) enters *degraded read-only* mode: stranded shards stay
   routed to it and are served best-effort, while writes re-steer away.
+
+With an :class:`~repro.shardstore.resilience.AdmissionConfig` the node also
+runs a *deadline-aware request plane* (brownout/overload tolerance): every
+``put``/``get``/``delete`` carries a logical deadline against a per-disk
+bounded admission queue; requests that cannot meet it are shed **before any
+substrate IO** with typed ``OverloadedError``/``DeadlineExceededError``; a
+per-disk latency EWMA (fed by the disk's op-clocked ``busy_units``, never
+wall time) trips the breaker into its SLOW state, demoting browned-out
+disks exactly like error trips; shed reads are hedged against a best-effort
+replica shard on a healthy disk; and retries draw from an op-clocked
+:class:`~repro.shardstore.resilience.RetryBudget` so shedding never turns
+into a retry storm.  All of it is clocked by the node's virtual unit clock
+(``arrival_interval_units`` per op), so campaigns stay byte-identical.
 """
 
 from __future__ import annotations
@@ -42,16 +55,26 @@ from repro.concurrency.primitives import Mutex, yield_point
 from .config import StoreConfig
 from .dependency import Dependency
 from .errors import (
+    DeadlineExceededError,
     InvalidRequestError,
     IoError,
     KeyNotFoundError,
     NotFoundError,
+    OverloadedError,
     RetryableError,
     ShardStoreError,
     validate_key,
 )
 from .faults import Fault, FaultSet
-from .resilience import BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy
+from .resilience import (
+    AdmissionConfig,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    DiskAdmission,
+    RetryBudget,
+    RetryPolicy,
+)
 from .scrub import RepairReport
 from .store import ShardStore, StoreSystem
 
@@ -100,6 +123,15 @@ class NodeStats:
     shards_stranded: int = 0
     repaired: int = 0
     quarantined: int = 0
+    # Deadline-aware request plane (admission control / brownouts).
+    shed_overload: int = 0  # requests shed with OverloadedError
+    shed_deadline: int = 0  # requests shed with DeadlineExceededError
+    hedges: int = 0  # shed gets served from a replica shard
+    slow_trips: int = 0  # breaker trips into SLOW (brownout detection)
+    deadline_violations: int = 0  # admitted past an already-blown deadline
+    replica_writes: int = 0  # best-effort replica shards written
+    replica_failures: int = 0  # replica writes/reads dropped on error
+    retry_budget_exhausted: int = 0  # retries abandoned by the token bucket
 
     def snapshot(self) -> Dict[str, int]:
         """Request-plane totals, named for metrics exposition."""
@@ -117,6 +149,14 @@ class NodeStats:
             "node.shards_stranded": self.shards_stranded,
             "node.scrub_repaired": self.repaired,
             "node.scrub_quarantined": self.quarantined,
+            "node.shed_overload": self.shed_overload,
+            "node.shed_deadline": self.shed_deadline,
+            "node.hedges": self.hedges,
+            "node.slow_trips": self.slow_trips,
+            "node.deadline_violations": self.deadline_violations,
+            "node.replica_writes": self.replica_writes,
+            "node.replica_failures": self.replica_failures,
+            "node.retry_budget_exhausted": self.retry_budget_exhausted,
         }
 
 
@@ -130,6 +170,7 @@ class StorageNode:
         *,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
+        admission: Optional[AdmissionConfig] = None,
     ) -> None:
         if num_disks < 1:
             raise InvalidRequestError("a storage node needs at least one disk")
@@ -164,6 +205,28 @@ class StorageNode:
             CircuitBreaker(self.breaker_config) for _ in range(num_disks)
         ]
         self._op_count = 0
+        # Deadline-aware request plane: None keeps the historical
+        # no-deadline behaviour (and zero overhead on the hot path).
+        self.admission = admission
+        self._admissions: List[DiskAdmission] = (
+            [DiskAdmission(admission) for _ in range(num_disks)]
+            if admission is not None
+            else []
+        )
+        self._retry_budget: Optional[RetryBudget] = (
+            RetryBudget(admission.retry_budget, admission.retry_refill_units)
+            if admission is not None
+            else None
+        )
+        # Virtual unit clock for admission math; advances
+        # arrival_interval_units per request-plane op unless arrivals are
+        # held (an injected overload burst).
+        self._clock = 0
+        self._held_arrivals = 0
+        # Best-effort replica shards backing hedged reads: key -> disk id.
+        # An entry is dropped on *any* replica-side failure so a hedge can
+        # never serve stale bytes.
+        self._replica_map: Dict[bytes, int] = {}
 
     # ------------------------------------------------------------------
     # request plane
@@ -178,14 +241,41 @@ class StorageNode:
 
         The breaker is clocked by this counter, not wall time, so the whole
         trip/cooldown/probe/probation cycle is deterministic under the
-        validation harnesses.
+        validation harnesses.  The admission clock advances in lockstep
+        (``arrival_interval_units`` per op) unless arrivals are held by an
+        injected overload burst, in which case completed work outpaces the
+        frozen clock and the backlog builds exactly as a real burst would.
         """
         self._op_count += 1
+        if self.admission is not None:
+            if self._held_arrivals > 0:
+                self._held_arrivals -= 1
+            else:
+                self._clock += self.admission.arrival_interval_units
         if not self.breaker_config.enabled:
             return
         for disk_id, breaker in enumerate(self._breakers):
             if breaker.should_probe(self._op_count):
                 self._probe_disk(disk_id)
+
+    def hold_arrivals(self, count: int) -> None:
+        """Freeze the admission clock for the next ``count`` ops (burst).
+
+        The overload-storm injector models a burst of arrivals faster than
+        the disks can serve: the virtual clock stands still while admitted
+        work still charges its cost, so backlog accumulates and the
+        admission queue sheds once its bound or the deadline is breached.
+        """
+        if count < 0:
+            raise InvalidRequestError("hold_arrivals count must be >= 0")
+        self._held_arrivals += count
+
+    def advance_clock(self, units: int) -> None:
+        """Advance the admission clock (post-storm settlement cool-down)."""
+        if units < 0:
+            raise InvalidRequestError("advance_clock units must be >= 0")
+        self._clock += units
+        self._held_arrivals = 0
 
     def _retry(self, disk_id: int, fn: Callable[[], _T]) -> _T:
         def note(failures: int, backoff: int, exc: IoError) -> None:
@@ -200,7 +290,20 @@ class StorageNode:
                     error=str(exc),
                 )
 
-        return self.retry_policy.call(fn, on_retry=note)
+        return self.retry_policy.call(
+            fn, on_retry=note, should_retry=self._acquire_retry_token
+        )
+
+    def _acquire_retry_token(self) -> bool:
+        """Retry-storm control: spend one op-clocked retry-budget token."""
+        if self._retry_budget is None:
+            return True
+        if self._retry_budget.acquire(self._clock):
+            return True
+        self.stats.retry_budget_exhausted += 1
+        if self.recorder.enabled:
+            self.recorder.count("node.retry_budget_exhausted")
+        return False
 
     def _disk_io(self, disk_id: int, fn: Callable[[], _T]) -> _T:
         """Run a per-disk store operation with retries and health tracking.
@@ -247,7 +350,215 @@ class StorageNode:
                 )
             self._demote(disk_id)
 
-    def put(self, key: bytes, value: bytes) -> Dependency:
+    # -- deadline-aware admission plumbing -----------------------------
+
+    def _pending_cost(self, disk_id: int) -> int:
+        """Writeback cost already queued ahead of a new request, in units.
+
+        Discounted by ``background_weight_shift``: queued records are
+        background throughput work, overlapped with foreground requests.
+        """
+        cost = self._store(disk_id).scheduler.pending_cost_units()
+        if self.admission is None:
+            return cost
+        return cost >> self.admission.background_weight_shift
+
+    def _admit(self, disk_id: int, deadline: Optional[int]) -> None:
+        """Admit or shed a request against ``disk_id``'s virtual queue.
+
+        Sheds raise typed errors **before any substrate IO**, so a shed
+        request provably left the store unchanged.  With shedding disabled
+        (the campaign's negative control) everything is admitted, but a
+        request whose backlog already exceeds its deadline is counted as a
+        deadline violation -- the monotonic counter the brownout gate
+        checks.
+        """
+        if self.admission is None:
+            return
+        limit = deadline if deadline is not None else self.admission.deadline_units
+        if limit <= 0:
+            raise InvalidRequestError("deadline must be positive")
+        queue = self._admissions[disk_id]
+        try:
+            backlog = queue.admit(self._clock, limit, self._pending_cost(disk_id))
+        except OverloadedError:
+            self.stats.shed_overload += 1
+            if self.recorder.enabled:
+                self.recorder.count("node.shed_overload")
+                self.recorder.event("node.shed", disk=disk_id, kind="overload")
+            raise
+        except DeadlineExceededError:
+            self.stats.shed_deadline += 1
+            if self.recorder.enabled:
+                self.recorder.count("node.shed_deadline")
+                self.recorder.event("node.shed", disk=disk_id, kind="deadline")
+            raise
+        if backlog > limit:
+            # Only reachable with shedding off: the queue model knew this
+            # request could not meet its deadline, yet it ran anyway.
+            self.stats.deadline_violations += 1
+            if self.recorder.enabled:
+                self.recorder.count("node.deadline_violations")
+
+    def _charge_units(self, disk_id: int, busy_delta: int, read_delta: int) -> int:
+        """Virtual-queue charge for a measured IO burst.
+
+        Reads are foreground data-path work and bill at full cost; writes
+        and resets are writeback/GC throughput the device overlaps with
+        foreground requests, billed at ``1/2**background_weight_shift``.
+        Without the split, one healthy reclaim churn (hundreds of queued
+        writes pumped inline) would look like a brownout.
+        """
+        assert self.admission is not None
+        read_cost = min(
+            busy_delta, read_delta * self._store(disk_id).disk.latency_units
+        )
+        write_cost = busy_delta - read_cost
+        return read_cost + (write_cost >> self.admission.background_weight_shift)
+
+    def _measured_io(self, disk_id: int, fn: Callable[[], _T]) -> _T:
+        """Run ``fn`` under :meth:`_disk_io`, charging measured cost.
+
+        The disk's ``busy_units``/IO-count deltas across the call feed the
+        admission queue (``busy_until``) and the per-IO latency EWMA; a
+        sustained-slow EWMA trips the breaker into SLOW, demoting the disk
+        like an error trip would.
+        """
+        if self.admission is None:
+            return self._disk_io(disk_id, fn)
+        stats = self._store(disk_id).disk.stats
+        busy_before = stats.busy_units
+        reads_before = stats.reads
+        ios_before = stats.reads + stats.writes + stats.resets
+        queue = self._admissions[disk_id]
+        queue.inflight += 1
+        try:
+            return self._disk_io(disk_id, fn)
+        finally:
+            queue.inflight -= 1
+            busy_delta = stats.busy_units - busy_before
+            io_delta = stats.reads + stats.writes + stats.resets - ios_before
+            charge = self._charge_units(
+                disk_id, busy_delta, stats.reads - reads_before
+            )
+            if queue.complete(
+                self._clock, busy_delta, io_delta, charge_units=charge
+            ):
+                self._trip_slow(disk_id)
+
+    def _trip_slow(self, disk_id: int) -> None:
+        """Brownout detected: trip the breaker SLOW and demote the disk."""
+        breaker = self._breakers[disk_id]
+        if not self.breaker_config.enabled:
+            return
+        if breaker.state is not BreakerState.CLOSED:
+            return
+        breaker.trip_slow(self._op_count)
+        self.stats.breaker_trips += 1
+        self.stats.slow_trips += 1
+        if self.recorder.enabled:
+            self.recorder.count("node.breaker_trips")
+            self.recorder.count("node.slow_trips")
+            self.recorder.event(
+                "node.breaker_trip_slow",
+                disk=disk_id,
+                op=self._op_count,
+                ewma_milli=self._admissions[disk_id].ewma.milli,
+            )
+        self._demote(disk_id)
+
+    # -- best-effort replication / hedged reads ------------------------
+
+    def _replica_target(self, key: bytes, primary: int) -> Optional[int]:
+        """A healthy disk (never ``primary``) to hold ``key``'s replica."""
+        for probe in range(1, len(self.systems)):
+            disk_id = (primary + probe) % len(self.systems)
+            if self._in_service[disk_id]:
+                return disk_id
+        return None
+
+    def _replicate(self, key: bytes, value: bytes, primary: int) -> None:
+        """Best-effort replica write backing hedged reads.
+
+        Failure is absorbed (the primary write already succeeded) but the
+        replica entry is dropped, so a stale replica is never hedged to.
+        """
+        if self.admission is None or not self.admission.hedge_reads:
+            return
+        replica = self._replica_target(key, primary)
+        if replica is None:
+            self._replica_map.pop(key, None)
+            return
+        try:
+            self._store(replica).put(key, value)
+        except ShardStoreError:
+            self._replica_map.pop(key, None)
+            self.stats.replica_failures += 1
+            if self.recorder.enabled:
+                self.recorder.count("node.replica_failures")
+            return
+        self._replica_map[key] = replica
+        self.stats.replica_writes += 1
+        if self.recorder.enabled:
+            self.recorder.count("node.replica_writes")
+
+    def _drop_replica(self, key: bytes, primary: int) -> None:
+        """Forget ``key``'s replica and best-effort erase the copy.
+
+        A demotion may have *migrated* the shard onto the very disk that
+        held its replica, aliasing the two; erasing then would destroy the
+        only live copy, so an aliased entry is only forgotten.
+        """
+        replica = self._replica_map.pop(key, None)
+        if replica is None or replica == primary:
+            return
+        try:
+            self._store(replica).delete(key)
+        except ShardStoreError:
+            # The routing entry is gone either way; a dangling copy is
+            # unreachable garbage, not a correctness hazard.
+            self.stats.replica_failures += 1
+            if self.recorder.enabled:
+                self.recorder.count("node.replica_failures")
+
+    def _try_hedge(self, key: bytes, primary: int, deadline: Optional[int]):
+        """Serve a shed ``get`` from the key's replica shard, if viable.
+
+        Returns the value, or None when no healthy replica can answer --
+        in which case the original shed error propagates.  The hedge goes
+        through the replica disk's *own* admission queue: a hedge must not
+        itself overload another browned-out disk.
+        """
+        if self.admission is None or not self.admission.hedge_reads:
+            return None
+        replica = self._replica_map.get(key)
+        if replica is None or replica == primary:
+            return None
+        if not self._in_service[replica] and not self._degraded[replica]:
+            return None
+        try:
+            self._admit(replica, deadline)
+        except (OverloadedError, DeadlineExceededError):
+            return None
+        try:
+            value = self._measured_io(
+                replica, lambda: self._store(replica).get(key)
+            )
+        except ShardStoreError:
+            self._replica_map.pop(key, None)
+            self.stats.replica_failures += 1
+            if self.recorder.enabled:
+                self.recorder.count("node.replica_failures")
+            return None
+        self.stats.hedges += 1
+        if self.recorder.enabled:
+            self.recorder.count("node.hedges")
+            self.recorder.event("node.hedged_read", disk=replica, primary=primary)
+        return value
+
+    def put(
+        self, key: bytes, value: bytes, *, deadline: Optional[int] = None
+    ) -> Dependency:
         # Request validation belongs at the RPC boundary: an invalid key
         # must be rejected identically by every operation, not only by the
         # ones whose routing happens to reach a per-disk store.
@@ -258,13 +569,31 @@ class StorageNode:
             target = self._shard_map.get(key)
             if target is None or not self._in_service[target]:
                 target = self._pick_target(key)
+        # Admission precedes the routing write: a shed put must not leave
+        # a dangling route to a shard that was never stored (``contains``
+        # would otherwise report a key the store never accepted).
+        self._admit(target, deadline)
+        with self._lock:
             self._shard_map[key] = target
-        if not self.recorder.enabled:
-            return self._disk_io(target, lambda: self._store(target).put(key, value))
-        with self.recorder.span("node.put", key=repr(key), disk=target):
-            return self._disk_io(target, lambda: self._store(target).put(key, value))
+        try:
+            if not self.recorder.enabled:
+                dep = self._measured_io(
+                    target, lambda: self._store(target).put(key, value)
+                )
+            else:
+                with self.recorder.span("node.put", key=repr(key), disk=target):
+                    dep = self._measured_io(
+                        target, lambda: self._store(target).put(key, value)
+                    )
+        except ShardStoreError:
+            # The primary outcome is uncertain; a replica from an earlier
+            # put could now be stale, and a hedge must never serve it.
+            self._replica_map.pop(key, None)
+            raise
+        self._replicate(key, value, target)
+        return dep
 
-    def get(self, key: bytes) -> bytes:
+    def get(self, key: bytes, *, deadline: Optional[int] = None) -> bytes:
         validate_key(key)
         self.stats.gets += 1
         self._tick()
@@ -276,12 +605,21 @@ class StorageNode:
             raise RetryableError(f"disk {target} is out of service")
         # A degraded disk is out of service for writes but still serves
         # best-effort reads of its stranded shards.
+        try:
+            self._admit(target, deadline)
+        except (OverloadedError, DeadlineExceededError):
+            # The primary queue cannot meet the deadline; hedge against
+            # the key's replica shard on a healthy disk before giving up.
+            hedged = self._try_hedge(key, target, deadline)
+            if hedged is not None:
+                return hedged
+            raise
         if not self.recorder.enabled:
-            return self._disk_io(target, lambda: self._store(target).get(key))
+            return self._measured_io(target, lambda: self._store(target).get(key))
         with self.recorder.span("node.get", key=repr(key), disk=target):
-            return self._disk_io(target, lambda: self._store(target).get(key))
+            return self._measured_io(target, lambda: self._store(target).get(key))
 
-    def delete(self, key: bytes) -> Dependency:
+    def delete(self, key: bytes, *, deadline: Optional[int] = None) -> Dependency:
         """Remove ``key``; raises :class:`KeyNotFoundError` when absent.
 
         Out-of-service routing targets surface as :class:`RetryableError`
@@ -298,14 +636,23 @@ class StorageNode:
                 raise KeyNotFoundError(f"no shard for key {key!r}")
             if not self._in_service[target]:
                 raise RetryableError(f"disk {target} is out of service")
+        # Admission runs before the routing entry is dropped: a shed
+        # delete leaves the shard fully routed and untouched.
+        self._admit(target, deadline)
+        with self._lock:
+            if self._shard_map.get(key) != target:
+                raise KeyNotFoundError(f"no shard for key {key!r}")
             del self._shard_map[key]
+        # The replica copy dies with the routing entry, never after it:
+        # a hedge must not resurrect a deleted key.
+        self._drop_replica(key, target)
         try:
             if not self.recorder.enabled:
-                return self._disk_io(
+                return self._measured_io(
                     target, lambda: self._store(target).delete(key)
                 )
             with self.recorder.span("node.delete", key=repr(key), disk=target):
-                return self._disk_io(
+                return self._measured_io(
                     target, lambda: self._store(target).delete(key)
                 )
         except (RetryableError, IoError):
@@ -395,9 +742,11 @@ class StorageNode:
                 raise InvalidRequestError(f"disk {disk_id} is in service")
             self._in_service[disk_id] = True
             # An operator returning a disk vouches for it: clear degraded
-            # mode and start its breaker fresh.
+            # mode and start its breaker (and admission queue) fresh.
             self._degraded[disk_id] = False
             self._breakers[disk_id] = CircuitBreaker(self.breaker_config)
+            if self._admissions:
+                self._admissions[disk_id].reset(self._clock)
             stale = self._removed_routing.pop(disk_id, {})
             if self.faults.enabled(Fault.DISK_RETURN_DROPS_SHARDS):
                 if self.recorder.enabled:
@@ -536,6 +885,9 @@ class StorageNode:
         if self.recorder.enabled:
             self.recorder.count("node.breaker_probes")
         store = self._store(disk_id)
+        disk_stats = store.disk.stats
+        busy_before = disk_stats.busy_units
+        ios_before = disk_stats.reads + disk_stats.writes + disk_stats.resets
         try:
             store.put(PROBE_KEY, b"probe")
             store.drain()
@@ -546,6 +898,17 @@ class StorageNode:
             ok = ok and report.io_errors == 0 and report.clean
         except ShardStoreError:
             ok = False
+        if ok and self.admission is not None:
+            # A SLOW-tripped disk must also prove it is fast again: the
+            # probe's measured per-IO cost stays within the budget or the
+            # breaker falls back to SLOW and keeps cooling down.
+            io_delta = (
+                disk_stats.reads + disk_stats.writes + disk_stats.resets
+            ) - ios_before
+            busy_delta = disk_stats.busy_units - busy_before
+            if io_delta > 0:
+                per_io_milli = busy_delta * 1000 // io_delta
+                ok = per_io_milli <= self.admission.probe_io_budget_milli
         breaker.on_probe(ok, self._op_count)
         if self.recorder.enabled:
             self.recorder.event("node.breaker_probe", disk=disk_id, ok=ok)
@@ -561,6 +924,8 @@ class StorageNode:
         with self._lock:
             self._in_service[disk_id] = True
             self._degraded[disk_id] = False
+            if self._admissions:
+                self._admissions[disk_id].reset(self._clock)
         self.stats.readmissions += 1
         if self.recorder.enabled:
             self.recorder.count("node.readmissions")
@@ -603,6 +968,12 @@ class StorageNode:
             "node.shards_stranded": self.stats.shards_stranded,
             "node.scrub_repaired": self.stats.repaired,
             "node.scrub_quarantined": self.stats.quarantined,
+            "node.shed_overload": self.stats.shed_overload,
+            "node.shed_deadline": self.stats.shed_deadline,
+            "node.hedges": self.stats.hedges,
+            "node.slow_trips": self.stats.slow_trips,
+            "node.deadline_violations": self.stats.deadline_violations,
+            "node.retry_budget_exhausted": self.stats.retry_budget_exhausted,
         }
         gauges: Dict[str, float] = {}
         for disk_id, breaker in enumerate(self._breakers):
@@ -611,6 +982,18 @@ class StorageNode:
             gauges[f"{prefix}.error_rate"] = breaker.health.error_rate()
             gauges[f"{prefix}.in_service"] = float(self._in_service[disk_id])
             gauges[f"{prefix}.degraded"] = float(self._degraded[disk_id])
+            if self._admissions:
+                queue = self._admissions[disk_id]
+                gauges[f"{prefix}.queue_backlog_units"] = float(
+                    queue.backlog_units(self._clock, self._pending_cost(disk_id))
+                )
+                gauges[f"{prefix}.queue_depth"] = float(
+                    self._store(disk_id).scheduler.pending_count
+                )
+                gauges[f"{prefix}.latency_ewma"] = queue.ewma.milli / 1000.0
+                gauges[f"{prefix}.inflight"] = float(queue.inflight)
+        if self._retry_budget is not None:
+            gauges["node.retry_budget_tokens"] = float(self._retry_budget.tokens)
         return {"counters": counters, "gauges": gauges}
 
     # ------------------------------------------------------------------
@@ -724,19 +1107,46 @@ class StorageNode:
     def _each_in_service(
         self, fn: Callable[[ShardStore], _T]
     ) -> Tuple[List[Optional[_T]], List[Tuple[int, IoError]]]:
+        """Apply ``fn`` per in-service disk, feeding breaker and admission.
+
+        Flush/drain are where queued writebacks actually hit the medium, so
+        with admission enabled each disk's measured cost is charged to its
+        virtual queue here -- this is the main brownout signal for
+        write-heavy load, since ``put`` itself only queues records.
+        """
         results: List[Optional[_T]] = []
         errors: List[Tuple[int, IoError]] = []
         for disk_id, system in enumerate(self.systems):
             if not self._in_service[disk_id]:
                 continue
+            disk_stats = system.store.disk.stats
+            busy_before = disk_stats.busy_units
+            reads_before = disk_stats.reads
+            ios_before = (
+                disk_stats.reads + disk_stats.writes + disk_stats.resets
+            )
             try:
                 results.append(self._retry(disk_id, lambda s=system: fn(s.store)))
             except IoError as exc:
                 self._record_failure(disk_id)
                 errors.append((disk_id, exc))
                 results.append(None)
-                continue
-            self._record_success(disk_id)
+            else:
+                self._record_success(disk_id)
+            finally:
+                if self._admissions and self._in_service[disk_id]:
+                    busy_delta = disk_stats.busy_units - busy_before
+                    io_delta = (
+                        disk_stats.reads + disk_stats.writes + disk_stats.resets
+                    ) - ios_before
+                    queue = self._admissions[disk_id]
+                    charge = self._charge_units(
+                        disk_id, busy_delta, disk_stats.reads - reads_before
+                    )
+                    if queue.complete(
+                        self._clock, busy_delta, io_delta, charge_units=charge
+                    ):
+                        self._trip_slow(disk_id)
         return results, errors
 
     def _raise_if_still_failing(

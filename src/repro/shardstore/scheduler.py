@@ -229,6 +229,16 @@ class IoScheduler:
     def pending_count(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    def pending_cost_units(self) -> int:
+        """Estimated op-clock units to write back everything pending.
+
+        Each pending record costs one device IO at the disk's current
+        ``latency_units``.  The request plane folds this into its admission
+        backlog estimate so queued writebacks on a slow disk count against
+        new requests' deadlines.
+        """
+        return self.pending_count * self.disk.latency_units
+
     def pending_record_ids(self) -> List[int]:
         return [r.record_id for q in self._queues.values() for r in q]
 

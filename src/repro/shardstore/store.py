@@ -51,6 +51,9 @@ __all__ = ["ShardStore", "StoreSystem", "RebootType", "MAX_KEY_LEN"]
 class ShardStore:
     """A single-disk key-value store over append-only extents."""
 
+    #: Ordered names of the recovery steps a ``recovery_hook`` observes.
+    RECOVERY_STEPS = ("seal", "superblock", "pointers", "index")
+
     def __init__(
         self,
         disk: InMemoryDisk,
@@ -59,12 +62,18 @@ class ShardStore:
         *,
         rng: Optional[random.Random] = None,
         recover: bool = False,
+        recovery_hook: Optional[Callable[[str], None]] = None,
     ) -> None:
         self.disk = disk
         self.tracker = tracker
         self.config = config
         self.recorder = config.recorder
         self.rng = rng or random.Random(config.seed)
+        # The hook fires immediately before each RECOVERY_STEPS stage; a
+        # raising hook models a crash *during* recovery, so re-entrant
+        # recovery tests can interrupt at every step boundary and prove
+        # that recovering again from the partial state still converges.
+        hook = recovery_hook or (lambda step: None)
         self.scheduler = IoScheduler(
             disk,
             tracker,
@@ -72,8 +81,11 @@ class ShardStore:
             recorder=config.recorder,
         )
         if recover:
+            hook("seal")
             self._seal_log_extents()
+            hook("superblock")
             state, slot = Superblock.recover_state(self.scheduler, config)
+            hook("pointers")
             for extent in config.data_extents:
                 pointer = Superblock.recovered_pointer(
                     state, self.scheduler, extent, config.geometry.page_size
@@ -87,6 +99,7 @@ class ShardStore:
         self.cache = BufferCache(self.scheduler, self.superblock, config)
         self.chunk_store = ChunkStore(self.cache, self.superblock, config, self.rng)
         if recover:
+            hook("index")
             self.index, self.lost_runs = LsmIndex.recover(
                 self.chunk_store, self.scheduler, config
             )
@@ -402,7 +415,9 @@ class StoreSystem:
         self.generation += 1
         return random.Random((self.config.seed << 16) ^ self.generation)
 
-    def clean_reboot(self) -> ShardStore:
+    def clean_reboot(
+        self, recovery_hook: Optional[Callable[[str], None]] = None
+    ) -> ShardStore:
         """Shut down cleanly and recover; returns the new store object."""
         self.store.clean_shutdown()
         self.store = ShardStore(
@@ -411,10 +426,15 @@ class StoreSystem:
             self.config,
             rng=self._reboot_rng(),
             recover=True,
+            recovery_hook=recovery_hook,
         )
         return self.store
 
-    def dirty_reboot(self, reboot: RebootType = RebootType.NONE) -> ShardStore:
+    def dirty_reboot(
+        self,
+        reboot: RebootType = RebootType.NONE,
+        recovery_hook: Optional[Callable[[str], None]] = None,
+    ) -> ShardStore:
         """Crash and recover.
 
         Component flushes selected by ``reboot`` run first (they only queue
@@ -439,5 +459,26 @@ class StoreSystem:
             self.config,
             rng=self._reboot_rng(),
             recover=True,
+            recovery_hook=recovery_hook,
+        )
+        return self.store
+
+    def recover_again(
+        self, recovery_hook: Optional[Callable[[str], None]] = None
+    ) -> ShardStore:
+        """Re-run crash recovery from the current durable state.
+
+        Models a crash *during* a previous recovery: nothing is flushed or
+        pumped -- the disk is taken exactly as the interrupted recovery
+        left it.  Recovery must be idempotent under this (the paper's
+        "recovery is just another crash point" obligation).
+        """
+        self.store = ShardStore(
+            self.disk,
+            self.tracker,
+            self.config,
+            rng=self._reboot_rng(),
+            recover=True,
+            recovery_hook=recovery_hook,
         )
         return self.store

@@ -295,7 +295,7 @@ class TestRunCampaign:
 
     def test_artifact_schema_headline_fields(self):
         artifact = result_to_json(run_campaign(_tiny_spec()))
-        assert artifact["schema_version"] == 3
+        assert artifact["schema_version"] == 4
         for key in (
             "campaign",
             "totals",
@@ -314,3 +314,78 @@ class TestRunCampaign:
             KIND_FAULT_MATRIX,
             KIND_INJECTION,
         }
+
+class TestBrownoutSuite:
+    """The ``brownout`` suite: gray-failure storms vs the admission plane."""
+
+    def test_brownout_shards_are_storm_injection_only(self):
+        from repro.campaign.injection import STORM_OPS
+
+        shards = build_shards(smoke_spec(suite="brownout"))
+        assert shards, "brownout suite must compile shards"
+        assert {s.kind for s in shards} == {KIND_INJECTION}
+        assert {s.param("profile") for s in shards} == {
+            "brownout",
+            "overload",
+        }
+        for shard in shards:
+            assert shard.param("harness") == "node"
+            assert shard.param("ops") >= STORM_OPS
+            assert shard.param("shedding_enabled") is True
+
+    def test_no_shedding_flag_reaches_every_shard(self):
+        shards = build_shards(
+            smoke_spec(suite="brownout", shedding_enabled=False)
+        )
+        assert all(
+            s.param("shedding_enabled") is False for s in shards
+        )
+
+    def test_unknown_suite_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign suite"):
+            smoke_spec(suite="thunderstorm")
+
+    def test_brownout_smoke_passes_and_reports_storm_counters(self):
+        outcome = run_campaign(smoke_spec(suite="brownout", base_seed=0))
+        artifact = result_to_json(outcome)
+        assert artifact["passed"]
+        brownout = artifact["brownout"]
+        totals = brownout["totals"]
+        # The storms must actually stress the admission plane...
+        assert totals["storm_events"] > 0
+        assert totals["shed_overload"] + totals["shed_deadline"] > 0
+        # ...and shedding must keep every request inside its deadline.
+        assert totals["deadline_violations"] == 0
+        assert all(shard["shedding_enabled"] for shard in brownout["shards"])
+
+    def test_no_shedding_negative_control_fails(self):
+        """With shedding off the same storms MUST blow deadlines."""
+        outcome = run_campaign(
+            smoke_spec(suite="brownout", base_seed=0, shedding_enabled=False)
+        )
+        artifact = result_to_json(outcome)
+        assert not artifact["passed"]
+        totals = artifact["brownout"]["totals"]
+        assert totals["deadline_violations"] > 0
+        assert totals["shed_overload"] + totals["shed_deadline"] == 0
+
+    def test_brownout_artifact_identical_across_worker_counts(self):
+        inline = result_to_json(
+            run_campaign(smoke_spec(suite="brownout", workers=1))
+        )
+        pooled = result_to_json(
+            run_campaign(smoke_spec(suite="brownout", workers=2))
+        )
+        del inline["timing"], pooled["timing"]
+        inline["campaign"].pop("workers")
+        pooled["campaign"].pop("workers")
+        assert json.dumps(inline, sort_keys=True) == json.dumps(
+            pooled, sort_keys=True
+        )
+
+    def test_full_suite_artifact_carries_brownout_section(self):
+        artifact = result_to_json(run_campaign(_tiny_spec()))
+        # The tiny spec runs point-fault injection without admission, so
+        # no brownout section is emitted -- it only appears when
+        # admission-enabled storm shards ran.
+        assert "brownout" not in artifact

@@ -115,3 +115,83 @@ class TestOtherCommands:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCampaignSuiteFlag:
+    """``--suite`` is generated from SUITE_REGISTRY, not hand-listed."""
+
+    def _campaign_parser(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        return subparsers.choices["campaign"]
+
+    def _suite_action(self):
+        return next(
+            action
+            for action in self._campaign_parser()._actions
+            if action.dest == "suite"
+        )
+
+    def test_suite_choices_mirror_the_registry(self):
+        from repro.campaign import SUITE_REGISTRY
+
+        assert tuple(self._suite_action().choices) == tuple(SUITE_REGISTRY)
+        assert "brownout" in SUITE_REGISTRY
+
+    def test_suite_help_enumerates_every_registered_suite(self):
+        from repro.campaign import SUITE_REGISTRY
+
+        help_text = self._suite_action().help
+        for name, blurb in SUITE_REGISTRY.items():
+            assert f"'{name}'" in help_text
+            assert blurb in help_text
+
+    def test_unknown_suite_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--smoke", "--suite", "thunderstorm"])
+        assert excinfo.value.code == 2
+
+    def test_brownout_smoke_passes(self, capsys, tmp_path):
+        import json
+
+        artifact_path = tmp_path / "brownout.json"
+        status = main(
+            [
+                "campaign",
+                "--smoke",
+                "--suite",
+                "brownout",
+                "--seed",
+                "0",
+                "--output",
+                str(artifact_path),
+            ]
+        )
+        assert status == 0
+        artifact = json.loads(artifact_path.read_text())
+        assert artifact["passed"]
+        totals = artifact["brownout"]["totals"]
+        assert totals["shed_overload"] + totals["shed_deadline"] > 0
+        assert totals["deadline_violations"] == 0
+
+    def test_brownout_no_shedding_fails(self, capsys):
+        status = main(
+            [
+                "campaign",
+                "--smoke",
+                "--suite",
+                "brownout",
+                "--seed",
+                "0",
+                "--no-shedding",
+            ]
+        )
+        assert status == 1

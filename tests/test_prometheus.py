@@ -284,3 +284,127 @@ class TestMetricsDemoNode:
         assert demo._epoch >= 1
         page = demo.metrics_page()
         assert "repro_node_puts_total" in page
+
+class TestQueueGaugeRoundTrip:
+    """Admission-plane gauges: StorageNode -> health_snapshot -> exposition."""
+
+    def _admitted_node(self):
+        from repro.shardstore import StorageNode
+        from repro.shardstore.resilience import AdmissionConfig
+
+        node = StorageNode(num_disks=2, admission=AdmissionConfig())
+        node.put(b"k", b"v")
+        return node
+
+    def test_queue_gauges_round_trip(self):
+        node = self._admitted_node()
+        page = render_prometheus(
+            {},
+            extra_counters=node.stats.snapshot(),
+            extra_gauges=node.health_snapshot()["gauges"],
+        )
+        types, samples = _parse(page)
+        by_name = {(name, labels): value for name, labels, value in samples}
+        for disk_id in range(2):
+            prefix = f"repro_node_disk{disk_id}"
+            for gauge in (
+                "queue_backlog_units",
+                "queue_depth",
+                "latency_ewma",
+                "inflight",
+            ):
+                assert types[f"{prefix}_{gauge}"] == "gauge"
+                assert (f"{prefix}_{gauge}", "") in by_name
+            assert by_name[(f"{prefix}_inflight", "")] == 0
+        assert types["repro_node_retry_budget_tokens"] == "gauge"
+        assert (
+            by_name[("repro_node_retry_budget_tokens", "")]
+            == node.admission.retry_budget
+        )
+
+    def test_shed_and_hedge_counters_round_trip(self):
+        node = self._admitted_node()
+        page = render_prometheus(
+            {}, extra_counters=node.stats.snapshot()
+        )
+        types, samples = _parse(page)
+        by_name = {(name, labels): value for name, labels, value in samples}
+        for counter in (
+            "repro_node_shed_overload_total",
+            "repro_node_shed_deadline_total",
+            "repro_node_hedges_total",
+            "repro_node_slow_trips_total",
+            "repro_node_deadline_violations_total",
+            "repro_node_retry_budget_exhausted_total",
+        ):
+            assert types[counter] == "counter"
+            assert by_name[(counter, "")] == 0
+
+    def test_backlog_gauge_tracks_the_virtual_queue(self):
+        node = self._admitted_node()
+        primary = node.route_of(b"k")
+        node._admissions[primary].busy_until = node._clock + 500
+        gauges = node.health_snapshot()["gauges"]
+        assert gauges[f"node.disk{primary}.queue_backlog_units"] >= 500
+
+
+class TestServeAdmission:
+    """The metrics-serve demo node runs the admission plane end to end."""
+
+    @pytest.fixture()
+    def server(self):
+        server, demo = make_server(
+            port=0, seed=3, warmup_ops=150, ops_per_scrape=10
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}", demo
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_metrics_expose_queue_gauges(self, server):
+        base_url, _ = server
+        with urllib.request.urlopen(f"{base_url}/metrics") as response:
+            page = response.read().decode("utf-8")
+        _, samples = _parse(page)
+        names = {name for name, _, _ in samples}
+        for disk_id in range(3):
+            prefix = f"repro_node_disk{disk_id}"
+            assert f"{prefix}_queue_backlog_units" in names
+            assert f"{prefix}_queue_depth" in names
+            assert f"{prefix}_latency_ewma" in names
+            assert f"{prefix}_inflight" in names
+        assert "repro_node_retry_budget_tokens" in names
+        assert "repro_node_shed_overload_total" in names
+        assert "repro_node_hedges_total" in names
+
+    def test_healthz_reports_queue_state(self, server):
+        base_url, demo = server
+        with urllib.request.urlopen(f"{base_url}/healthz") as response:
+            payload = json.load(response)
+        assert set(payload["queues"]) == {"0", "1", "2"}
+        for queue in payload["queues"].values():
+            assert queue["state"] in ("ok", "degraded")
+            assert queue["backlog_units"] >= 0
+            assert queue["depth"] >= 0
+        # Healthy demo traffic never builds a storm-scale backlog.
+        assert payload["queue_state"] == "ok"
+
+    def test_healthz_degrades_on_saturated_queue(self, server):
+        base_url, demo = server
+        queue = demo.node._admissions[0]
+        before = queue.busy_until
+        queue.busy_until = (
+            demo.node._clock + demo.admission.max_backlog_units
+        )
+        try:
+            with urllib.request.urlopen(f"{base_url}/healthz") as response:
+                payload = json.load(response)
+        finally:
+            queue.busy_until = before
+        assert payload["queues"]["0"]["state"] == "degraded"
+        assert payload["queue_state"] == "degraded"
