@@ -14,6 +14,7 @@ from .baseline import (
     BASELINE_SCHEMA_VERSION,
     DEFAULT_TOLERANCE,
     BaselineEntry,
+    BaselineRaiseError,
     BaselineReport,
     compare_to_baseline,
     empty_baselines,
@@ -39,6 +40,7 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "WORKLOADS",
     "BaselineEntry",
+    "BaselineRaiseError",
     "BaselineReport",
     "BenchOp",
     "MetricsDemoNode",

@@ -70,10 +70,63 @@ def save_baselines(baselines: Dict[str, Any], path: str) -> None:
         handle.write("\n")
 
 
+class BaselineRaiseError(ValueError):
+    """A baseline update would *loosen* the committed ratchet.
+
+    The perf gate only stays honest if baselines move monotonically in the
+    better direction (p50 down, throughput up).  An update that would raise
+    a p50 or lower the throughput floor fails loudly; regressions must be
+    adopted deliberately (``--allow-baseline-raise``), e.g. when moving the
+    baseline machine, never silently folded in by a routine refresh.
+    """
+
+
+def _find_raises(
+    artifact: Dict[str, Any], base: Dict[str, Any]
+) -> List[str]:
+    """Human-readable list of metrics the update would make *worse*."""
+    raises: List[str] = []
+    new_p50s = {
+        series: snap["p50"]
+        for series, snap in artifact.get("latency_ns", {}).items()
+        if snap.get("p50") is not None
+    }
+    for series, old_p50 in sorted(base.get("p50_ns", {}).items()):
+        new_p50 = new_p50s.get(series)
+        if new_p50 is not None and new_p50 > old_p50:
+            raises.append(
+                f"p50[{series}]: {old_p50:,.0f} -> {new_p50:,.0f} ns"
+            )
+    old_tp = base.get("throughput_ops_per_sec")
+    new_tp = artifact.get("throughput_ops_per_sec")
+    if old_tp is not None and new_tp is not None and new_tp < old_tp:
+        raises.append(
+            f"throughput_ops_per_sec: {old_tp:,.1f} -> {new_tp:,.1f}"
+        )
+    return raises
+
+
 def update_baselines(
-    artifact: Dict[str, Any], baselines: Dict[str, Any]
+    artifact: Dict[str, Any],
+    baselines: Dict[str, Any],
+    allow_raise: bool = False,
 ) -> Dict[str, Any]:
-    """Fold one bench artifact into the baselines document (in place)."""
+    """Fold one bench artifact into the baselines document (in place).
+
+    Raises :class:`BaselineRaiseError` when the update would loosen an
+    existing entry (higher p50 or lower throughput) unless ``allow_raise``
+    is set.  New workloads and improvements always fold in silently.
+    """
+    existing = baselines.get("workloads", {}).get(artifact["workload"])
+    if existing is not None and not allow_raise:
+        raises = _find_raises(artifact, existing)
+        if raises:
+            detail = "; ".join(raises)
+            raise BaselineRaiseError(
+                f"refusing to raise baseline for workload "
+                f"{artifact['workload']!r}: {detail} (pass "
+                "--allow-baseline-raise to adopt a regression deliberately)"
+            )
     p50s = {
         series: snap["p50"]
         for series, snap in artifact["latency_ns"].items()

@@ -437,6 +437,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench import (
+        BaselineRaiseError,
         compare_to_baseline,
         empty_baselines,
         load_baselines,
@@ -480,7 +481,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             baselines = load_baselines(args.update_baseline)
         except (OSError, ValueError):
             baselines = empty_baselines()
-        update_baselines(artifact, baselines)
+        try:
+            update_baselines(
+                artifact, baselines, allow_raise=args.allow_baseline_raise
+            )
+        except BaselineRaiseError as exc:
+            print(f"BASELINE RAISE REFUSED: {exc}")
+            return 1
         save_baselines(baselines, args.update_baseline)
         print(f"baseline updated in {args.update_baseline}")
         return 0
@@ -675,6 +682,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         metavar="PATH",
         help="write this run's numbers into the baselines file",
+    )
+    bench.add_argument(
+        "--allow-baseline-raise",
+        action="store_true",
+        help="let --update-baseline loosen an existing entry (higher p50 / "
+        "lower throughput); refused by default so regressions are adopted "
+        "deliberately",
     )
     bench.add_argument(
         "--tolerance",

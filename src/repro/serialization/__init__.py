@@ -2,6 +2,7 @@
 
 from .codec import (
     RECORD_MAGIC,
+    Preencoded,
     decode_record,
     decode_value,
     encode_record,
@@ -12,6 +13,7 @@ from .codec import (
 
 __all__ = [
     "RECORD_MAGIC",
+    "Preencoded",
     "decode_record",
     "decode_value",
     "encode_record",

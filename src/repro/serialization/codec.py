@@ -41,6 +41,29 @@ _T_BOOL = 6
 Value = Union[int, bytes, str, list, dict, None, bool]
 
 
+class Preencoded:
+    """A value already in canonical encoding, spliced verbatim on encode.
+
+    Lets callers with a slow-changing subtree (the superblock's extent
+    ownership map) cache its :func:`encode_value` bytes and reuse them
+    across records.  The holder is responsible for the bytes being a valid
+    canonical encoding of the value it stands for; decoding knows nothing
+    of this type, so output stays byte-identical to encoding the plain
+    value.  Never valid as a dict key (keys participate in canonical
+    ordering, which needs the real value).
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+_pack_q = struct.Struct("<q").pack
+_pack_I = struct.Struct("<I").pack
+_INT_MIN = -(2**63)
+_INT_MAX = 2**63
+
+
 def encode_value(value: Value) -> bytes:
     """Encode a value tree into canonical bytes."""
     out = bytearray()
@@ -49,38 +72,103 @@ def encode_value(value: Value) -> bytes:
 
 
 def _encode_into(out: bytearray, value: Value) -> None:
-    if value is None:
+    # Exact-type dispatch, hottest types first.  ``type(True) is int`` is
+    # false, so checking ``int`` before ``bool`` here is safe; subclasses of
+    # the encodable types fall through to the isinstance chain below, which
+    # preserves the original tagging rules (bool before int).
+    t = type(value)
+    if t is int:
+        if not _INT_MIN <= value < _INT_MAX:
+            raise ValueError("integer out of encodable range (64-bit signed)")
+        out.append(_T_INT)
+        out += _pack_q(value)
+    elif t is bytes:
+        out.append(_T_BYTES)
+        out += _pack_I(len(value))
+        out += value
+    elif t is list:
+        out.append(_T_LIST)
+        out += _pack_I(len(value))
+        for item in value:
+            # Inline the scalar-int case: locator lists are lists of small
+            # ints and dominate metadata encodes.
+            if type(item) is int and _INT_MIN <= item < _INT_MAX:
+                out.append(_T_INT)
+                out += _pack_q(item)
+            else:
+                _encode_into(out, item)
+    elif t is dict:
+        out.append(_T_DICT)
+        out += _pack_I(len(value))
+        # Canonical order so encodings are deterministic regardless of
+        # insertion order (determinism is a design principle, section 4.3).
+        # Homogeneously-typed key sets (the common case: extent numbers,
+        # shard keys) sort natively; mixed-type keys fall back to the
+        # (typename, repr) order.  Either rule is a pure function of the
+        # key *set*, so equal dicts encode equal regardless of history.
+        try:
+            keys = sorted(value)
+        except TypeError:
+            keys = sorted(value, key=_dict_key_order)
+        for key in keys:
+            tk = type(key)
+            if tk is bytes:
+                out.append(_T_BYTES)
+                out += _pack_I(len(key))
+                out += key
+            elif tk is int and _INT_MIN <= key < _INT_MAX:
+                out.append(_T_INT)
+                out += _pack_q(key)
+            else:
+                _encode_into(out, key)
+            item = value[key]
+            if type(item) is int and _INT_MIN <= item < _INT_MAX:
+                out.append(_T_INT)
+                out += _pack_q(item)
+            else:
+                _encode_into(out, item)
+    elif t is str:
+        data = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _pack_I(len(data))
+        out += data
+    elif value is None:
         out.append(_T_NONE)
+    elif t is bool:
+        out.append(_T_BOOL)
+        out.append(1 if value else 0)
+    elif t is Preencoded:
+        out += value.data
     elif isinstance(value, bool):  # must precede int check
         out.append(_T_BOOL)
         out.append(1 if value else 0)
     elif isinstance(value, int):
-        if not -(2**63) <= value < 2**63:
+        if not _INT_MIN <= value < _INT_MAX:
             raise ValueError("integer out of encodable range (64-bit signed)")
         out.append(_T_INT)
-        out += struct.pack("<q", value)
+        out += _pack_q(value)
     elif isinstance(value, bytes):
         out.append(_T_BYTES)
-        out += struct.pack("<I", len(value))
+        out += _pack_I(len(value))
         out += value
     elif isinstance(value, str):
         data = value.encode("utf-8")
         out.append(_T_STR)
-        out += struct.pack("<I", len(data))
+        out += _pack_I(len(data))
         out += data
     elif isinstance(value, list):
         out.append(_T_LIST)
-        out += struct.pack("<I", len(value))
+        out += _pack_I(len(value))
         for item in value:
             _encode_into(out, item)
     elif isinstance(value, dict):
         out.append(_T_DICT)
-        out += struct.pack("<I", len(value))
-        # Canonical order so encodings are deterministic regardless of
-        # insertion order (determinism is a design principle, section 4.3).
+        out += _pack_I(len(value))
         for key in sorted(value, key=_dict_key_order):
             _encode_into(out, key)
             _encode_into(out, value[key])
+    elif isinstance(value, Preencoded):
+        out += value.data
     else:
         raise TypeError(f"unencodable value of type {type(value).__name__}")
 
@@ -173,11 +261,15 @@ def _decode_one(reader: _Reader, depth: int) -> Value:
 
 def encode_record(payload_value: Value, page_size: int) -> bytes:
     """Frame a value as a CRC'd record padded to whole pages."""
-    payload = encode_value(payload_value)
-    header = _HEADER.pack(RECORD_MAGIC, len(payload), zlib.crc32(payload))
-    raw = header + payload
-    padded_len = -(-len(raw) // page_size) * page_size
-    return raw + bytes(padded_len - len(raw))
+    out = bytearray(_HEADER.size)
+    _encode_into(out, payload_value)
+    payload_len = len(out) - _HEADER.size
+    _HEADER.pack_into(
+        out, 0, RECORD_MAGIC, payload_len, zlib.crc32(memoryview(out)[_HEADER.size :])
+    )
+    padded_len = -(-len(out) // page_size) * page_size
+    out += bytes(padded_len - len(out))
+    return bytes(out)
 
 
 def record_size(payload_value: Value, page_size: int) -> int:

@@ -42,6 +42,12 @@ class BufferCache:
         self._page_size = config.geometry.page_size
         # (extent, page index) -> (page bytes so far, valid length)
         self._pages: "OrderedDict[Tuple[int, int], Tuple[bytes, int]]" = OrderedDict()
+        # Size-aware eviction: when ``buffer_cache_bytes`` is configured the
+        # cache evicts by resident bytes (partial pages cost what they hold),
+        # otherwise by page count as before.
+        self._byte_budget = config.buffer_cache_bytes
+        self._page_budget = config.buffer_cache_pages
+        self._bytes_used = 0
         self.hits = 0
         self.misses = 0
 
@@ -59,12 +65,19 @@ class BufferCache:
                 f"[{offset}, {offset + length}) > {soft}"
             )
         page = self._page_size
+        end = offset + length
+        first_page = offset // page
+        if end <= (first_page + 1) * page:
+            # Single-page fast path: serve a slice straight off the page.
+            page_start = first_page * page
+            data = self._page(extent, first_page, end - page_start)
+            return data[offset - page_start : end - page_start]
         out = bytearray()
         cursor = offset
-        while cursor < offset + length:
+        while cursor < end:
             page_idx = cursor // page
             page_start = page_idx * page
-            in_page_end = min(offset + length, page_start + page) - page_start
+            in_page_end = min(end, page_start + page) - page_start
             data = self._page(extent, page_idx, in_page_end)
             out += data[cursor - page_start : in_page_end]
             cursor = page_start + page
@@ -95,10 +108,21 @@ class BufferCache:
         return data
 
     def _insert(self, key: Tuple[int, int], data: bytes, valid: int) -> None:
-        self._pages[key] = (data, valid)
-        self._pages.move_to_end(key)
-        while len(self._pages) > self.config.buffer_cache_pages:
-            self._pages.popitem(last=False)
+        pages = self._pages
+        old = pages.get(key)
+        if old is not None:
+            self._bytes_used -= len(old[0])
+        self._bytes_used += len(data)
+        pages[key] = (data, valid)
+        pages.move_to_end(key)
+        if self._byte_budget is not None:
+            while self._bytes_used > self._byte_budget and len(pages) > 1:
+                _, (evicted, _) = pages.popitem(last=False)
+                self._bytes_used -= len(evicted)
+        else:
+            while len(pages) > self._page_budget:
+                _, (evicted, _) = pages.popitem(last=False)
+                self._bytes_used -= len(evicted)
 
     # ------------------------------------------------------------------
     # write path
@@ -135,6 +159,7 @@ class BufferCache:
         """
         page = self._page_size
         end = offset + len(data)
+        view = memoryview(data)
         for page_idx in range(offset // page, (end - 1) // page + 1):
             page_start = page_idx * page
             valid = min(page, end - page_start)
@@ -144,8 +169,18 @@ class BufferCache:
                 continue  # cache already knows a longer prefix
             lo = max(offset, page_start)
             prefix_len = lo - page_start
-            fresh = bytearray(valid)
             known = cached[1] if cached is not None else 0
+            seg = view[lo - offset : min(end, page_start + page) - offset]
+            if known == prefix_len:
+                # Fast path: the cached prefix (possibly empty) ends exactly
+                # where this append starts -- concatenate, no readback and no
+                # scratch buffer.
+                if prefix_len:
+                    self._insert(key, cached[0] + bytes(seg), valid)
+                else:
+                    self._insert(key, bytes(seg), valid)
+                continue
+            fresh = bytearray(valid)
             if cached is not None:
                 fresh[:known] = cached[0][:known]
             if known < prefix_len:
@@ -157,11 +192,9 @@ class BufferCache:
                 except IoError:
                     # Injected read fault: don't cache a page we cannot
                     # reconstruct; the read path will refetch it later.
-                    self._pages.pop(key, None)
+                    self._discard(key)
                     continue
-            fresh[prefix_len : min(end, page_start + page) - page_start] = data[
-                lo - offset : min(end, page_start + page) - offset
-            ]
+            fresh[prefix_len:valid] = seg
             self._insert(key, bytes(fresh), valid)
 
     # ------------------------------------------------------------------
@@ -183,13 +216,24 @@ class BufferCache:
             return
         stale = [key for key in self._pages if key[0] == extent]
         for key in stale:
-            del self._pages[key]
+            self._discard(key)
         if self.recorder.enabled:
             self.recorder.count("cache.invalidated_pages", len(stale))
 
     def invalidate_all(self) -> None:
         self._pages.clear()
+        self._bytes_used = 0
+
+    def _discard(self, key: Tuple[int, int]) -> None:
+        old = self._pages.pop(key, None)
+        if old is not None:
+            self._bytes_used -= len(old[0])
 
     @property
     def cached_pages(self) -> int:
         return len(self._pages)
+
+    @property
+    def cached_bytes(self) -> int:
+        """Resident payload bytes (what size-aware eviction budgets against)."""
+        return self._bytes_used

@@ -74,21 +74,40 @@ class DecodedChunk:
     uuid: bytes
 
 
-def frame_size(key: bytes, payload: bytes) -> int:
+def frame_size(key: bytes, payload: "bytes | bytearray | memoryview") -> int:
     return FRAME_OVERHEAD + _BODY_HEADER.size + len(key) + len(payload)
 
 
-def encode_chunk(kind: int, key: bytes, payload: bytes, uuid: bytes) -> bytes:
-    """Serialize one chunk frame."""
+def encode_chunk(
+    kind: int, key: bytes, payload: "bytes | bytearray | memoryview", uuid: bytes
+) -> bytes:
+    """Serialize one chunk frame.
+
+    ``payload`` may be any buffer (bytes or a memoryview slice of a larger
+    shard value).  The body CRC is chained across the parts and the frame
+    assembled with a single join, so payload bytes are copied exactly once
+    -- on the old path they were copied at every layer boundary.
+    """
     if len(uuid) != UUID_LEN:
         raise ValueError("uuid must be 16 bytes")
     if kind not in _KNOWN_KINDS:
         raise ValueError(f"unknown chunk kind {kind}")
     if len(key) > 0xFFFF:
         raise ValueError("key too long for chunk frame")
-    body = _BODY_HEADER.pack(kind, len(key)) + key + payload
-    header = CHUNK_MAGIC + uuid + _LEN_CRC.pack(len(body), zlib.crc32(body))
-    return header + body + uuid
+    body_header = _BODY_HEADER.pack(kind, len(key))
+    body_len = _BODY_HEADER.size + len(key) + len(payload)
+    crc = zlib.crc32(payload, zlib.crc32(key, zlib.crc32(body_header)))
+    return b"".join(
+        (
+            CHUNK_MAGIC,
+            uuid,
+            _LEN_CRC.pack(body_len, crc),
+            body_header,
+            key,
+            payload,
+            uuid,
+        )
+    )
 
 
 def decode_chunk(buf: bytes, offset: int = 0) -> DecodedChunk:
@@ -108,20 +127,23 @@ def decode_chunk(buf: bytes, offset: int = 0) -> DecodedChunk:
     frame_end = trailer_start + UUID_LEN
     if body_len > len(buf) or frame_end > len(buf):
         raise CorruptionError("chunk frame out of bounds")
-    body = buf[body_start:trailer_start]
-    if zlib.crc32(body) != crc:
+    # Validate through a view so the body is not copied just to be checked;
+    # only the key and payload are materialised as bytes.
+    view = memoryview(buf)
+    if zlib.crc32(view[body_start:trailer_start]) != crc:
         raise CorruptionError("chunk body checksum mismatch")
-    if bytes(buf[trailer_start:frame_end]) != uuid:
+    if view[trailer_start:frame_end] != uuid:
         raise CorruptionError("chunk trailing uuid mismatch")
     if body_len < _BODY_HEADER.size:
         raise CorruptionError("chunk body too short")
-    kind, key_len = _BODY_HEADER.unpack_from(body, 0)
+    kind, key_len = _BODY_HEADER.unpack_from(buf, body_start)
     if kind not in _KNOWN_KINDS:
         raise CorruptionError(f"unknown chunk kind {kind}")
     if _BODY_HEADER.size + key_len > body_len:
         raise CorruptionError("chunk key out of bounds")
-    key = bytes(body[_BODY_HEADER.size : _BODY_HEADER.size + key_len])
-    payload = bytes(body[_BODY_HEADER.size + key_len :])
+    key_start = body_start + _BODY_HEADER.size
+    key = bytes(view[key_start : key_start + key_len])
+    payload = bytes(view[key_start + key_len : trailer_start])
     return DecodedChunk(
         kind=kind,
         key=key,

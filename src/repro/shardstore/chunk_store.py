@@ -181,9 +181,14 @@ class ChunkStore:
         chunk magic -- the argument bias (section 4.2) that makes the
         paper's bug #10 UUID/magic collision reachable in test budgets.
         """
-        uuid = bytes(self.rng.getrandbits(8) for _ in range(16))
         bias = self.config.uuid_magic_bias
-        if bias and self.rng.random() < bias:
+        if not bias:
+            # Hot path: one RNG call for all 16 bytes.  The biased path below
+            # keeps the original per-byte draw sequence so seeded fault
+            # campaigns (which all set a bias) see an unchanged RNG stream.
+            return self.rng.getrandbits(128).to_bytes(16, "little")
+        uuid = bytes(self.rng.getrandbits(8) for _ in range(16))
+        if self.rng.random() < bias:
             uuid = uuid[:14] + CHUNK_MAGIC
         return uuid
 
@@ -191,7 +196,7 @@ class ChunkStore:
         self,
         kind: int,
         key: bytes,
-        payload: bytes,
+        payload: "bytes | bytearray | memoryview",
         dep: Optional[Dependency] = None,
         *,
         pin: bool = False,
@@ -323,9 +328,15 @@ class ChunkStore:
         self, key: bytes, value: bytes
     ) -> Tuple[List[Locator], Dependency]:
         """Split a shard across chunks; returns locators + combined dep."""
-        tracker = self.cache.scheduler.tracker
         step = self.config.max_chunk_payload
-        pieces = [value[i : i + step] for i in range(0, len(value), step)] or [b""]
+        if len(value) <= step:
+            # Single-chunk fast path (no slicing, no dependency conjunction).
+            locator, dep = self.put_chunk(KIND_DATA, key, value)
+            return [locator], dep
+        # Zero-copy: chunk payloads are memoryview slices of the shard value;
+        # the bytes are only copied once, into the encoded frame.
+        view = memoryview(value)
+        pieces = [view[i : i + step] for i in range(0, len(value), step)]
         locators: List[Locator] = []
         deps: List[Dependency] = []
         for piece in pieces:
@@ -335,6 +346,8 @@ class ChunkStore:
         return locators, Dependency.all_(deps)
 
     def get_shard(self, key: bytes, locators: List[Locator]) -> bytes:
+        if len(locators) == 1:
+            return self.get_chunk(locators[0], expected_key=key).payload
         return b"".join(
             self.get_chunk(loc, expected_key=key).payload for loc in locators
         )

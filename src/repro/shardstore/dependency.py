@@ -27,21 +27,31 @@ still readable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 
-@dataclass
 class RecordInfo:
     """Introspection metadata for one IO record (used by the Fig. 2 bench)."""
 
-    record_id: int
-    label: str
-    extent: int
-    offset: int
-    length: int
-    dep: "Dependency"
-    kind: str = "write"  # "write" or "reset"
+    __slots__ = ("record_id", "label", "extent", "offset", "length", "dep", "kind")
+
+    def __init__(
+        self,
+        record_id: int,
+        label: str,
+        extent: int,
+        offset: int,
+        length: int,
+        dep: "Dependency",
+        kind: str = "write",  # "write" or "reset"
+    ) -> None:
+        self.record_id = record_id
+        self.label = label
+        self.extent = extent
+        self.offset = offset
+        self.length = length
+        self.dep = dep
+        self.kind = kind
 
 
 class DurabilityTracker:
@@ -62,8 +72,22 @@ class DurabilityTracker:
         self._next_id += 1
         return record_id
 
+    def allocate_range(self, count: int) -> range:
+        """Allocate ``count`` consecutive record ids in one bump.
+
+        Group commit allocates one id per page segment of a batched append;
+        doing it in a single bump keeps the bookkeeping cost independent of
+        the batch size.
+        """
+        start = self._next_id
+        self._next_id += count
+        return range(start, start + count)
+
     def mark_durable(self, record_id: int) -> None:
         self._durable.add(record_id)
+
+    def mark_durable_many(self, record_ids: Iterable[int]) -> None:
+        self._durable.update(record_ids)
 
     def is_durable(self, record_id: int) -> bool:
         return record_id in self._durable

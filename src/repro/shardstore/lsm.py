@@ -160,13 +160,21 @@ class LsmIndex:
     def keys(self) -> List[bytes]:
         """All live keys (tombstones resolved)."""
         with self._lock:
-            mapping: Dict[bytes, bool] = {}
-            for run in self._runs:
-                for key, locs in run.entries.items():
-                    mapping[key] = locs is not None
+            # Newest-first with a seen-set: each key is decided by its most
+            # recent writer and older occurrences are skipped outright.
+            seen: set = set()
+            live: List[bytes] = []
             for key, entry in self._memtable.items():
-                mapping[key] = entry.locators is not None
-            return sorted(k for k, live in mapping.items() if live)
+                seen.add(key)
+                if entry.locators is not None:
+                    live.append(key)
+            for run in reversed(self._runs):
+                for key, locs in run.entries.items():
+                    if key not in seen:
+                        seen.add(key)
+                        if locs is not None:
+                            live.append(key)
+            return sorted(live)
 
     def data_dep(self, key: bytes) -> Dependency:
         return self._data_deps.get(key, Dependency.root(self.tracker))
@@ -186,10 +194,10 @@ class LsmIndex:
     def _flush_locked(self, *, write_meta: bool = True) -> Dependency:
         if not self._memtable:
             return self._last_meta_dep
-        entries = {
-            key: (list(e.locators) if e.locators is not None else None)
-            for key, e in self._memtable.items()
-        }
+        # The run takes ownership of the memtable's locator lists (the
+        # memtable is cleared below, and readers always get defensive
+        # copies), so no per-entry list copy is needed.
+        entries = {key: e.locators for key, e in self._memtable.items()}
         run_id = self._next_run_id
         self._next_run_id += 1
         payload = _encode_run(entries)
@@ -252,10 +260,24 @@ class LsmIndex:
             snapshot = list(self._runs)
             run_id = self._next_run_id
             self._next_run_id += 1
+        # Sorted-run merge, newest first with a seen-set: each key is taken
+        # from its most recent run and tombstones simply shadow older
+        # entries.  The oldest run(s) holding only tombstones shadow nothing
+        # -- there is nothing older to hide -- so they are skipped without
+        # contributing any keys at all.
+        start = 0
+        while start < len(snapshot) and all(
+            locs is None for locs in snapshot[start].entries.values()
+        ):
+            start += 1
         merged: Dict[bytes, Optional[List[Locator]]] = {}
-        for run in snapshot:  # oldest first; later runs win
-            merged.update(run.entries)
-        merged = {k: v for k, v in merged.items() if v is not None}
+        seen: set = set()
+        for run in reversed(snapshot[start:]):  # newest first
+            for key, locs in run.entries.items():
+                if key not in seen:
+                    seen.add(key)
+                    if locs is not None:
+                        merged[key] = locs
         payload = _encode_run(merged)
         yield_point("compaction: writing merged run")
         pin = not self.faults.enabled(Fault.COMPACTION_RECLAIM_RACE)

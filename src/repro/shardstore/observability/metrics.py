@@ -8,6 +8,7 @@ nothing in this module may consult wall-clock time or object identity.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Histogram bucket upper bounds (inclusive), powers of two.  The final
@@ -81,11 +82,9 @@ class Histogram:
             self.max = value
         self.count += 1
         self.total += value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.buckets[index] += 1
-                return
-        self.buckets[-1] += 1
+        # bisect_left finds the first bound >= value (bounds are inclusive
+        # upper edges); values past the last bound land in the "inf" bucket.
+        self.buckets[bisect_left(self.bounds, value)] += 1
 
     def snapshot(self) -> Dict[str, Any]:
         buckets = {}

@@ -19,6 +19,15 @@ writeback order is any order consistent with dependencies, chosen by a
 seeded RNG so tests are deterministic and the crash-consistency checker can
 explore different orders by varying the seed.
 
+Group commit: the production drain paths (:meth:`flush_coalesced`, or
+``pump_one(coalesce=True)``) merge runs of contiguous eligible records on
+one extent into a single device IO, bounded by a tunable batch window
+(``batch_pages``).  Crucially the *enqueue* granularity never changes --
+records are always page-sized, so the crash-state space the checker
+explores (torn appends included) is identical whether or not the
+production path batches.  Coalescing only collapses bookkeeping and device
+IOs at writeback time, which is exactly the paper's Fig. 2 optimisation.
+
 Crash semantics: pending records that were never pumped are simply dropped
 (:meth:`drop_pending`); whatever subset writeback already applied *is* the
 crash state.  The checker in :mod:`repro.core.crash_checker` drives this by
@@ -31,25 +40,43 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from .dependency import Dependency, DurabilityTracker, RecordInfo
 from .disk import InMemoryDisk
 from .errors import ExtentError, IoError
 from .observability import NULL_RECORDER, Recorder
 
+Buffer = Union[bytes, bytearray, memoryview]
 
-@dataclass
+#: Default batch window: max page records merged into one device IO by the
+#: coalescing drain paths.  Tunable via :attr:`IoScheduler.batch_pages`
+#: (wired to ``StoreConfig.io_batch_pages``).
+DEFAULT_BATCH_PAGES = 64
+
+
 class _PendingRecord:
     """One page-granular IO awaiting writeback."""
 
-    record_id: int
-    extent: int
-    offset: int  # meaningless for resets
-    data: bytes  # empty for resets
-    dep: Dependency
-    kind: str  # "write" or "reset"
-    label: str
+    __slots__ = ("record_id", "extent", "offset", "data", "dep", "kind", "label")
+
+    def __init__(
+        self,
+        record_id: int,
+        extent: int,
+        offset: int,  # meaningless for resets
+        data: Buffer,  # empty for resets; may be a memoryview (zero-copy)
+        dep: Dependency,
+        kind: str,  # "write" or "reset"
+        label: str,
+    ) -> None:
+        self.record_id = record_id
+        self.extent = extent
+        self.offset = offset
+        self.data = data
+        self.dep = dep
+        self.kind = kind
+        self.label = label
 
 
 @dataclass
@@ -70,14 +97,22 @@ class IoScheduler:
         tracker: DurabilityTracker,
         rng: Optional[random.Random] = None,
         recorder: Recorder = NULL_RECORDER,
+        batch_pages: int = DEFAULT_BATCH_PAGES,
     ) -> None:
         self.disk = disk
         self.tracker = tracker
         self.rng = rng or random.Random(0)
         self.recorder = recorder
+        self.batch_pages = batch_pages
         self.stats = SchedulerStats()
         # Per-extent FIFO queues of pending records.
         self._queues: Dict[int, List[_PendingRecord]] = {}
+        # Incremental tallies so the hot queries (admission-control backlog
+        # estimates, per-read reset checks, drain loops) are O(1) instead of
+        # rescanning every queue.
+        self._pending_total = 0
+        self._pending_per_extent: Dict[int, int] = {}
+        self._pending_resets: Dict[int, int] = {}
         # Soft write pointers and shadow of appended-but-not-durable bytes.
         self._soft_pointer: List[int] = [
             disk.write_pointer(e) for e in range(disk.geometry.num_extents)
@@ -101,57 +136,82 @@ class IoScheduler:
         return self.disk.geometry.extent_size - self._soft_pointer[extent]
 
     def append(
-        self, extent: int, data: bytes, dep: Dependency, label: str = ""
+        self, extent: int, data: Buffer, dep: Dependency, label: str = ""
     ) -> Tuple[int, Dependency]:
         """Queue an append; returns (offset, dependency for this append).
 
         The returned dependency covers every page of the append; it becomes
-        persistent only once all pages are durable on the medium.
+        persistent only once all pages are durable on the medium.  ``data``
+        may be any buffer (bytes, bytearray, memoryview); multi-page appends
+        are segmented with memoryview slices, so no payload bytes are copied
+        between here and the device write.
         """
-        if not data:
+        length = len(data)
+        if not length:
             raise ExtentError("empty append")
         offset = self._soft_pointer[extent]
-        if offset + len(data) > self.disk.geometry.extent_size:
+        if offset + length > self.disk.geometry.extent_size:
             raise ExtentError(
-                f"append of {len(data)} bytes overruns extent {extent} "
+                f"append of {length} bytes overruns extent {extent} "
                 f"(soft pointer {offset})"
             )
         page = self.disk.geometry.page_size
-        queue = self._queues.setdefault(extent, [])
-        record_ids: List[int] = []
-        cursor = 0
-        while cursor < len(data):
-            # Segment ends at the next page boundary (torn-write granularity).
-            boundary = ((offset + cursor) // page + 1) * page
-            seg_end = min(len(data), boundary - offset)
-            segment = data[cursor:seg_end]
+        queue = self._queues.get(extent)
+        if queue is None:
+            queue = self._queues[extent] = []
+        record_info = self.tracker.record_info
+        info_label = label or f"append@{extent}"
+        first_seg_end = min(length, (offset // page + 1) * page - offset)
+        if first_seg_end == length:
+            # Fast path: the whole append lands inside one page segment.
             record_id = self.tracker.allocate()
-            record = _PendingRecord(
-                record_id=record_id,
-                extent=extent,
-                offset=offset + cursor,
-                data=segment,
-                dep=dep,
-                kind="write",
-                label=label,
+            queue.append(
+                _PendingRecord(record_id, extent, offset, data, dep, "write", label)
             )
-            self.tracker.record_info[record_id] = RecordInfo(
-                record_id=record_id,
-                label=label or f"append@{extent}",
-                extent=extent,
-                offset=offset + cursor,
-                length=len(segment),
-                dep=dep,
+            record_info[record_id] = RecordInfo(
+                record_id, info_label, extent, offset, length, dep
             )
-            queue.append(record)
-            record_ids.append(record_id)
-            self.stats.records_enqueued += 1
-            cursor = seg_end
-        self._shadow[extent][offset : offset + len(data)] = data
-        self._soft_pointer[extent] = offset + len(data)
+            record_ids: List[int] = [record_id]
+        else:
+            # Page-granular segments as zero-copy memoryview slices; one
+            # contiguous id range per logical append (group commit keeps
+            # dependency bookkeeping amortised across the batch).
+            view = memoryview(data)
+            bounds: List[Tuple[int, int]] = []
+            cursor = 0
+            seg_end = first_seg_end
+            while cursor < length:
+                bounds.append((cursor, seg_end))
+                cursor = seg_end
+                seg_end = min(length, seg_end + page)
+            id_range = self.tracker.allocate_range(len(bounds))
+            record_ids = list(id_range)
+            for record_id, (start, end) in zip(id_range, bounds):
+                queue.append(
+                    _PendingRecord(
+                        record_id,
+                        extent,
+                        offset + start,
+                        view[start:end],
+                        dep,
+                        "write",
+                        label,
+                    )
+                )
+                record_info[record_id] = RecordInfo(
+                    record_id, info_label, extent, offset + start, end - start, dep
+                )
+        count = len(record_ids)
+        self.stats.records_enqueued += count
+        self._pending_total += count
+        self._pending_per_extent[extent] = (
+            self._pending_per_extent.get(extent, 0) + count
+        )
+        self._shadow[extent][offset : offset + length] = data
+        self._soft_pointer[extent] = offset + length
         if self.recorder.enabled:
-            self.recorder.count("scheduler.records_enqueued", len(record_ids))
-            self.recorder.gauge("scheduler.queue_depth", self.pending_count)
+            self.recorder.count("scheduler.records_enqueued", count)
+            self.recorder.gauge("scheduler.queue_depth", self._pending_total)
         return offset, Dependency.on_records(self.tracker, record_ids)
 
     def reset(self, extent: int, dep: Dependency, label: str = "") -> Dependency:
@@ -163,15 +223,7 @@ class IoScheduler:
         re-indexed" -- has persisted.
         """
         record_id = self.tracker.allocate()
-        record = _PendingRecord(
-            record_id=record_id,
-            extent=extent,
-            offset=0,
-            data=b"",
-            dep=dep,
-            kind="reset",
-            label=label,
-        )
+        record = _PendingRecord(record_id, extent, 0, b"", dep, "reset", label)
         self.tracker.record_info[record_id] = RecordInfo(
             record_id=record_id,
             label=label or f"reset@{extent}",
@@ -183,11 +235,14 @@ class IoScheduler:
         )
         self._queues.setdefault(extent, []).append(record)
         self.stats.records_enqueued += 1
+        self._pending_total += 1
+        self._pending_per_extent[extent] = self._pending_per_extent.get(extent, 0) + 1
+        self._pending_resets[extent] = self._pending_resets.get(extent, 0) + 1
         self._soft_pointer[extent] = 0
         self._shadow[extent] = bytearray(self.disk.geometry.extent_size)
         if self.recorder.enabled:
             self.recorder.count("scheduler.records_enqueued")
-            self.recorder.gauge("scheduler.queue_depth", self.pending_count)
+            self.recorder.gauge("scheduler.queue_depth", self._pending_total)
             self.recorder.event("scheduler.reset_queued", extent=extent)
         return Dependency.on_records(self.tracker, [record_id])
 
@@ -207,11 +262,9 @@ class IoScheduler:
                 f"[{offset}, {offset + length}) > {soft}"
             )
         hard = self.disk.write_pointer(extent)
-        if self._has_pending_reset(extent) or offset >= hard:
+        if offset >= hard or self._has_pending_reset(extent):
             # The durable image is stale (reset pending) or entirely behind
             # the requested range; serve purely from the shadow.
-            if offset < hard and not self._has_pending_reset(extent):
-                pass  # unreachable; kept for clarity
             return bytes(self._shadow[extent][offset : offset + length])
         durable_end = min(offset + length, hard)
         out = self.disk.read(extent, offset, durable_end - offset)
@@ -220,14 +273,17 @@ class IoScheduler:
         return out
 
     def _has_pending_reset(self, extent: int) -> bool:
-        return any(r.kind == "reset" for r in self._queues.get(extent, ()))
+        return self._pending_resets.get(extent, 0) > 0
 
     # ------------------------------------------------------------------
     # writeback
 
     @property
     def pending_count(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        return self._pending_total
+
+    def pending_count_for(self, extent: int) -> int:
+        return self._pending_per_extent.get(extent, 0)
 
     def pending_cost_units(self) -> int:
         """Estimated op-clock units to write back everything pending.
@@ -237,7 +293,7 @@ class IoScheduler:
         backlog estimate so queued writebacks on a slow disk count against
         new requests' deadlines.
         """
-        return self.pending_count * self.disk.latency_units
+        return self._pending_total * self.disk.latency_units
 
     def pending_record_ids(self) -> List[int]:
         return [r.record_id for q in self._queues.values() for r in q]
@@ -250,7 +306,13 @@ class IoScheduler:
                 out.append(extent)
         return sorted(out)
 
-    def pump_one(self, extent: Optional[int] = None, *, coalesce: bool = False) -> bool:
+    def pump_one(
+        self,
+        extent: Optional[int] = None,
+        *,
+        coalesce: bool = False,
+        max_batch: Optional[int] = None,
+    ) -> bool:
         """Write back one eligible record; returns False if none eligible.
 
         ``extent`` pins the choice (used by the block-level enumerator);
@@ -258,18 +320,23 @@ class IoScheduler:
 
         With ``coalesce=True``, contiguous eligible write records on the
         chosen extent are merged into one device IO (the paper's Fig. 2:
-        "their writebacks can be coalesced into one IO by the scheduler").
-        Crash-state exploration keeps this off -- coalescing makes the
-        merged pages atomic, coarsening the reachable crash states --
-        while the production drain path uses it.
+        "their writebacks can be coalesced into one IO by the scheduler"),
+        up to ``max_batch`` records (default: the scheduler's
+        ``batch_pages`` window).  Crash-state exploration keeps this off --
+        coalescing makes the merged pages atomic, coarsening the reachable
+        crash states -- while the production drain path uses it.
         """
         if self.recorder.timing:
             with self.recorder.timed("scheduler.pump_one"):
-                return self._pump_one(extent, coalesce=coalesce)
-        return self._pump_one(extent, coalesce=coalesce)
+                return self._pump_one(extent, coalesce=coalesce, max_batch=max_batch)
+        return self._pump_one(extent, coalesce=coalesce, max_batch=max_batch)
 
     def _pump_one(
-        self, extent: Optional[int] = None, *, coalesce: bool = False
+        self,
+        extent: Optional[int] = None,
+        *,
+        coalesce: bool = False,
+        max_batch: Optional[int] = None,
     ) -> bool:
         eligible = self.eligible_extents()
         if not eligible:
@@ -280,15 +347,20 @@ class IoScheduler:
             raise ExtentError(f"extent {extent} has no eligible record")
         queue = self._queues[extent]
         record = queue.pop(0)
+        self._note_removed(record)
         if coalesce and record.kind == "write":
+            window = self.batch_pages if max_batch is None else max_batch
             batch = [record]
             while (
-                queue
+                len(batch) < window
+                and queue
                 and queue[0].kind == "write"
                 and queue[0].offset == batch[-1].offset + len(batch[-1].data)
                 and queue[0].dep.is_persistent()
             ):
-                batch.append(queue.pop(0))
+                next_record = queue.pop(0)
+                self._note_removed(next_record)
+                batch.append(next_record)
             if not queue:
                 del self._queues[extent]
             if len(batch) > 1:
@@ -298,15 +370,14 @@ class IoScheduler:
                 except IoError:
                     self._requeue_failed(extent, batch)
                     raise
-                for merged_record in batch:
-                    self.tracker.mark_durable(merged_record.record_id)
+                self.tracker.mark_durable_many(r.record_id for r in batch)
                 self.stats.records_written += len(batch)
                 self.stats.ios_issued += 1
                 if self.recorder.enabled:
                     self.recorder.count("scheduler.records_written", len(batch))
                     self.recorder.count("scheduler.ios_issued")
                     self.recorder.gauge(
-                        "scheduler.queue_depth", self.pending_count
+                        "scheduler.queue_depth", self._pending_total
                     )
                 return True
             self._apply_or_requeue(extent, batch[0])
@@ -315,6 +386,13 @@ class IoScheduler:
             del self._queues[extent]
         self._apply_or_requeue(extent, record)
         return True
+
+    def _note_removed(self, record: _PendingRecord) -> None:
+        self._pending_total -= 1
+        extent = record.extent
+        self._pending_per_extent[extent] -= 1
+        if record.kind == "reset":
+            self._pending_resets[extent] -= 1
 
     def _apply_or_requeue(self, extent: int, record: _PendingRecord) -> None:
         try:
@@ -354,6 +432,15 @@ class IoScheduler:
             survivors.append(record)
         if survivors:
             self._queues.setdefault(extent, [])[:0] = survivors
+            self._pending_total += len(survivors)
+            self._pending_per_extent[extent] = (
+                self._pending_per_extent.get(extent, 0) + len(survivors)
+            )
+            resets = sum(1 for r in survivors if r.kind == "reset")
+            if resets:
+                self._pending_resets[extent] = (
+                    self._pending_resets.get(extent, 0) + resets
+                )
         self.stats.writeback_requeues += 1
         if self.recorder.enabled:
             self.recorder.count("scheduler.writeback_requeues")
@@ -376,7 +463,7 @@ class IoScheduler:
         self.tracker.mark_durable(record.record_id)
         if self.recorder.enabled:
             self.recorder.count("scheduler.ios_issued")
-            self.recorder.gauge("scheduler.queue_depth", self.pending_count)
+            self.recorder.gauge("scheduler.queue_depth", self._pending_total)
 
     def pump(self, n: int) -> int:
         """Write back up to ``n`` eligible records; returns how many."""
@@ -398,19 +485,34 @@ class IoScheduler:
         eligible -- a dependency that can never be satisfied, i.e. a
         forward-progress violation (section 5).
         """
-        while self.pending_count:
+        while self._pending_total:
             if not self.pump_one():
-                stuck = [
-                    (r.label or r.kind, r.extent)
-                    for q in self._queues.values()
-                    for r in q
-                ]
-                raise IoError(
-                    f"writeback stuck: {len(stuck)} pending records with "
-                    f"unsatisfiable dependencies: {stuck[:5]}",
-                    transient=False,
-                )
+                self._raise_stuck()
             # Keep pumping.
+
+    def flush_coalesced(self, batch_pages: Optional[int] = None) -> None:
+        """Drain everything pending with group-commit batching.
+
+        The production flush path: identical final disk state to
+        :meth:`drain` (same records, same FIFO order per extent), but runs
+        of contiguous eligible records are issued as single device IOs,
+        bounded by the ``batch_pages`` window (default: the scheduler's
+        ``batch_pages``).  Raises :class:`IoError` when stuck, exactly like
+        :meth:`drain`.
+        """
+        while self._pending_total:
+            if not self.pump_one(coalesce=True, max_batch=batch_pages):
+                self._raise_stuck()
+
+    def _raise_stuck(self) -> None:
+        stuck = [
+            (r.label or r.kind, r.extent) for q in self._queues.values() for r in q
+        ]
+        raise IoError(
+            f"writeback stuck: {len(stuck)} pending records with "
+            f"unsatisfiable dependencies: {stuck[:5]}",
+            transient=False,
+        )
 
     def settle_extent(self, extent: int) -> bool:
         """Write back until ``extent`` has no pending records.
@@ -421,7 +523,7 @@ class IoScheduler:
         writeback cycle.  Pumps any eligible record (progress elsewhere can
         unblock this extent); returns False if writeback gets stuck.
         """
-        while any(r.extent == extent for q in self._queues.values() for r in q):
+        while self._pending_per_extent.get(extent, 0):
             if not self.pump_one():
                 return False
         return True
@@ -432,8 +534,11 @@ class IoScheduler:
         Soft state is resynchronised to the durable medium.  The caller
         (recovery) then overrides pointers from the superblock.
         """
-        lost = self.pending_count
+        lost = self._pending_total
         self._queues.clear()
+        self._pending_total = 0
+        self._pending_per_extent.clear()
+        self._pending_resets.clear()
         for extent in range(self.disk.geometry.num_extents):
             hard = self.disk.write_pointer(extent)
             self._soft_pointer[extent] = hard
@@ -466,3 +571,15 @@ class IoScheduler:
         self._soft_pointer = list(snap["soft"])
         self._shadow = [bytearray(s) for s in snap["shadow"]]
         self.rng.setstate(snap["rng"])
+        self._recount_pending()
+
+    def _recount_pending(self) -> None:
+        self._pending_total = 0
+        self._pending_per_extent = {}
+        self._pending_resets = {}
+        for extent, queue in self._queues.items():
+            self._pending_per_extent[extent] = len(queue)
+            self._pending_total += len(queue)
+            resets = sum(1 for r in queue if r.kind == "reset")
+            if resets:
+                self._pending_resets[extent] = resets

@@ -79,6 +79,7 @@ class ShardStore:
             tracker,
             random.Random(self.rng.getrandbits(32)),
             recorder=config.recorder,
+            batch_pages=config.io_batch_pages,
         )
         if recover:
             hook("seal")
@@ -341,12 +342,14 @@ class ShardStore:
 
         Pending records can wait on pointer-update promises that only a
         superblock flush resolves, so drain alternates pumping with flushes
-        (the same fixpoint clean shutdown uses).  Raises
+        (the same fixpoint clean shutdown uses).  Writebacks are issued
+        through the group-commit path -- contiguous records coalesce into
+        batched device IOs (``io_batch_pages`` window).  Raises
         :class:`~repro.shardstore.errors.IoError` if records remain
         genuinely stuck -- a forward-progress violation.
         """
         for _ in range(self.config.geometry.num_extents + 2):
-            while self.scheduler.pump_one():
+            while self.scheduler.pump_one(coalesce=True):
                 pass
             if self.scheduler.pending_count == 0:
                 return
@@ -372,7 +375,7 @@ class ShardStore:
         self.index.shutdown_flush()
         for _ in range(self.config.geometry.num_extents + 2):
             self.superblock.flush()
-            while self.scheduler.pump_one():
+            while self.scheduler.pump_one(coalesce=True):
                 pass
             if self.scheduler.pending_count == 0:
                 break
@@ -381,7 +384,7 @@ class ShardStore:
         # One final flush+pump publishes any pointers that were held back
         # until the last round's resets persisted.
         self.superblock.flush()
-        self.scheduler.drain()
+        self.scheduler.flush_coalesced()
 
 
 @dataclass

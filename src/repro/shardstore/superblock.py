@@ -36,7 +36,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.concurrency.primitives import Condvar, Mutex, yield_point
-from repro.serialization.codec import encode_record, scan_records
+from repro.serialization.codec import (
+    Preencoded,
+    encode_record,
+    encode_value,
+    scan_records,
+)
 
 from .config import SUPERBLOCK_EXTENTS, StoreConfig
 from .dependency import Dependency, DurabilityTracker, FutureCell
@@ -57,10 +62,13 @@ class SuperblockState:
     ownership: Dict[int, str] = field(default_factory=dict)
 
     def to_value(self) -> dict:
+        # Extent numbers are encoded as ints directly (the codec supports
+        # int dict keys); ``from_value`` accepts both int and legacy str
+        # keys, so records from either encoding recover identically.
         return {
             "epoch": self.epoch,
-            "pointers": {str(k): v for k, v in self.pointers.items()},
-            "ownership": {str(k): v for k, v in self.ownership.items()},
+            "pointers": dict(self.pointers),
+            "ownership": dict(self.ownership),
         }
 
     @classmethod
@@ -141,6 +149,10 @@ class Superblock:
         #: Resets whose publication is gated on the reset being durable.
         self._pending_resets: Dict[int, List[Dependency]] = {}
         self._appends_since_flush = 0
+        #: Cached canonical encoding of the ownership map.  Ownership only
+        #: changes on extent allocation/release, so flushes (every few
+        #: appends) splice the cached bytes instead of re-encoding the map.
+        self._ownership_blob: Optional[Preencoded] = None
         self._last_flush_dep: Dependency = recovered_dep or Dependency.root(
             self.tracker
         )
@@ -215,6 +227,7 @@ class Superblock:
     def note_ownership(self, extent: int, owner: str) -> Dependency:
         """Record an ownership change; persisted by the next flush."""
         self._ownership[extent] = owner
+        self._ownership_blob = None
         return self.note_append(extent)
 
     def ownership(self) -> Dict[int, str]:
@@ -298,12 +311,21 @@ class Superblock:
                     continue
                 del self._pending_resets[extent]
             pointers[extent] = soft
-        state = SuperblockState(
-            epoch=self._epoch,
-            pointers=pointers,
-            ownership=dict(self._ownership),
-        )
-        record = encode_record(state.to_value(), self.config.geometry.page_size)
+        # Encode the record straight from the live dicts (guarded by the
+        # state lock; the encoder never mutates).  Same layout as
+        # ``SuperblockState.to_value`` -- int extent keys; the ownership
+        # subtree is spliced from a cache invalidated by ``note_ownership``.
+        ownership_blob = self._ownership_blob
+        if ownership_blob is None:
+            ownership_blob = self._ownership_blob = Preencoded(
+                encode_value(self._ownership)
+            )
+        value = {
+            "epoch": self._epoch,
+            "pointers": pointers,
+            "ownership": ownership_blob,
+        }
+        record = encode_record(value, self.config.geometry.page_size)
         dep = self._append_record(record)
         for extent, published in pointers.items():
             # A published pointer covers the current era iff it reaches the

@@ -17,6 +17,7 @@ from repro.bench import (
     BENCH_SCHEMA_VERSION,
     DEFAULT_TOLERANCE,
     WORKLOADS,
+    BaselineRaiseError,
     compare_to_baseline,
     default_output_name,
     default_target,
@@ -267,6 +268,114 @@ class TestBaselineGate:
         )
         assert "REGRESSION" in text
         assert "FAIL" in text
+
+
+class TestBaselineGateEdgeCases:
+    """The gate's boundary semantics, pinned exactly."""
+
+    def test_tolerance_boundary_exactly_met_passes(self):
+        # The band is inclusive: measured == baseline*(1+band) is a pass,
+        # one more nanosecond is a regression.
+        baselines = update_baselines(
+            _synthetic_artifact(p50=1000), empty_baselines()
+        )
+        limit = 1000 * (1.0 + DEFAULT_TOLERANCE)
+        at_limit = compare_to_baseline(
+            _synthetic_artifact(p50=int(limit)), baselines
+        )
+        assert at_limit.passed
+        over = compare_to_baseline(
+            _synthetic_artifact(p50=int(limit) + 1), baselines
+        )
+        assert not over.passed
+
+    def test_throughput_floor_exactly_met_passes(self):
+        baselines = update_baselines(
+            _synthetic_artifact(throughput=1350.0), empty_baselines()
+        )
+        floor = 1350.0 / (1.0 + DEFAULT_TOLERANCE)
+        assert compare_to_baseline(
+            _synthetic_artifact(throughput=floor), baselines
+        ).passed
+
+    def test_new_workload_missing_from_populated_baselines(self):
+        # Baselines that know other workloads still hard-fail a workload
+        # they have no entry for -- a new bench must ship its baseline.
+        baselines = update_baselines(_synthetic_artifact(), empty_baselines())
+        report = compare_to_baseline(
+            _synthetic_artifact(workload="put-heavy"), baselines
+        )
+        assert not report.passed
+        assert "no baseline" in report.config_mismatches[0]
+        assert "put-heavy" in report.config_mismatches[0]
+
+    def test_update_refuses_to_raise_p50(self):
+        baselines = update_baselines(
+            _synthetic_artifact(p50=1000), empty_baselines()
+        )
+        with pytest.raises(BaselineRaiseError, match="p50\\[all\\]"):
+            update_baselines(_synthetic_artifact(p50=1001), baselines)
+        # The refused update must not have touched the document.
+        assert baselines["workloads"]["mixed"]["p50_ns"]["all"] == 1000
+
+    def test_update_refuses_to_lower_throughput(self):
+        baselines = update_baselines(
+            _synthetic_artifact(throughput=5000.0), empty_baselines()
+        )
+        with pytest.raises(BaselineRaiseError, match="throughput"):
+            update_baselines(
+                _synthetic_artifact(throughput=4999.0), baselines
+            )
+
+    def test_update_allows_raise_when_explicit(self):
+        baselines = update_baselines(
+            _synthetic_artifact(p50=1000), empty_baselines()
+        )
+        update_baselines(
+            _synthetic_artifact(p50=2000), baselines, allow_raise=True
+        )
+        assert baselines["workloads"]["mixed"]["p50_ns"]["all"] == 2000
+
+    def test_update_ratchets_down_silently(self):
+        baselines = update_baselines(
+            _synthetic_artifact(p50=1000, throughput=5000.0),
+            empty_baselines(),
+        )
+        update_baselines(
+            _synthetic_artifact(p50=500, throughput=6000.0), baselines
+        )
+        entry = baselines["workloads"]["mixed"]
+        assert entry["p50_ns"]["all"] == 500
+        assert entry["throughput_ops_per_sec"] == 6000.0
+
+    def test_cli_update_refuses_raise_and_leaves_file_intact(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "baselines.json")
+        good = update_baselines(
+            _synthetic_artifact(p50=1), empty_baselines()
+        )
+        # Unreachably-good committed numbers: any real rerun would raise.
+        good["workloads"]["mixed"].update(
+            {
+                "throughput_ops_per_sec": 10.0**9,
+                "op_sequence_sha256": "ignored-by-update",
+            }
+        )
+        save_baselines(good, path)
+        before = open(path, encoding="utf-8").read()
+        common = ["bench", "--workload", "mixed", "--ops", "120",
+                  "--seed", "7"]
+        status = main(common + ["--update-baseline", path])
+        assert status == 1
+        assert "BASELINE RAISE REFUSED" in capsys.readouterr().out
+        assert open(path, encoding="utf-8").read() == before
+        # The explicit override adopts the regression and rewrites the file.
+        assert main(
+            common + ["--update-baseline", path, "--allow-baseline-raise"]
+        ) == 0
+        after = load_baselines(path)
+        assert after["workloads"]["mixed"]["ops"] == 120
 
 
 class TestBenchCli:

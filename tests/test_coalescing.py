@@ -70,6 +70,108 @@ class TestCoalescedPump:
         assert io_count(True) < io_count(False)
 
 
+class TestFlushCoalesced:
+    def test_flush_coalesced_drains_everything(self):
+        disk, tracker, scheduler = _scheduler()
+        deps = []
+        for extent in (3, 4, 5):
+            for i in range(4):
+                deps.append(
+                    scheduler.append(
+                        extent, bytes([i]) * 100, Dependency.root(tracker)
+                    )[1]
+                )
+        scheduler.reset(3, Dependency.root(tracker))
+        scheduler.flush_coalesced()
+        assert scheduler.pending_count == 0
+        assert all(dep.is_persistent() for dep in deps)
+        assert disk.write_pointer(3) == 0, "the reset pumped too"
+        assert disk.read(4, 0, 400) == b"".join(
+            bytes([i]) * 100 for i in range(4)
+        )
+
+    def test_batch_window_bounds_records_per_io(self):
+        def writes(window):
+            disk, tracker, scheduler = _scheduler()
+            for i in range(8):
+                scheduler.append(4, bytes([i]) * 128, Dependency.root(tracker))
+            scheduler.flush_coalesced(batch_pages=window)
+            return disk.stats.writes
+
+        # 8 one-page records: a 2-page window needs 4 IOs, a wide window 1.
+        assert writes(2) == 4
+        assert writes(64) == 1
+
+    def test_constructor_window_is_the_default(self):
+        disk = InMemoryDisk(
+            DiskGeometry(num_extents=6, extent_size=2048, page_size=128)
+        )
+        tracker = DurabilityTracker()
+        scheduler = IoScheduler(disk, tracker, random.Random(0), batch_pages=2)
+        for i in range(8):
+            scheduler.append(4, bytes([i]) * 128, Dependency.root(tracker))
+        scheduler.flush_coalesced()
+        assert disk.stats.writes == 4
+
+    def test_identical_disk_state_vs_drain(self):
+        def run(coalesced: bool):
+            disk, tracker, scheduler = _scheduler()
+            for i in range(6):
+                scheduler.append(4, bytes([i]) * 90, Dependency.root(tracker))
+            scheduler.append(5, b"y" * 300, Dependency.root(tracker))
+            if coalesced:
+                scheduler.flush_coalesced()
+            else:
+                scheduler.drain()
+            return disk.snapshot()
+
+        assert run(True) == run(False)
+
+
+class TestPendingCounters:
+    def test_counters_track_queues_incrementally(self):
+        disk, tracker, scheduler = _scheduler()
+        scheduler.append(4, b"a" * 300, Dependency.root(tracker))  # 3 pages
+        scheduler.append(5, b"b" * 100, Dependency.root(tracker))
+        scheduler.reset(4, Dependency.root(tracker))
+        assert scheduler.pending_count == 5
+        assert scheduler.pending_count_for(4) == 4
+        assert scheduler.pending_count_for(5) == 1
+        while scheduler.pump_one():
+            pass
+        assert scheduler.pending_count == 0
+        assert scheduler.pending_count_for(4) == 0
+
+    def test_counters_survive_snapshot_restore(self):
+        disk, tracker, scheduler = _scheduler()
+        scheduler.append(4, b"a" * 300, Dependency.root(tracker))
+        scheduler.append(5, b"b" * 100, Dependency.root(tracker))
+        snap = scheduler.snapshot()
+        disk_snap = disk.snapshot()
+        tracker_snap = tracker.snapshot()
+        while scheduler.pump_one():
+            pass
+        assert scheduler.pending_count == 0
+        scheduler.restore(snap)
+        disk.restore(disk_snap)
+        tracker.restore(tracker_snap)
+        assert scheduler.pending_count == 4
+        assert scheduler.pending_count_for(4) == 3
+        assert scheduler.pending_count_for(5) == 1
+        scheduler.flush_coalesced()
+        assert scheduler.pending_count == 0
+
+    def test_drop_pending_zeroes_counters(self):
+        disk, tracker, scheduler = _scheduler()
+        scheduler.append(4, b"a" * 300, Dependency.root(tracker))
+        scheduler.reset(5, Dependency.root(tracker))
+        dropped = scheduler.drop_pending()
+        assert dropped == 4
+        assert scheduler.pending_count == 0
+        assert scheduler.pending_count_for(4) == 0
+        assert scheduler.pending_count_for(5) == 0
+
+
 class TestStoreLevel:
     def test_store_roundtrip_unaffected(self):
         system = StoreSystem(

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.serialization.codec import (
+    Preencoded,
     decode_record,
     decode_value,
     encode_record,
@@ -54,6 +55,21 @@ class TestValueRoundtrip:
         assert decode_value(encode_value(True)) is True
         assert decode_value(encode_value(1)) == 1
         assert decode_value(encode_value(1)) is not True
+
+    def test_preencoded_splices_byte_identical(self):
+        # The superblock caches its ownership map's encoding; splicing the
+        # cached bytes must be indistinguishable from encoding the value.
+        ownership = {e: ("data" if e % 2 else "free") for e in range(8)}
+        plain = encode_value({"epoch": 3, "ownership": ownership})
+        spliced = encode_value(
+            {"epoch": 3, "ownership": Preencoded(encode_value(ownership))}
+        )
+        assert spliced == plain
+        assert decode_value(spliced) == {"epoch": 3, "ownership": ownership}
+
+    def test_preencoded_inside_list_and_nested(self):
+        inner = Preencoded(encode_value([1, b"two"]))
+        assert decode_value(encode_value([inner, 3])) == [[1, b"two"], 3]
 
 
 class TestValueCorruption:

@@ -149,6 +149,37 @@ class TestCompaction:
         store = _system().store
         assert store.index.compact() is None
 
+    def test_compact_skips_tombstone_only_oldest_runs(self):
+        store = _system().store
+        # Oldest runs hold only tombstones (deletes of never-written keys):
+        # they shadow nothing, so the merge skips them entirely.
+        store.index.delete(b"ghost1")
+        store.index.delete(b"ghost2")
+        store.index.flush()
+        store.index.delete(b"ghost3")
+        store.index.flush()
+        _put(store, b"alive", b"payload")
+        _put(store, b"doomed", b"gone")
+        store.index.flush()
+        store.index.delete(b"doomed")
+        store.index.flush()
+        assert store.index.run_count == 4
+        store.index.compact()
+        assert store.index.run_count == 1
+        # Deletes stay deleted, live data stays reachable.
+        assert store.index.get(b"doomed") is None
+        for ghost in (b"ghost1", b"ghost2", b"ghost3"):
+            assert store.index.get(ghost) is None
+        assert (
+            store.chunk_store.get_shard(b"alive", store.index.get(b"alive"))
+            == b"payload"
+        )
+        # The merged run carries no tombstones at all: it is the oldest
+        # run, so there is nothing older left to shadow.
+        (merged,) = store.index._runs
+        assert all(locs is not None for locs in merged.entries.values())
+        assert set(merged.entries) == {b"alive"}
+
 
 class TestRecovery:
     def test_roundtrip_through_recovery(self):
