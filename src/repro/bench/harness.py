@@ -32,6 +32,7 @@ from repro.shardstore import (
 )
 from repro.shardstore.resilience import AdmissionConfig
 from repro.shardstore.observability import (
+    Journal,
     TimingRecorder,
     component_of_latency,
     merge_histogram_snapshots,
@@ -48,14 +49,21 @@ from .workloads import (
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "MUTANTS",
     "WORKLOADS",
     "bench_store_config",
     "default_target",
     "execute_op",
+    "pick_mutant_victim",
     "run_bench",
 ]
 
 BENCH_SCHEMA_VERSION = 1
+
+#: Seeded implementation mutants for the evidence plane's negative
+#: control: the run *executes* the bug but *journals* the honest-looking
+#: outcome, so only trace-conformance checking can catch it.
+MUTANTS = ("drop-delete",)
 
 #: Workloads that exercise per-store machinery (reclamation, recovery) and
 #: therefore run against a single-disk StoreSystem by default.
@@ -66,7 +74,9 @@ def default_target(workload: str) -> str:
     return "store" if workload in _STORE_TARGET_WORKLOADS else "node"
 
 
-def bench_store_config(workload: str, seed: int, recorder) -> StoreConfig:
+def bench_store_config(
+    workload: str, seed: int, recorder, journal: Optional[Journal] = None
+) -> StoreConfig:
     """A store geometry sized for the workload.
 
     Request-plane workloads get a roomy geometry so latency reflects the
@@ -82,6 +92,7 @@ def bench_store_config(workload: str, seed: int, recorder) -> StoreConfig:
             ),
             seed=seed,
             recorder=recorder,
+            journal=journal,
         )
     return StoreConfig(
         geometry=DiskGeometry(
@@ -92,6 +103,7 @@ def bench_store_config(workload: str, seed: int, recorder) -> StoreConfig:
         buffer_cache_pages=256,
         seed=seed,
         recorder=recorder,
+        journal=journal,
     )
 
 
@@ -100,9 +112,10 @@ class _Target:
 
     def __init__(self, kind: str, workload: str, seed: int, num_disks: int,
                  recorder: TimingRecorder,
-                 admission: Optional[AdmissionConfig] = None) -> None:
+                 admission: Optional[AdmissionConfig] = None,
+                 journal: Optional[Journal] = None) -> None:
         self.kind = kind
-        config = bench_store_config(workload, seed, recorder)
+        config = bench_store_config(workload, seed, recorder, journal)
         if kind == "store":
             self.system: Optional[StoreSystem] = StoreSystem(config)
             self.node: Optional[StorageNode] = None
@@ -193,6 +206,34 @@ def _component_breakdown(
     return out
 
 
+def pick_mutant_victim(sequence: List[BenchOp]) -> Optional[int]:
+    """The op index where ``drop-delete`` strikes.
+
+    Picks the first delete whose key is (per a presence simulation of the
+    deterministic op sequence) present at that point *and* is read again
+    later with no intervening same-key write -- so an honest later ``get``
+    is guaranteed to expose the dropped delete to the trace checker.
+    Reboot-bearing workloads can legitimately lose unflushed writes, which
+    would let the mutant hide behind crash uncertainty; use a reboot-free
+    workload (e.g. ``mixed``) for the negative control.
+    """
+    present = set()
+    for index, op in enumerate(sequence):
+        if op.op == "put":
+            present.add(op.key)
+        elif op.op == "delete":
+            if op.key in present:
+                for later in sequence[index + 1:]:
+                    if later.key != op.key:
+                        continue
+                    if later.op == "get":
+                        return index
+                    if later.op in ("put", "delete"):
+                        break
+            present.discard(op.key)
+    return None
+
+
 def run_bench(
     workload: str,
     *,
@@ -202,25 +243,65 @@ def run_bench(
     target: Optional[str] = None,
     num_disks: int = 3,
     slowdown_ns: int = 0,
+    journal_path: Optional[str] = None,
+    mutant: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one benchmark and return the artifact dict.
 
     ``slowdown_ns`` busy-waits that long inside every measured op -- a
     synthetic regression used to prove the CI baseline gate actually fails
-    (see EXPERIMENTS.md).
+    (see EXPERIMENTS.md).  ``journal_path`` streams every op into a chained
+    JSONL evidence journal (deterministic bytes for a given spec).
+    ``mutant`` seeds an implementation bug -- the journal still reports the
+    honest-looking outcome, so ``repro check-trace`` MUST flag the run.
     """
+    if mutant is not None and mutant not in MUTANTS:
+        raise ValueError(f"unknown mutant {mutant!r} (have: {MUTANTS})")
+    if mutant is not None and journal_path is None:
+        raise ValueError("--mutant needs --journal (it only exists to be caught)")
     target_kind = target or default_target(workload)
     sequence = generate_ops(workload, ops, value_size, seed)
     recorder = TimingRecorder()
-    system = _Target(target_kind, workload, seed, num_disks, recorder)
+    journal: Optional[Journal] = None
+    if journal_path is not None:
+        journal = Journal(
+            journal_path,
+            meta={
+                "source": "bench",
+                "workload": workload,
+                "target": target_kind,
+                "ops": ops,
+                "value_size": value_size,
+                "seed": seed,
+            },
+        )
+        journal.attach_recorder(recorder)
+    system = _Target(
+        target_kind, workload, seed, num_disks, recorder, journal=journal
+    )
+    victim = (
+        pick_mutant_victim(sequence) if mutant == "drop-delete" else None
+    )
+    if mutant is not None and victim is None:
+        raise ValueError(
+            f"mutant {mutant!r} found no victim op in workload "
+            f"{workload!r} (needs a delete later read back; try 'mixed')"
+        )
 
     outcomes = {"ok": 0, "not_found": 0}
     op_counts: Dict[str, int] = {}
     started = time.perf_counter_ns()
-    for op in sequence:
+    for index, op in enumerate(sequence):
         op_counts[op.op] = op_counts.get(op.op, 0) + 1
         begin = time.perf_counter_ns()
-        outcome = execute_op(system, op, value_size)
+        if index == victim:
+            # The seeded bug: the delete is silently dropped, but the
+            # journal records the success the client was told about.
+            assert journal is not None
+            journal.record_op("delete", key=op.key, out="ok")
+            outcome = "ok"
+        else:
+            outcome = execute_op(system, op, value_size)
         if slowdown_ns:
             deadline = time.perf_counter_ns() + slowdown_ns
             while time.perf_counter_ns() < deadline:
@@ -228,7 +309,7 @@ def run_bench(
         recorder.observe_latency(
             f"bench.{op.op}", time.perf_counter_ns() - begin
         )
-        outcomes[outcome] += 1
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
     wall_seconds = (time.perf_counter_ns() - started) / 1e9
     system.settle()
 
@@ -266,6 +347,16 @@ def run_bench(
     }
     if slowdown_ns:
         artifact["slowdown_ns_per_op"] = slowdown_ns
+    if journal is not None:
+        head = journal.close()
+        artifact["journal"] = {
+            "path": journal_path,
+            "records": journal.records_written,
+            "bytes": journal.bytes_written,
+            "head": head,
+        }
+    if mutant is not None:
+        artifact["mutant"] = {"name": mutant, "victim_op_index": victim}
     return artifact
 
 

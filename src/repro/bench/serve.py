@@ -25,8 +25,13 @@ import json
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Optional, Tuple
 
+from repro.evidence import TraceChecker
 from repro.shardstore import StorageNode
-from repro.shardstore.observability import TimingRecorder, render_prometheus
+from repro.shardstore.observability import (
+    Journal,
+    TimingRecorder,
+    render_prometheus,
+)
 from repro.shardstore.resilience import AdmissionConfig, BreakerState
 
 from .harness import _Target, execute_op
@@ -51,18 +56,29 @@ class MetricsDemoNode:
         warmup_ops: int = 400,
         ops_per_scrape: int = 25,
         admission: Optional[AdmissionConfig] = None,
+        journal_path: Optional[str] = None,
     ) -> None:
         self.seed = seed
         self.value_size = value_size
         self.ops_per_scrape = ops_per_scrape
         self.recorder = TimingRecorder()
+        # The evidence plane runs live: every op lands in the journal
+        # (in-memory unless a path is given) and is replayed against the
+        # reference model by an incremental trace checker, whose verdict
+        # is exported on /metrics and /healthz.
+        self.journal = Journal(
+            journal_path, meta={"source": "metrics-serve", "seed": seed}
+        )
+        self.journal.attach_recorder(self.recorder)
+        self.checker = TraceChecker()
+        self._fed = 0
         # The demo node runs the deadline-aware request plane by default:
         # healthy demo traffic never sheds, but the queue gauges, hedge
         # counters, and retry-budget token gauge are live on /metrics.
         self.admission = admission if admission is not None else AdmissionConfig()
         self._target = _Target(
             "node", "mixed", seed, num_disks, self.recorder,
-            admission=self.admission,
+            admission=self.admission, journal=self.journal,
         )
         self._epoch = 0
         self._sequence = generate_ops("mixed", _EPOCH_OPS, value_size, seed)
@@ -90,13 +106,35 @@ class MetricsDemoNode:
             )
             self._cursor += 1
 
+    def check_evidence(self) -> dict:
+        """Feed new journal records to the live checker; running verdict."""
+        while self._fed < len(self.journal.entries):
+            self.checker.feed(self.journal.entries[self._fed])
+            self._fed += 1
+        report = self.checker.report
+        return {
+            "journal_records": self.journal.records_written,
+            "journal_bytes": self.journal.bytes_written,
+            "chain_head": self.journal.head,
+            "violations": report.violation_count,
+            "passed": report.passed,
+        }
+
     def metrics_page(self) -> str:
         self.apply_traffic(self.ops_per_scrape)
+        evidence = self.check_evidence()
+        gauges = dict(self.node.health_snapshot()["gauges"])
+        gauges["journal.records"] = evidence["journal_records"]
+        gauges["journal.bytes"] = evidence["journal_bytes"]
+        # The 48-bit chain-head prefix fits a float gauge exactly; two
+        # scrapes with equal gauges saw the same journal prefix.
+        gauges["journal.chain_head"] = int(evidence["chain_head"][:12], 16)
+        gauges["evidence.violations"] = evidence["violations"]
         return render_prometheus(
             self.recorder.metrics.snapshot(),
             latency=self.recorder.latency_snapshot(),
             extra_counters=self.node.stats.snapshot(),
-            extra_gauges=self.node.health_snapshot()["gauges"],
+            extra_gauges=gauges,
         )
 
     def healthz(self) -> dict:
@@ -135,6 +173,7 @@ class MetricsDemoNode:
             "queues": queues,
             "queue_state": "degraded" if degraded_queues else "ok",
             "shards": len(node.keys()),
+            "evidence": self.check_evidence(),
         }
 
 

@@ -251,6 +251,48 @@ def _brownout_summary(
     return {"shards": per_shard, "totals": totals}
 
 
+def _evidence_summary(
+    results: List[ShardResult],
+) -> Optional[Dict[str, Any]]:
+    """The evidence-plane section (schema v5): per-shard journal digests
+    and trace-conformance verdicts (None unless ``--journal`` ran).
+
+    Everything here is deterministic: journals carry logical ticks and
+    digests only, so the section is byte-identical for any worker count.
+    """
+    import hashlib
+
+    shards = [
+        r
+        for r in results
+        if r.kind == KIND_INJECTION
+        and (r.injection or {}).get("evidence") is not None
+    ]
+    if not shards:
+        return None
+    per_shard: List[Dict[str, Any]] = []
+    totals = {"sequences": 0, "records": 0, "checked": 0, "skipped": 0}
+    all_passed = True
+    heads: List[str] = []
+    for result in shards:
+        block = dict((result.injection or {})["evidence"])
+        for key in totals:
+            totals[key] += int(block.get(key, 0))
+        all_passed = all_passed and bool(block.get("check_passed"))
+        heads.append(str(block.get("heads_digest")))
+        per_shard.append(
+            {"shard_id": result.shard_id, "seed": result.seed, **block}
+        )
+    return {
+        "shards": per_shard,
+        "totals": totals,
+        "all_passed": all_passed,
+        "heads_digest": hashlib.sha256(
+            "\n".join(heads).encode("ascii")
+        ).hexdigest()[:16],
+    }
+
+
 def _merged_metrics(results: List[ShardResult]) -> Optional[Dict[str, Any]]:
     """Merge every traced shard's metrics snapshot (None when untraced)."""
     from repro.shardstore.observability import merge_metrics
@@ -326,4 +368,7 @@ def result_to_json(outcome: CampaignResult) -> Dict[str, Any]:
     brownout = _brownout_summary(results)
     if brownout is not None:
         artifact["brownout"] = brownout
+    evidence = _evidence_summary(results)
+    if evidence is not None:
+        artifact["evidence"] = evidence
     return artifact

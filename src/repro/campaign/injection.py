@@ -88,7 +88,12 @@ from repro.shardstore.injection import (
     FaultPlan,
     PlannedFault,
 )
-from repro.shardstore.observability import NULL_RECORDER, Recorder, RingRecorder
+from repro.shardstore.observability import (
+    NULL_RECORDER,
+    Journal,
+    Recorder,
+    RingRecorder,
+)
 from repro.shardstore.resilience import (
     AdmissionConfig,
     BreakerConfig,
@@ -139,7 +144,9 @@ _NUM_EXTENTS = 12
 _DATA_EXTENTS = tuple(range(FIRST_DATA_EXTENT, _NUM_EXTENTS))
 
 
-def _storm_config(seed: int, recorder: Recorder) -> StoreConfig:
+def _storm_config(
+    seed: int, recorder: Recorder, journal: Optional[Journal] = None
+) -> StoreConfig:
     return StoreConfig(
         geometry=DiskGeometry(
             num_extents=_NUM_EXTENTS, extent_size=4096, page_size=128
@@ -147,6 +154,7 @@ def _storm_config(seed: int, recorder: Recorder) -> StoreConfig:
         seed=seed,
         recorder=recorder,
         retry_policy=RetryPolicy(),
+        journal=journal,
     )
 
 
@@ -222,9 +230,13 @@ class InjectionStoreHarness(StoreHarness):
         seed: int = 0,
         *,
         recorder: Recorder = NULL_RECORDER,
+        journal: Optional[Journal] = None,
     ) -> None:
         super().__init__(
-            None, seed, config=_storm_config(seed, recorder), recorder=recorder
+            None,
+            seed,
+            config=_storm_config(seed, recorder, journal),
+            recorder=recorder,
         )
         self.plan = plan
         self.injector = FaultInjector(plan)
@@ -407,10 +419,11 @@ class InjectionNodeHarness(Harness):
         breaker_enabled: bool = True,
         admission: Optional[AdmissionConfig] = None,
         recorder: Recorder = NULL_RECORDER,
+        journal: Optional[Journal] = None,
     ) -> None:
         self.node = StorageNode(
             num_disks=num_disks,
-            config=_storm_config(seed, recorder),
+            config=_storm_config(seed, recorder, journal),
             retry_policy=RetryPolicy(),
             breaker=(
                 BreakerConfig() if breaker_enabled else BreakerConfig.disabled()
@@ -744,6 +757,7 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
     shedding_enabled = bool(spec.param("shedding_enabled", True))
     admission_enabled = bool(spec.param("admission", storm))
     trace_enabled = bool(spec.param("trace", False))
+    journal_enabled = bool(spec.param("journal", False))
     admission: Optional[AdmissionConfig] = None
     if harness_kind == "node" and admission_enabled:
         admission = storm_admission(shedding_enabled)
@@ -790,6 +804,17 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
     failures: List[ShardFailure] = []
     cases = 0
     ops_run = 0
+    evidence: Optional[Dict[str, Any]] = None
+    if journal_enabled:
+        evidence = {
+            "sequences": 0,
+            "records": 0,
+            "checked": 0,
+            "skipped": 0,
+            "check_passed": True,
+            "violations": [],
+            "heads": [],
+        }
     for i in range(sequences):
         seed = spec.seed + i
         plan = FaultPlan.generate(
@@ -799,6 +824,21 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
             profile=profile,
             num_disks=num_disks if harness_kind == "node" else 0,
         )
+        # One journal per sequence: each sequence is its own fresh
+        # store/model pair, so each journal replays independently through
+        # the trace checker (in-memory; only digests reach the artifact).
+        journal: Optional[Journal] = None
+        if journal_enabled:
+            journal = Journal(
+                meta={
+                    "source": "campaign-injection",
+                    "harness": harness_kind,
+                    "profile": profile,
+                    "seed": seed,
+                }
+            )
+            if shard_recorder is not None:
+                journal.attach_recorder(shard_recorder)
         if harness_kind == "node":
             harness: Any = InjectionNodeHarness(
                 plan,
@@ -807,9 +847,12 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
                 breaker_enabled=breaker_enabled,
                 admission=admission,
                 recorder=recorder,
+                journal=journal,
             )
         else:
-            harness = InjectionStoreHarness(plan, seed, recorder=recorder)
+            harness = InjectionStoreHarness(
+                plan, seed, recorder=recorder, journal=journal
+            )
         sequence = alphabet.generate_sequence(
             random.Random(seed), ops, BiasConfig(), **ctx_kwargs
         )
@@ -849,6 +892,25 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
             totals["retries"] += harness.store.retry_count
             totals["repaired"] += len(harness.repaired_keys)
             totals["quarantined"] += len(harness.quarantined_keys)
+        if journal is not None and evidence is not None:
+            from repro.evidence import check_journal
+
+            head = journal.close()
+            if shard_recorder is not None:
+                shard_recorder.journal = None
+            report = check_journal(journal.entries, require_seal=True)
+            evidence["sequences"] += 1
+            evidence["records"] += journal.records_written
+            evidence["checked"] += report.checked
+            evidence["skipped"] += report.skipped
+            evidence["heads"].append(head)
+            if not report.passed:
+                evidence["check_passed"] = False
+                for violation in report.violations[:4]:
+                    if len(evidence["violations"]) < 16:
+                        evidence["violations"].append(
+                            {"seed": seed, **violation}
+                        )
         if failure is not None:
             snap = shard_recorder.snapshot() if shard_recorder else None
             failures.append(
@@ -863,6 +925,24 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
             )
             break
     shard_snap = shard_recorder.snapshot() if shard_recorder else None
+    injection_block: Dict[str, Any] = {
+        "harness": harness_kind,
+        "profile": profile,
+        "breaker_enabled": breaker_enabled,
+        "admission_enabled": admission is not None,
+        "shedding_enabled": shedding_enabled,
+        **totals,
+    }
+    if evidence is not None:
+        # Collapse per-sequence chain heads into one digest: equal digests
+        # mean byte-identical journals, regardless of worker count.
+        import hashlib
+
+        heads = evidence.pop("heads")
+        evidence["heads_digest"] = hashlib.sha256(
+            "\n".join(heads).encode("ascii")
+        ).hexdigest()[:16]
+        injection_block["evidence"] = evidence
     return ShardResult(
         shard_id=spec.shard_id,
         kind=spec.kind,
@@ -871,14 +951,7 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
         ops=ops_run,
         failures=failures,
         detector="failure-injection conformance (section 4.4)",
-        injection={
-            "harness": harness_kind,
-            "profile": profile,
-            "breaker_enabled": breaker_enabled,
-            "admission_enabled": admission is not None,
-            "shedding_enabled": shedding_enabled,
-            **totals,
-        },
+        injection=injection_block,
         metrics=shard_snap["metrics"] if shard_snap else None,
         fault_events=shard_snap["fault_events"] if shard_snap else None,
         trace=shard_snap["trace"] if shard_snap else None,

@@ -108,6 +108,7 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
                     breaker_enabled=spec.breaker_enabled,
                     shedding_enabled=spec.shedding_enabled,
                     trace=spec.trace,
+                    journal=spec.journal,
                 )
             )
 

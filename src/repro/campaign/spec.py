@@ -26,7 +26,11 @@ from typing import Any, Dict, List, Optional, Tuple
 #: v4: adds the brownout/overload storm dimension -- injection blocks gain
 #: admission/shedding identity plus shed/hedge/slow-trip/deadline-violation
 #: counters, and the aggregate gains a top-level ``brownout`` section.
-SCHEMA_VERSION = 4
+#: v5: adds the evidence plane -- journaled injection shards carry
+#: per-shard journal record counts, chained journal digests, and
+#: trace-conformance verdicts; the aggregate gains a top-level
+#: ``evidence`` section.
+SCHEMA_VERSION = 5
 
 #: Campaign suites: which slice of the shard plan a run compiles.  The CLI
 #: builds its ``--suite`` choices and help text from this registry, so a
@@ -209,6 +213,11 @@ class CampaignSpec:
     # by conformance, crash, and fault-matrix shards; the artifact then
     # carries metrics, fault-event logs, and failure traces
     trace: bool = False
+    #: Evidence plane: journal every injection-shard op sequence into an
+    #: in-memory chained journal, replay it through the trace checker in
+    #: the shard, and record journal digests + check verdicts (schema v5
+    #: ``evidence`` sections).  Deterministic across workers.
+    journal: bool = False
 
 
 def smoke_spec(
@@ -219,6 +228,7 @@ def smoke_spec(
     suite: str = "full",
     breaker_enabled: bool = True,
     shedding_enabled: bool = True,
+    journal: bool = False,
 ) -> CampaignSpec:
     """The per-commit CI profile: every phase, small budgets (~tens of
     seconds on two workers), still detecting all 16 Fig. 5 bugs."""
@@ -246,5 +256,6 @@ def smoke_spec(
         injection_ops=40,
         breaker_enabled=breaker_enabled,
         shedding_enabled=shedding_enabled,
+        journal=journal,
         coverage=True,
     )

@@ -16,6 +16,9 @@ is that knob — each subcommand is one checker with its budget exposed:
     python -m repro trace --from-artifact out.json
     python -m repro bench --workload mixed --ops 2000 --seed 7 --output bench.json
     python -m repro bench --workload mixed --check-baseline benchmarks/baselines.json
+    python -m repro bench --workload mixed --journal ops.jsonl
+    python -m repro check-trace ops.jsonl --require-seal
+    python -m repro invariants ops.jsonl other.jsonl
     python -m repro metrics-serve --port 9464
 
 Exit status is 0 when every check passed and 1 when any found an issue,
@@ -253,6 +256,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             suite=args.suite,
             breaker_enabled=not args.no_breaker,
             shedding_enabled=not args.no_shedding,
+            journal=args.journal,
         )
     else:
         spec = CampaignSpec(
@@ -263,6 +267,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             suite=args.suite,
             breaker_enabled=not args.no_breaker,
             shedding_enabled=not args.no_shedding,
+            journal=args.journal,
         )
     result = run_campaign(spec, log=print)
     artifact = result.to_json()
@@ -369,9 +374,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
     from repro.shardstore.observability import (
+        filter_trace,
         render_fault_events,
         render_trace,
     )
+
+    def narrowed(events):
+        if args.component is None and args.op is None:
+            return list(events)
+        return filter_trace(events, component=args.component, op=args.op)
 
     if args.from_artifact:
         artifact = _load_artifact(args.from_artifact)
@@ -390,13 +401,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 continue
             sections += 1
             if args.json:
-                json_out["failures"].append(failure)
+                json_out["failures"].append(
+                    {**failure, "trace": narrowed(failure["trace"])}
+                )
                 continue
             print(
                 f"== failure shard={failure.get('shard_id')} "
                 f"seed={failure.get('seed')}: {failure.get('detail')}"
             )
-            print(render_trace(failure["trace"]))
+            print(render_trace(narrowed(failure["trace"])))
             if failure.get("fault_events"):
                 print("fault events:")
                 print(render_fault_events(failure["fault_events"]))
@@ -408,11 +421,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 continue
             sections += 1
             if args.json:
-                json_out["fault_matrix"].append(row)
+                json_out["fault_matrix"].append(
+                    {**row, "trace": narrowed(row["trace"])}
+                )
                 continue
             detected = "detected" if row.get("detected") else "MISSED"
             print(f"== fault #{row['id']} {row['fault']} ({detected})")
-            print(render_trace(row["trace"]))
+            print(render_trace(narrowed(row["trace"])))
             if row.get("fault_events"):
                 print("fault events:")
                 print(render_fault_events(row["fault_events"]))
@@ -426,10 +441,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 0
     snapshot = _demo_snapshot(args.seed)
     if args.json:
-        json.dump({"trace": snapshot["trace"]}, sys.stdout, indent=2)
+        json.dump({"trace": narrowed(snapshot["trace"])}, sys.stdout, indent=2)
         print()
         return 0
-    print(render_trace(snapshot["trace"]))
+    print(
+        render_trace(
+            narrowed(snapshot["trace"]),
+            dropped=snapshot.get("trace_dropped", 0),
+        )
+    )
     return 0
 
 
@@ -447,15 +467,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         update_baselines,
     )
 
-    artifact = run_bench(
-        args.workload,
-        ops=args.ops,
-        value_size=args.value_size,
-        seed=args.seed,
-        target=args.target,
-        num_disks=args.num_disks,
-        slowdown_ns=int(args.slowdown_us * 1000),
-    )
+    try:
+        artifact = run_bench(
+            args.workload,
+            ops=args.ops,
+            value_size=args.value_size,
+            seed=args.seed,
+            target=args.target,
+            num_disks=args.num_disks,
+            slowdown_ns=int(args.slowdown_us * 1000),
+            journal_path=args.journal,
+            mutant=args.mutant,
+        )
+    except ValueError as exc:
+        print(f"bench setup error: {exc}")
+        return 2
     overall = artifact["latency_ns"]["all"]
     print(
         f"{args.workload}: {artifact['ops']} ops on {artifact['target']} "
@@ -470,6 +496,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"  {component:<10} busy {digest['share_of_wall']:>6.1%} "
             f"p50={digest['p50']:,}ns ({digest['count']:,} sections)"
+        )
+    if "journal" in artifact:
+        journal = artifact["journal"]
+        print(
+            f"  journal {journal['path']}: {journal['records']:,} records, "
+            f"{journal['bytes']:,} bytes, head {journal['head']}"
+        )
+    if "mutant" in artifact:
+        mutant = artifact["mutant"]
+        print(
+            f"  MUTANT {mutant['name']} active (victim op index "
+            f"{mutant['victim_op_index']}); repro check-trace must flag "
+            "this journal"
         )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -518,7 +557,113 @@ def _cmd_metrics_serve(args: argparse.Namespace) -> int:
         num_disks=args.num_disks,
         warmup_ops=args.warmup_ops,
         ops_per_scrape=args.ops_per_scrape,
+        journal_path=args.journal,
     )
+
+
+def _cmd_check_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.evidence import check_file
+    from repro.shardstore.observability import JournalError
+
+    try:
+        report = check_file(args.journal, require_seal=args.require_seal)
+    except JournalError as exc:
+        print(f"cannot read journal {args.journal}: {exc}")
+        return 2
+    verdict = report.to_json()
+    if args.expect_head and report.head != args.expect_head:
+        verdict["passed"] = False
+        verdict["violations"].append(
+            {
+                "record": None,
+                "problem": (
+                    f"chain head {report.head} != expected {args.expect_head}"
+                ),
+            }
+        )
+    if args.json:
+        json.dump(verdict, sys.stdout, indent=2)
+        print()
+        return 0 if verdict["passed"] else 1
+    status = "PASS" if verdict["passed"] else "FAIL"
+    sealed = "sealed" if report.sealed else "UNSEALED"
+    print(
+        f"{status} {args.journal}: {report.records} records / {report.ops} "
+        f"ops replayed against the reference model ({sealed}, head "
+        f"{report.head})"
+    )
+    print(
+        f"  {report.checked} state assertions checked, {report.skipped} "
+        f"skipped for crash uncertainty, {report.sheds} sheds proven "
+        "state-preserving"
+    )
+    for violation in verdict["violations"]:
+        where = (
+            f"op {violation['op']} tick {violation['tick']}"
+            if violation.get("op") is not None
+            else f"record {violation.get('record')}"
+        )
+        print(f"  VIOLATION at {where}: {violation['problem']}")
+    if report.violation_count > len(report.violations):
+        print(
+            f"  ... and {report.violation_count - len(report.violations)} "
+            "more violations"
+        )
+    return 0 if verdict["passed"] else 1
+
+
+def _cmd_invariants(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.evidence import mine_journals
+    from repro.shardstore.observability import JournalError, read_journal
+
+    journals = []
+    for path in args.journals:
+        try:
+            journals.append(read_journal(path))
+        except JournalError as exc:
+            print(f"cannot read journal {path}: {exc}")
+            return 2
+    results = mine_journals(journals)
+    failed = [
+        res for res in results if res.promoted and res.status == "falsified"
+    ]
+    if args.json:
+        json.dump(
+            {
+                "journals": list(args.journals),
+                "passed": not failed,
+                "invariants": [res.to_json() for res in results],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+        return 1 if failed else 0
+    print(
+        f"mined {len(results)} candidate invariants from "
+        f"{len(journals)} journal(s):"
+    )
+    for res in results:
+        tier = "promoted" if res.promoted else "exploratory"
+        line = (
+            f"  {res.status.upper():<9} {res.name:<22} [{tier}] "
+            f"{res.instances:,} instances"
+        )
+        if res.status == "falsified":
+            line += (
+                f" -- witness op {res.witness_op} tick {res.witness_tick}: "
+                f"{res.detail}"
+            )
+        print(line)
+    if failed:
+        print(f"FAIL: {len(failed)} promoted invariant(s) falsified")
+        return 1
+    print("PASS: no promoted invariant falsified")
+    return 0
 
 
 def _cmd_loc(args: argparse.Namespace) -> int:
@@ -614,6 +759,13 @@ def build_parser() -> argparse.ArgumentParser:
         "shedding disabled (storm shards are expected to FAIL their "
         "deadline_violations == 0 gate)",
     )
+    campaign.add_argument(
+        "--journal",
+        action="store_true",
+        help="journal every injection-shard op and replay each sequence "
+        "journal through the trace checker; verdicts and chained digests "
+        "land in the artifact's evidence section (schema v5)",
+    )
     campaign.set_defaults(fn=_cmd_campaign)
 
     stats = sub.add_parser(
@@ -643,6 +795,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--fault", help="only render the matrix row for this Fault name"
+    )
+    trace.add_argument(
+        "--component",
+        help="only show entries for one component (e.g. disk, lsm, cache, "
+        "sched, node, op)",
+    )
+    trace.add_argument(
+        "--op",
+        metavar="NAME",
+        help="only show top-level spans with this name (e.g. put, get) "
+        "and everything nested inside them",
     )
     trace.add_argument(
         "--seed", type=int, default=0, help="seed for the live demo workload"
@@ -703,6 +866,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a synthetic per-op busy-wait (microseconds) to "
         "demonstrate the regression gate failing",
     )
+    from repro.bench.harness import MUTANTS as _MUTANTS
+
+    bench.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="stream every op into a chained JSONL evidence journal "
+        "(deterministic bytes; feed it to repro check-trace / invariants)",
+    )
+    bench.add_argument(
+        "--mutant",
+        choices=_MUTANTS,
+        default=None,
+        help="seed an implementation bug whose journal still looks honest; "
+        "the negative control for repro check-trace (requires --journal)",
+    )
     bench.set_defaults(fn=_cmd_bench)
 
     metrics_serve = sub.add_parser(
@@ -725,7 +903,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=25,
         help="fresh traffic applied on every /metrics scrape",
     )
+    metrics_serve.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="also persist the live op journal here (it is always kept "
+        "in memory for the /metrics evidence gauges)",
+    )
     metrics_serve.set_defaults(fn=_cmd_metrics_serve)
+
+    check_trace = sub.add_parser(
+        "check-trace",
+        help="replay an op journal against the reference model "
+        "(trace-conformance evidence)",
+    )
+    check_trace.add_argument("journal", help="journal JSONL path")
+    check_trace.add_argument(
+        "--require-seal",
+        action="store_true",
+        help="treat a missing seal record (truncated tail) as a violation",
+    )
+    check_trace.add_argument(
+        "--expect-head",
+        metavar="DIGEST",
+        help="also require the chain head to equal this digest (binds the "
+        "journal to a bench/campaign artifact)",
+    )
+    check_trace.add_argument(
+        "--json", action="store_true", help="emit the verdict as JSON"
+    )
+    check_trace.set_defaults(fn=_cmd_check_trace)
+
+    invariants = sub.add_parser(
+        "invariants",
+        help="mine Daikon-style candidate invariants from op journals",
+    )
+    invariants.add_argument(
+        "journals", nargs="+", help="journal JSONL path(s)"
+    )
+    invariants.add_argument(
+        "--json", action="store_true", help="emit results as JSON"
+    )
+    invariants.set_defaults(fn=_cmd_invariants)
 
     fuzz = sub.add_parser("fuzz", help="deserializer panic-freedom checking")
     fuzz.add_argument("--iterations", type=int, default=10_000)

@@ -1,0 +1,493 @@
+"""Trace-conformance checker: replay an op journal against the model.
+
+This is the "eXtreme Modelling" side of the evidence plane: any live run
+that produced a journal -- ``repro bench``, the metrics demo node, a
+campaign shard -- becomes conformance evidence *after the fact*, without
+re-running it.  The checker replays every journaled operation against the
+flat :class:`~repro.models.kvstore.ReferenceKvStore` specification (over
+key/value *digests*; journals never carry raw bytes):
+
+* ``put``/``get``/``delete``/``contains``/``keys`` outcomes must agree
+  with the model;
+* typed sheds (``shed_overload``/``shed_deadline``) are raised **before
+  any substrate IO**, so a shed op must provably not have mutated state;
+* ``error:*`` outcomes leave the op's effect *uncertain*: the key's
+  possible states widen to cover both applied and not-applied, and the
+  next successful observation collapses them;
+* crash semantics: a ``dirty`` reboot widens every key mutated since the
+  last durability barrier (a clean reboot, or a ``flush`` followed by a
+  quiescent ``drain``) to the set of values it held since that barrier.
+
+The candidate-set treatment keeps the checker *sound* (a reported
+violation is a real divergence between journal and specification) while
+staying useful under fault injection and crash workloads.
+
+The checker also enforces the promoted invariant set inline: the hash
+chain must verify, op ids must be strictly monotone, and logical ticks
+must be non-decreasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.models.kvstore import ReferenceKvStore
+from repro.shardstore.observability.journal import (
+    GENESIS_CHAIN,
+    canonical_json,
+    chain_digest,
+    digest_key_digests,
+    read_journal,
+)
+
+__all__ = ["ABSENT", "CheckReport", "TraceChecker", "check_file", "check_journal"]
+
+#: Sentinel "value" meaning the key is absent (not a hex digest).
+ABSENT = "<absent>"
+
+#: Cap on retained violation detail records (the count keeps counting).
+MAX_VIOLATIONS = 64
+
+#: Outcomes that must not have touched state (shed before any IO).
+_SHED_OUTCOMES = ("shed_overload", "shed_deadline")
+
+
+@dataclass
+class CheckReport:
+    """The verdict of one journal replay."""
+
+    records: int = 0
+    ops: int = 0
+    checked: int = 0  # ops that carried a state assertion
+    skipped: int = 0  # checks skipped for soundness (crash uncertainty)
+    sheds: int = 0
+    violation_count: int = 0
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    chain_ok: bool = True
+    sealed: bool = False
+    head: str = GENESIS_CHAIN
+
+    @property
+    def passed(self) -> bool:
+        return self.violation_count == 0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "records": self.records,
+            "ops": self.ops,
+            "checked": self.checked,
+            "skipped": self.skipped,
+            "sheds": self.sheds,
+            "chain_ok": self.chain_ok,
+            "sealed": self.sealed,
+            "head": self.head,
+            "violation_count": self.violation_count,
+            "violations": list(self.violations),
+        }
+
+
+class TraceChecker:
+    """Incremental journal replayer; feed records in write order.
+
+    Also usable live: the metrics demo node feeds its in-memory journal's
+    records as they are produced and exports the running violation count
+    as a gauge.
+    """
+
+    def __init__(self) -> None:
+        self.model = ReferenceKvStore()
+        self.report = CheckReport()
+        # Keys whose current value is uncertain: digest -> candidate set.
+        self._maybe: Dict[str, Set[str]] = {}
+        # Per-key values written since the last durability barrier, and the
+        # candidate snapshot from just before the first such write.
+        self._written: Dict[str, Set[str]] = {}
+        self._base: Dict[str, Set[str]] = {}
+        self._counts: Dict[str, int] = {}
+        self._chain = GENESIS_CHAIN
+        self._last_op_id = 0
+        self._last_tick: Optional[int] = None
+        self._last_flush = -1
+        self._last_mutation = 0
+        self._index = -1
+        self._sealed_at: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # model helpers (digest-level view of ReferenceKvStore)
+
+    def _model_get(self, kd: str) -> str:
+        key = kd.encode("ascii")
+        if self.model.contains(key):
+            return self.model.get(key).decode("ascii")
+        return ABSENT
+
+    def _current(self, kd: str) -> Set[str]:
+        if kd in self._maybe:
+            return set(self._maybe[kd])
+        return {self._model_get(kd)}
+
+    def _set_certain(self, kd: str, vd: str) -> None:
+        self._maybe.pop(kd, None)
+        key = kd.encode("ascii")
+        if vd == ABSENT:
+            if self.model.contains(key):
+                self.model.delete(key)
+        else:
+            self.model.put(key, vd.encode("ascii"))
+
+    def _snapshot_base(self, kd: str) -> None:
+        if kd not in self._written:
+            self._base[kd] = self._current(kd)
+            self._written[kd] = set()
+
+    def _mutate(self, kd: str, vd: str) -> None:
+        """A certain write: the op provably applied."""
+        self._snapshot_base(kd)
+        self._written[kd].add(vd)
+        self._set_certain(kd, vd)
+        self._last_mutation = self._index
+
+    def _weak_mutate(self, kd: str, vd: str) -> None:
+        """An ``error:*`` write: may or may not have applied."""
+        self._snapshot_base(kd)
+        self._written[kd].add(vd)
+        self._maybe[kd] = self._current(kd) | {vd}
+        self._last_mutation = self._index
+
+    def _observe(self, entry: Dict[str, Any], kd: str, vd: str) -> None:
+        current = self._current(kd)
+        self.report.checked += 1
+        if vd not in current:
+            expected = ", ".join(sorted(current)) or ABSENT
+            self._violate(
+                entry,
+                f"observed {vd!r} but the model allows only {{{expected}}}",
+            )
+            return
+        self._set_certain(kd, vd)
+
+    def _observe_presence(self, entry: Dict[str, Any], kd: str, present: bool) -> None:
+        current = self._current(kd)
+        self.report.checked += 1
+        if present:
+            values = {v for v in current if v != ABSENT}
+            if not values:
+                self._violate(entry, "reported present but the model says absent")
+            elif len(values) == 1:
+                self._set_certain(kd, next(iter(values)))
+            else:
+                self._maybe[kd] = values
+        else:
+            if ABSENT not in current:
+                self._violate(entry, "reported absent but the model says present")
+            else:
+                self._set_certain(kd, ABSENT)
+
+    def _barrier(self) -> None:
+        """Everything written so far is durable: crash uncertainty resets."""
+        self._written.clear()
+        self._base.clear()
+
+    def _crash(self) -> None:
+        """A dirty reboot: keys mutated since the barrier may have lost
+        writes; each widens to every value it held since then."""
+        for kd, written in self._written.items():
+            candidates = self._current(kd) | written | self._base.get(kd, set())
+            if len(candidates) == 1:
+                self._set_certain(kd, next(iter(candidates)))
+            else:
+                self._maybe[kd] = candidates
+        self._written.clear()
+        self._base.clear()
+
+    def _violate(self, entry: Dict[str, Any], problem: str) -> None:
+        self.report.violation_count += 1
+        if len(self.report.violations) < MAX_VIOLATIONS:
+            self.report.violations.append(
+                {
+                    "record": self._index,
+                    "op": entry.get("op"),
+                    "tick": entry.get("tick"),
+                    "kind": entry.get("kind"),
+                    "key": entry.get("key"),
+                    "out": entry.get("out"),
+                    "problem": problem,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # record feed
+
+    def feed(self, entry: Dict[str, Any]) -> None:
+        """Replay one journal record (in write order)."""
+        self._index += 1
+        self.report.records += 1
+        self._feed_chain(entry)
+        kind = entry.get("kind")
+        if self._sealed_at is not None:
+            self._violate(entry, "record appears after the seal")
+            return
+        if kind == "genesis":
+            if self._index != 0:
+                self._violate(entry, "genesis record is not first")
+            return
+        if self._index == 0:
+            self._violate(entry, "journal does not start with a genesis record")
+        self._feed_sequencing(entry)
+        if kind == "seal":
+            self._feed_seal(entry)
+            return
+        out = entry.get("out", "ok")
+        self._bump(kind, out)
+        if kind == "breaker":
+            return  # evidence for the miner; no key-value state effect
+        self.report.ops += 1
+        if out in _SHED_OUTCOMES:
+            # Sheds fire before any substrate IO: provably no state change.
+            self.report.sheds += 1
+            self.report.checked += 1
+            return
+        handler = getattr(self, f"_op_{kind}", None)
+        if handler is not None:
+            handler(entry, out)
+
+    def _feed_chain(self, entry: Dict[str, Any]) -> None:
+        stored = entry.get("chain")
+        body = {name: val for name, val in entry.items() if name != "chain"}
+        expected = chain_digest(self._chain, canonical_json(body))
+        if stored != expected:
+            self.report.chain_ok = False
+            self._violate(
+                entry,
+                "chain digest mismatch: record tampered, reordered, or a "
+                "predecessor deleted",
+            )
+            self._chain = stored if isinstance(stored, str) else expected
+        else:
+            self._chain = expected
+        self.report.head = self._chain
+
+    def _feed_sequencing(self, entry: Dict[str, Any]) -> None:
+        op_id = entry.get("op")
+        if isinstance(op_id, int):
+            if op_id <= self._last_op_id:
+                self._violate(
+                    entry, f"op id {op_id} not above predecessor {self._last_op_id}"
+                )
+            self._last_op_id = max(self._last_op_id, op_id)
+        tick = entry.get("tick")
+        if isinstance(tick, int):
+            if self._last_tick is not None and tick < self._last_tick:
+                self._violate(
+                    entry, f"tick {tick} went backwards (was {self._last_tick})"
+                )
+            self._last_tick = max(self._last_tick or 0, tick)
+
+    def _feed_seal(self, entry: Dict[str, Any]) -> None:
+        self._sealed_at = self._index
+        self.report.sealed = True
+        counts = entry.get("counts")
+        if isinstance(counts, dict):
+            mismatches = [
+                name
+                for name in set(counts) | set(self._counts)
+                if counts.get(name, 0) != self._counts.get(name, 0)
+            ]
+            if mismatches:
+                self._violate(
+                    entry,
+                    "seal counter relations do not match the replay: "
+                    + ", ".join(sorted(mismatches)),
+                )
+        records = entry.get("records")
+        if isinstance(records, int) and records != self._index + 1:
+            self._violate(
+                entry,
+                f"seal claims {records} records but {self._index + 1} were fed",
+            )
+
+    def _bump(self, kind: Any, out: str) -> None:
+        name = f"{kind}:{out}"
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    # per-kind semantics
+
+    def _op_put(self, entry: Dict[str, Any], out: str) -> None:
+        kd, vd = entry.get("key"), entry.get("value")
+        if kd is None or vd is None:
+            self._violate(entry, "put record missing key/value digest")
+            return
+        if out == "ok":
+            self._mutate(kd, vd)
+            self.report.checked += 1
+        elif out.startswith("error:"):
+            self._weak_mutate(kd, vd)
+        else:
+            self._violate(entry, f"impossible put outcome {out!r}")
+
+    def _op_get(self, entry: Dict[str, Any], out: str) -> None:
+        kd = entry.get("key")
+        if kd is None:
+            self._violate(entry, "get record missing key digest")
+            return
+        if out == "ok":
+            vd = entry.get("value")
+            if vd is None:
+                self._violate(entry, "get ok record missing value digest")
+                return
+            self._observe(entry, kd, vd)
+        elif out == "not_found":
+            self._observe(entry, kd, ABSENT)
+        # error:* makes no state claim (the read failed).
+
+    def _op_delete(self, entry: Dict[str, Any], out: str) -> None:
+        kd = entry.get("key")
+        if kd is None:
+            self._violate(entry, "delete record missing key digest")
+            return
+        if out == "ok":
+            current = self._current(kd)
+            self.report.checked += 1
+            if not any(v != ABSENT for v in current):
+                self._violate(
+                    entry, "delete succeeded but the model says the key is absent"
+                )
+                return
+            self._mutate(kd, ABSENT)
+        elif out == "not_found":
+            self._observe(entry, kd, ABSENT)
+        elif out.startswith("error:"):
+            self._weak_mutate(kd, ABSENT)
+
+    def _op_contains(self, entry: Dict[str, Any], out: str) -> None:
+        kd = entry.get("key")
+        if out == "ok" and kd is not None:
+            self._observe_presence(entry, kd, bool(entry.get("result")))
+
+    def _op_keys(self, entry: Dict[str, Any], out: str) -> None:
+        if out != "ok":
+            return
+        if self._maybe:
+            # Some key's presence is crash-uncertain: a set-level digest
+            # comparison would not be sound, so skip (counted).
+            self.report.skipped += 1
+            return
+        expected_keys = sorted(k.decode("ascii") for k in self.model.keys())
+        self.report.checked += 1
+        n = entry.get("n")
+        if isinstance(n, int) and n != len(expected_keys):
+            self._violate(
+                entry,
+                f"keys reported {n} entries but the model has "
+                f"{len(expected_keys)}",
+            )
+            return
+        digest = entry.get("keys_digest")
+        if digest is not None and digest != digest_key_digests(expected_keys):
+            self._violate(entry, "keys digest differs from the model's key set")
+
+    def _op_flush(self, entry: Dict[str, Any], out: str) -> None:
+        if out == "ok":
+            self._last_flush = self._index
+
+    def _op_drain(self, entry: Dict[str, Any], out: str) -> None:
+        # A drain that completed after a flush, with no mutation in
+        # between, is a durability barrier: everything previously written
+        # is on the medium.
+        if out == "ok" and self._last_flush > self._last_mutation:
+            self._barrier()
+
+    def _op_reboot(self, entry: Dict[str, Any], out: str) -> None:
+        mode = entry.get("mode")
+        if out == "ok" and mode == "clean":
+            self._barrier()
+        else:
+            # Dirty reboot, re-entrant recovery, or a reboot that errored:
+            # all widen crash uncertainty.
+            self._crash()
+
+    def _op_scrub_repair(self, entry: Dict[str, Any], out: str) -> None:
+        if out != "ok":
+            return
+        # Quarantine removes unrecoverable keys from the index.  Treated
+        # as a *weak* delete: under fault injection a partially-failing
+        # disk may have quarantined keys that never made the report, so
+        # widening (rather than asserting) stays sound; the next
+        # observation collapses it.
+        for kd in entry.get("quarantined") or []:
+            self._snapshot_base(kd)
+            self._written[kd].add(ABSENT)
+            self._maybe[kd] = self._current(kd) | {ABSENT}
+        # Repairs rewrite the same value: no model effect.
+
+    # Control-plane ops with no key-value mapping effect (the reference
+    # model treats migration and disk service changes as no-ops).
+    def _op_migrate(self, entry: Dict[str, Any], out: str) -> None:
+        pass
+
+    def _op_remove_disk(self, entry: Dict[str, Any], out: str) -> None:
+        pass
+
+    def _op_return_disk(self, entry: Dict[str, Any], out: str) -> None:
+        pass
+
+    def _op_bulk_create(self, entry: Dict[str, Any], out: str) -> None:
+        items = entry.get("items") or []
+        if out == "ok":
+            self.report.checked += 1
+            for kd, vd in items:
+                self._mutate(kd, vd)
+        elif out.startswith("error:"):
+            for kd, vd in items:
+                self._weak_mutate(kd, vd)
+
+    def _op_bulk_delete(self, entry: Dict[str, Any], out: str) -> None:
+        items = entry.get("items") or []
+        if out == "ok":
+            self.report.checked += 1
+            for kd in items:
+                # bulk_delete skips absent keys silently (atomic best
+                # effort): present keys are removed, absent keys ignored.
+                if any(v != ABSENT for v in self._current(kd)):
+                    self._mutate(kd, ABSENT)
+        elif out.startswith("error:"):
+            for kd in items:
+                self._weak_mutate(kd, ABSENT)
+
+    # ------------------------------------------------------------------
+
+    def finish(self, *, require_seal: bool = False) -> CheckReport:
+        """Final verdict; with ``require_seal`` an unsealed journal (a
+        truncated tail) is itself a violation."""
+        if require_seal and not self.report.sealed:
+            self.report.violation_count += 1
+            self.report.violations.append(
+                {
+                    "record": self._index,
+                    "op": None,
+                    "tick": None,
+                    "kind": "seal",
+                    "key": None,
+                    "out": None,
+                    "problem": "journal has no seal record (truncated tail?)",
+                }
+            )
+        return self.report
+
+
+def check_journal(
+    entries: List[Dict[str, Any]], *, require_seal: bool = False
+) -> CheckReport:
+    """Replay a parsed journal and return the verdict."""
+    checker = TraceChecker()
+    for entry in entries:
+        checker.feed(entry)
+    return checker.finish(require_seal=require_seal)
+
+
+def check_file(path: str, *, require_seal: bool = False) -> CheckReport:
+    """Replay a journal file and return the verdict."""
+    return check_journal(read_journal(path), require_seal=require_seal)

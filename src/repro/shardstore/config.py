@@ -8,6 +8,7 @@ from typing import Optional, Tuple
 from .disk import DiskGeometry
 from .faults import FaultSet
 from .observability import NULL_RECORDER, Recorder
+from .observability.journal import Journal
 from .resilience import RetryPolicy
 
 #: Extents 0 and 1 alternate as the superblock log (section 2.1's extent 0).
@@ -65,6 +66,12 @@ class StoreConfig:
     #: matrix detects against; the node layer and the injection campaign
     #: opt in explicitly.
     retry_policy: Optional[RetryPolicy] = None
+    #: Evidence-plane op journal (see :mod:`repro.shardstore.observability.
+    #: journal`).  ``None`` (the default) keeps the request plane free of
+    #: journaling entirely; a :class:`StorageNode` propagates one shared
+    #: instance into its per-disk stores, and the journal's nesting guard
+    #: ensures each client-visible operation emits exactly one record.
+    journal: Optional[Journal] = None
 
     def __post_init__(self) -> None:
         if self.geometry.num_extents < FIRST_DATA_EXTENT + 2:

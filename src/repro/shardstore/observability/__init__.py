@@ -28,6 +28,18 @@ from .metrics import (
     percentile_from_snapshot,
     percentiles_from_snapshot,
 )
+from .journal import (
+    GENESIS_CHAIN,
+    JOURNAL_VERSION,
+    Journal,
+    JournalError,
+    classify_error,
+    digest_bytes,
+    digest_keys,
+    journal_head,
+    read_journal,
+    verify_chain,
+)
 from .prometheus import render_prometheus
 from .recorder import (
     DEFAULT_TRACE_CAPACITY,
@@ -39,6 +51,7 @@ from .recorder import (
     RingRecorder,
 )
 from .render import (
+    filter_trace,
     render_fault_events,
     render_metrics,
     render_snapshot,
@@ -58,6 +71,16 @@ __all__ = [
     "counter_value",
     "HISTOGRAM_BOUNDS",
     "LATENCY_BOUNDS_NS",
+    "GENESIS_CHAIN",
+    "JOURNAL_VERSION",
+    "Journal",
+    "JournalError",
+    "classify_error",
+    "digest_bytes",
+    "digest_keys",
+    "journal_head",
+    "read_journal",
+    "verify_chain",
     "Recorder",
     "TimingRecorder",
     "component_of_latency",
@@ -68,6 +91,7 @@ __all__ = [
     "NULL_SPAN",
     "DEFAULT_TRACE_CAPACITY",
     "MAX_FAULT_EVENTS",
+    "filter_trace",
     "render_metrics",
     "render_fault_events",
     "render_trace",

@@ -125,19 +125,33 @@ class RingRecorder(Recorder):
 
     enabled = True
 
+    #: Optional :class:`~repro.shardstore.observability.journal.Journal`
+    #: this recorder streams trace entries into (set by
+    #: ``Journal.attach_recorder``); class attribute so the hot path pays
+    #: one attribute check when no journal is attached.
+    journal: Any = None
+
     def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
         self.capacity = capacity
         self.events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
         self.metrics = Metrics()
         self.fault_events: List[Dict[str, Any]] = []
         self.fault_events_dropped = 0
+        #: Events evicted from the ring by overflow -- surfaced in
+        #: ``snapshot()``/``stats``/``trace`` so truncation is never silent.
+        self.trace_dropped = 0
         self._tick = 0
         self._depth = 0
 
     def _emit(self, entry: Dict[str, Any]) -> None:
         self._tick += 1
         entry["tick"] = self._tick
+        if len(self.events) == self.capacity:
+            self.trace_dropped += 1
+            self.metrics.count("trace.dropped")
         self.events.append(entry)
+        if self.journal is not None:
+            self.journal.on_trace_entry(entry)
 
     def span(self, name: str, **fields: Any) -> _Span:
         entry: Dict[str, Any] = {"type": "span", "name": name, "depth": self._depth}
@@ -206,4 +220,6 @@ class RingRecorder(Recorder):
         }
         if self.fault_events_dropped:
             snap["fault_events_dropped"] = self.fault_events_dropped
+        if self.trace_dropped:
+            snap["trace_dropped"] = self.trace_dropped
         return snap

@@ -8,7 +8,9 @@ identically on live recorders and on campaign artifacts loaded from disk.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
+
+from .timing import component_of_latency
 
 
 def render_metrics(metrics: Dict[str, Any]) -> str:
@@ -69,12 +71,60 @@ def render_fault_events(events: Iterable[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
-def render_trace(events: Iterable[Dict[str, Any]]) -> str:
-    """Render a trace ring: spans indented by depth, ticks in the margin."""
+def filter_trace(
+    events: Iterable[Dict[str, Any]],
+    *,
+    component: Optional[str] = None,
+    op: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Narrow a trace to one component and/or one op's span subtrees.
+
+    ``component`` keeps entries whose name maps to that component (same
+    grouping as the latency breakdown: dotted prefix, or ``op`` for
+    undotted request-plane spans).  ``op`` keeps each matching top-level
+    span together with everything nested inside it.
+    """
+    out: List[Dict[str, Any]] = []
+    active_depth: Optional[int] = None
+    for event in events:
+        keep = True
+        if op is not None:
+            depth = int(event.get("depth", 0))
+            if active_depth is None:
+                keep = event.get("type") == "span" and event.get("name") == op
+                if keep:
+                    active_depth = depth
+            elif (
+                event.get("type") == "end"
+                and depth <= active_depth
+            ):
+                keep = event.get("name") == op and depth == active_depth
+                active_depth = None
+        if keep and component is not None:
+            name = str(event.get("name", ""))
+            if component_of_latency(name) != component:
+                keep = False
+        if keep:
+            out.append(event)
+    return out
+
+
+def render_trace(
+    events: Iterable[Dict[str, Any]], *, dropped: int = 0
+) -> str:
+    """Render a trace ring: spans indented by depth, ticks in the margin.
+
+    ``dropped`` is the recorder's ``trace_dropped`` count: how many older
+    entries the ring evicted before this snapshot was taken.
+    """
     rows = list(events)
     if not rows:
         return "(empty trace)"
     lines: List[str] = []
+    if dropped:
+        lines.append(
+            f"(ring evicted {dropped:,} older entries before this window)"
+        )
     for event in rows:
         indent = "  " * int(event.get("depth", 0))
         kind = event.get("type", "event")
@@ -107,6 +157,9 @@ def render_snapshot(snapshot: Dict[str, Any]) -> str:
         render_fault_events(snapshot.get("fault_events", [])),
         "",
         "trace:",
-        render_trace(snapshot.get("trace", [])),
+        render_trace(
+            snapshot.get("trace", []),
+            dropped=snapshot.get("trace_dropped", 0),
+        ),
     ]
     return "\n".join(sections)

@@ -231,6 +231,21 @@ class CircuitBreaker:
         # Which tripped state a failed probe should fall back to: a
         # still-slow disk re-enters SLOW, an erroring one re-enters OPEN.
         self._tripped_state = BreakerState.OPEN
+        #: Observer fired as ``on_transition(old, new)`` on every state
+        #: change.  The evidence plane journals breaker transitions through
+        #: this hook -- including ``PROBATION -> CLOSED``, which happens
+        #: inside :meth:`record_success` where the node cannot see it.
+        self.on_transition: Optional[
+            Callable[[BreakerState, BreakerState], None]
+        ] = None
+
+    def _set_state(self, new: BreakerState) -> None:
+        old = self.state
+        if new is old:
+            return
+        self.state = new
+        if self.on_transition is not None:
+            self.on_transition(old, new)
 
     # ------------------------------------------------------------------
     # outcome feed
@@ -240,7 +255,7 @@ class CircuitBreaker:
         if self.state is BreakerState.PROBATION:
             self.probation_clean += 1
             if self.probation_clean >= self.config.probation_ops:
-                self.state = BreakerState.CLOSED
+                self._set_state(BreakerState.CLOSED)
 
     def record_failure(self, now_op: int) -> bool:
         """Feed one IO error; returns True when this error trips the breaker.
@@ -263,7 +278,7 @@ class CircuitBreaker:
         return False
 
     def _trip(self, now_op: int) -> None:
-        self.state = BreakerState.OPEN
+        self._set_state(BreakerState.OPEN)
         self._tripped_state = BreakerState.OPEN
         self.tripped_at_op = now_op
         self.probation_clean = 0
@@ -282,7 +297,7 @@ class CircuitBreaker:
         """
         if not self.config.enabled:
             return
-        self.state = BreakerState.SLOW
+        self._set_state(BreakerState.SLOW)
         self._tripped_state = BreakerState.SLOW
         self.tripped_at_op = now_op
         self.probation_clean = 0
@@ -301,20 +316,20 @@ class CircuitBreaker:
         )
 
     def begin_probe(self) -> None:
-        self.state = BreakerState.HALF_OPEN
+        self._set_state(BreakerState.HALF_OPEN)
 
     def on_probe(self, ok: bool, now_op: int) -> None:
         """Feed a probe result; a success moves the disk into probation."""
         self.probes += 1
         if ok:
-            self.state = BreakerState.PROBATION
+            self._set_state(BreakerState.PROBATION)
             self.probation_clean = 0
             self.readmissions += 1
             self.health.reset_window()
         else:
             # Restart the cooldown clock from the failed probe, returning
             # to whichever tripped state (OPEN/SLOW) the disk came from.
-            self.state = self._tripped_state
+            self._set_state(self._tripped_state)
             self.tripped_at_op = now_op
 
 

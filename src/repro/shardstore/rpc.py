@@ -66,6 +66,7 @@ from .errors import (
     validate_key,
 )
 from .faults import Fault, FaultSet
+from .observability.journal import digest_bytes, digest_keys
 from .resilience import (
     AdmissionConfig,
     BreakerConfig,
@@ -178,6 +179,10 @@ class StorageNode:
         self.config = base
         self.faults: FaultSet = base.faults
         self.recorder = base.recorder
+        # The evidence journal is shared with every per-disk store (the
+        # journal's nesting guard makes the delegated store ops invisible,
+        # so each client-visible node op emits exactly one record).
+        self.journal = base.journal
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.breaker_config = breaker if breaker is not None else BreakerConfig()
         self.systems: List[StoreSystem] = []
@@ -192,6 +197,7 @@ class StorageNode:
                 seed=base.seed + disk_id + 1,
                 uuid_magic_bias=base.uuid_magic_bias,
                 recorder=base.recorder,
+                journal=base.journal,
             )
             self.systems.append(StoreSystem(cfg))
         self._in_service: List[bool] = [True] * num_disks
@@ -204,6 +210,9 @@ class StorageNode:
         self._breakers: List[CircuitBreaker] = [
             CircuitBreaker(self.breaker_config) for _ in range(num_disks)
         ]
+        if self.journal is not None:
+            for disk_id, brk in enumerate(self._breakers):
+                brk.on_transition = self._journal_breaker_hook(disk_id)
         self._op_count = 0
         # Deadline-aware request plane: None keeps the historical
         # no-deadline behaviour (and zero overhead on the hot path).
@@ -233,6 +242,27 @@ class StorageNode:
 
     def _store(self, disk_id: int) -> ShardStore:
         return self.systems[disk_id].store
+
+    # -- evidence-plane plumbing ---------------------------------------
+
+    def _journal_breaker_hook(
+        self, disk_id: int
+    ) -> Callable[[BreakerState, BreakerState], None]:
+        """Journal every breaker transition as a standalone record.
+
+        Written in transition order, so the invariant miner can check the
+        breaker state machine's legality per disk from the journal alone.
+        """
+
+        def hook(old: BreakerState, new: BreakerState) -> None:
+            assert self.journal is not None
+            self.journal.record_op(
+                "breaker",
+                disk=disk_id,
+                **{"from": old.value, "to": new.value},
+            )
+
+        return hook
 
     # -- resilience plumbing -------------------------------------------
 
@@ -280,6 +310,8 @@ class StorageNode:
     def _retry(self, disk_id: int, fn: Callable[[], _T]) -> _T:
         def note(failures: int, backoff: int, exc: IoError) -> None:
             self.stats.retries += 1
+            if self.journal is not None:
+                self.journal.note_retry()
             if self.recorder.enabled:
                 self.recorder.count("node.retries")
                 self.recorder.event(
@@ -563,6 +595,18 @@ class StorageNode:
         # must be rejected identically by every operation, not only by the
         # ones whose routing happens to reach a per-disk store.
         validate_key(key)
+        if self.journal is not None:
+            return self.journal.call(
+                "put",
+                lambda: self._put_rpc(key, value, deadline),
+                key=key,
+                value=value,
+            )
+        return self._put_rpc(key, value, deadline)
+
+    def _put_rpc(
+        self, key: bytes, value: bytes, deadline: Optional[int]
+    ) -> Dependency:
         self.stats.puts += 1
         self._tick()
         with self._lock:
@@ -595,6 +639,16 @@ class StorageNode:
 
     def get(self, key: bytes, *, deadline: Optional[int] = None) -> bytes:
         validate_key(key)
+        if self.journal is not None:
+            return self.journal.call(
+                "get",
+                lambda: self._get_rpc(key, deadline),
+                key=key,
+                classify=lambda value: {"value": digest_bytes(value)},
+            )
+        return self._get_rpc(key, deadline)
+
+    def _get_rpc(self, key: bytes, deadline: Optional[int]) -> bytes:
         self.stats.gets += 1
         self._tick()
         with self._lock:
@@ -628,6 +682,13 @@ class StorageNode:
         restores the routing entry for the same reason.
         """
         validate_key(key)
+        if self.journal is not None:
+            return self.journal.call(
+                "delete", lambda: self._delete_rpc(key, deadline), key=key
+            )
+        return self._delete_rpc(key, deadline)
+
+    def _delete_rpc(self, key: bytes, deadline: Optional[int]) -> Dependency:
         self.stats.deletes += 1
         self._tick()
         with self._lock:
@@ -678,6 +739,15 @@ class StorageNode:
         iterates the live routing table with preemption points, racing
         concurrent removals.
         """
+        if self.journal is not None:
+            return self.journal.call(
+                "keys",
+                self._keys_rpc,
+                classify=lambda ks: {"n": len(ks), "keys_digest": digest_keys(ks)},
+            )
+        return self._keys_rpc()
+
+    def _keys_rpc(self) -> List[bytes]:
         if self.faults.enabled(Fault.LIST_REMOVE_RACE):
             if self.recorder.enabled:
                 self.recorder.fault_event(
@@ -706,6 +776,19 @@ class StorageNode:
         """Take a disk out of service, migrating its shards; returns the
         number of shards migrated."""
         self._check_disk(disk_id)
+        if self.journal is not None:
+            # Journaled as a control-plane op: the migration's store-level
+            # get/put traffic is nested (invisible) and the key-value
+            # mapping is unchanged, matching the reference model.
+            return self.journal.call(
+                "remove_disk",
+                lambda: self._remove_disk_rpc(disk_id),
+                fields={"disk": disk_id},
+                classify=lambda migrated: {"migrated": migrated},
+            )
+        return self._remove_disk_rpc(disk_id)
+
+    def _remove_disk_rpc(self, disk_id: int) -> int:
         with self._lock:
             if not self._in_service[disk_id]:
                 raise InvalidRequestError(f"disk {disk_id} already removed")
@@ -737,6 +820,16 @@ class StorageNode:
         losing every write made while it was away.
         """
         self._check_disk(disk_id)
+        if self.journal is not None:
+            self.journal.call(
+                "return_disk",
+                lambda: self._return_disk_rpc(disk_id),
+                fields={"disk": disk_id},
+            )
+            return
+        self._return_disk_rpc(disk_id)
+
+    def _return_disk_rpc(self, disk_id: int) -> None:
         with self._lock:
             if self._in_service[disk_id]:
                 raise InvalidRequestError(f"disk {disk_id} is in service")
@@ -744,7 +837,22 @@ class StorageNode:
             # An operator returning a disk vouches for it: clear degraded
             # mode and start its breaker (and admission queue) fresh.
             self._degraded[disk_id] = False
+            old_state = self._breakers[disk_id].state
             self._breakers[disk_id] = CircuitBreaker(self.breaker_config)
+            if self.journal is not None:
+                self._breakers[disk_id].on_transition = (
+                    self._journal_breaker_hook(disk_id)
+                )
+                if old_state is not BreakerState.CLOSED:
+                    # The fresh breaker starts CLOSED by operator fiat, not
+                    # through the state machine; mark the reset so the
+                    # mined legality invariant treats it as an edge reset.
+                    self.journal.record_op(
+                        "breaker",
+                        disk=disk_id,
+                        reset=True,
+                        **{"from": old_state.value, "to": "closed"},
+                    )
             if self._admissions:
                 self._admissions[disk_id].reset(self._clock)
             stale = self._removed_routing.pop(disk_id, {})
@@ -770,6 +878,17 @@ class StorageNode:
         it already lives on ``target``."""
         self._check_disk(target)
         validate_key(key)
+        if self.journal is not None:
+            return self.journal.call(
+                "migrate",
+                lambda: self._migrate_shard_rpc(key, target),
+                key=key,
+                fields={"disk": target},
+                classify=lambda moved: {"result": bool(moved)},
+            )
+        return self._migrate_shard_rpc(key, target)
+
+    def _migrate_shard_rpc(self, key: bytes, target: int) -> bool:
         with self._lock:
             source = self._shard_map.get(key)
             if source is None:
@@ -809,6 +928,28 @@ class StorageNode:
     def scrub_repair_all(self) -> Dict[int, RepairReport]:
         """Scrub-and-heal every in-service disk (see
         :meth:`ShardStore.scrub_repair`); failures feed the disk breaker."""
+        if self.journal is not None:
+            return self.journal.call(
+                "scrub_repair",
+                self._scrub_repair_all_rpc,
+                classify=lambda reports: {
+                    "repaired": sorted(
+                        digest_bytes(k)
+                        for report in reports.values()
+                        for k in report.repaired
+                    )
+                    or None,
+                    "quarantined": sorted(
+                        digest_bytes(k)
+                        for report in reports.values()
+                        for k in report.quarantined
+                    )
+                    or None,
+                },
+            )
+        return self._scrub_repair_all_rpc()
+
+    def _scrub_repair_all_rpc(self) -> Dict[int, RepairReport]:
         reports: Dict[int, RepairReport] = {}
         for disk_id, system in enumerate(self.systems):
             if not self._in_service[disk_id]:
@@ -1005,6 +1146,20 @@ class StorageNode:
         Fault #16 releases the node lock between items, so a concurrent
         bulk operation observes (and produces) partial states.
         """
+        if self.journal is not None:
+            return self.journal.call(
+                "bulk_create",
+                lambda: self._bulk_create_rpc(pairs),
+                fields={
+                    "items": [
+                        [digest_bytes(k), digest_bytes(v)] for k, v in pairs
+                    ]
+                },
+                classify=lambda created: {"n": created},
+            )
+        return self._bulk_create_rpc(pairs)
+
+    def _bulk_create_rpc(self, pairs: List[Tuple[bytes, bytes]]) -> int:
         if self.faults.enabled(Fault.BULK_CREATE_REMOVE_RACE):
             if self.recorder.enabled:
                 self.recorder.fault_event(
@@ -1034,6 +1189,16 @@ class StorageNode:
 
     def bulk_delete(self, keys: List[bytes]) -> int:
         """Delete many shards as one atomic control-plane operation."""
+        if self.journal is not None:
+            return self.journal.call(
+                "bulk_delete",
+                lambda: self._bulk_delete_rpc(keys),
+                fields={"items": [digest_bytes(k) for k in keys]},
+                classify=lambda deleted: {"n": deleted},
+            )
+        return self._bulk_delete_rpc(keys)
+
+    def _bulk_delete_rpc(self, keys: List[bytes]) -> int:
         if self.faults.enabled(Fault.BULK_CREATE_REMOVE_RACE):
             if self.recorder.enabled:
                 self.recorder.fault_event(
@@ -1076,11 +1241,26 @@ class StorageNode:
     def contains(self, key: bytes) -> bool:
         """Whether this node currently routes ``key``."""
         validate_key(key)
+        if self.journal is not None:
+            return self.journal.call(
+                "contains",
+                lambda: self._contains_rpc(key),
+                key=key,
+                classify=lambda present: {"result": bool(present)},
+            )
+        return self._contains_rpc(key)
+
+    def _contains_rpc(self, key: bytes) -> bool:
         with self._lock:
             return key in self._shard_map
 
     def flush(self) -> NodeDependency:
         """Flush every in-service disk; the combined durability dependency."""
+        if self.journal is not None:
+            return self.journal.call("flush", self._flush_rpc)
+        return self._flush_rpc()
+
+    def _flush_rpc(self) -> NodeDependency:
         self._tick()
         if not self.recorder.enabled:
             return self._flush()
@@ -1100,6 +1280,11 @@ class StorageNode:
         the breaker demoted mid-drain had its shards migrated, so the node
         as a whole made forward progress.
         """
+        if self.journal is not None:
+            return self.journal.call("drain", self._drain_rpc)
+        return self._drain_rpc()
+
+    def _drain_rpc(self) -> None:
         self._tick()
         _, errors = self._each_in_service(lambda store: store.drain())
         self._raise_if_still_failing(errors, "drain")

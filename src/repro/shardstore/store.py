@@ -38,6 +38,7 @@ from .errors import (
 )
 from .faults import component_of
 from .lsm import LsmIndex
+from .observability.journal import digest_bytes, digest_keys
 from .reclamation import Reclaimer, ReclaimResult
 from .scheduler import IoScheduler
 from .scrub import RepairReport, Scrubber
@@ -68,6 +69,7 @@ class ShardStore:
         self.tracker = tracker
         self.config = config
         self.recorder = config.recorder
+        self.journal = config.journal
         self.rng = rng or random.Random(config.seed)
         # The hook fires immediately before each RECOVERY_STEPS stage; a
         # raising hook models a crash *during* recovery, so re-entrant
@@ -180,6 +182,8 @@ class ShardStore:
 
     def _note_retry(self, failures: int, backoff: int, exc: IoError) -> None:
         self.retry_count += 1
+        if self.journal is not None:
+            self.journal.note_retry()
         if self.recorder.enabled:
             self.recorder.count("store.retries")
             self.recorder.event(
@@ -189,6 +193,13 @@ class ShardStore:
     def put(self, key: bytes, value: bytes) -> Dependency:
         """Store ``value`` under ``key``; returns its durability dependency."""
         validate_key(key)
+        if self.journal is not None:
+            return self.journal.call(
+                "put", lambda: self._put_op(key, value), key=key, value=value
+            )
+        return self._put_op(key, value)
+
+    def _put_op(self, key: bytes, value: bytes) -> Dependency:
         if not self.recorder.enabled:
             return self._retrying(lambda: self._put_validated(key, value))
         with self.recorder.span("put", key=repr(key), size=len(value)):
@@ -205,6 +216,16 @@ class ShardStore:
         :class:`CorruptionError` when the stored bytes fail validation.
         """
         validate_key(key)
+        if self.journal is not None:
+            return self.journal.call(
+                "get",
+                lambda: self._get_op(key),
+                key=key,
+                classify=lambda value: {"value": digest_bytes(value)},
+            )
+        return self._get_op(key)
+
+    def _get_op(self, key: bytes) -> bytes:
         if not self.recorder.enabled:
             return self._retrying(lambda: self._get_validated(key))
         with self.recorder.span("get", key=repr(key)):
@@ -223,6 +244,13 @@ class ShardStore:
         uniform ``KVNode`` contract, so callers never branch on an Optional.
         """
         validate_key(key)
+        if self.journal is not None:
+            return self.journal.call(
+                "delete", lambda: self._delete_op(key), key=key
+            )
+        return self._delete_op(key)
+
+    def _delete_op(self, key: bytes) -> Dependency:
         if not self.recorder.enabled:
             return self._retrying(lambda: self._delete_validated(key))
         with self.recorder.span("delete", key=repr(key)):
@@ -235,9 +263,22 @@ class ShardStore:
 
     def contains(self, key: bytes) -> bool:
         validate_key(key)
+        if self.journal is not None:
+            return self.journal.call(
+                "contains",
+                lambda: self.index.get(key) is not None,
+                key=key,
+                classify=lambda present: {"result": bool(present)},
+            )
         return self.index.get(key) is not None
 
     def keys(self) -> List[bytes]:
+        if self.journal is not None:
+            return self.journal.call(
+                "keys",
+                self.index.keys,
+                classify=lambda ks: {"n": len(ks), "keys_digest": digest_keys(ks)},
+            )
         return self.index.keys()
 
     # ------------------------------------------------------------------
@@ -250,6 +291,11 @@ class ShardStore:
         ``drain()``, every dependency previously returned by this store
         reports persistent.
         """
+        if self.journal is not None:
+            return self.journal.call("flush", self._flush_op)
+        return self._flush_op()
+
+    def _flush_op(self) -> Dependency:
         if not self.recorder.enabled:
             return self._flush()
         with self.recorder.span("flush"):
@@ -298,6 +344,22 @@ class ShardStore:
         repairing a disk that is still failing is the circuit breaker's
         decision, not the scrubber's.
         """
+        if self.journal is not None:
+            return self.journal.call(
+                "scrub_repair",
+                self._scrub_repair_op,
+                classify=lambda report: {
+                    "repaired": sorted(digest_bytes(k) for k in report.repaired)
+                    or None,
+                    "quarantined": sorted(
+                        digest_bytes(k) for k in report.quarantined
+                    )
+                    or None,
+                },
+            )
+        return self._scrub_repair_op()
+
+    def _scrub_repair_op(self) -> RepairReport:
         with self.recorder.span("scrub_repair"):
             report = RepairReport(scanned=self.scrubber.scrub())
             for key in report.scanned.bad_keys:
@@ -348,6 +410,11 @@ class ShardStore:
         :class:`~repro.shardstore.errors.IoError` if records remain
         genuinely stuck -- a forward-progress violation.
         """
+        if self.journal is not None:
+            return self.journal.call("drain", self._drain_op)
+        return self._drain_op()
+
+    def _drain_op(self) -> None:
         for _ in range(self.config.geometry.num_extents + 2):
             while self.scheduler.pump_one(coalesce=True):
                 pass
@@ -418,10 +485,32 @@ class StoreSystem:
         self.generation += 1
         return random.Random((self.config.seed << 16) ^ self.generation)
 
+    def _journaled(
+        self, mode: str, fn: Callable[[], ShardStore]
+    ) -> ShardStore:
+        """Run one reboot under the evidence journal (if configured).
+
+        Reboots are durability events the trace-conformance checker keys
+        crash semantics off: ``clean`` is a full durability barrier, while
+        ``dirty``/``recover`` (or any reboot that errored) widen each
+        mutated key's possible post-crash states.
+        """
+        journal = self.config.journal
+        if journal is None:
+            return fn()
+        return journal.call("reboot", fn, fields={"mode": mode})
+
     def clean_reboot(
         self, recovery_hook: Optional[Callable[[str], None]] = None
     ) -> ShardStore:
         """Shut down cleanly and recover; returns the new store object."""
+        return self._journaled(
+            "clean", lambda: self._clean_reboot(recovery_hook)
+        )
+
+    def _clean_reboot(
+        self, recovery_hook: Optional[Callable[[str], None]] = None
+    ) -> ShardStore:
         self.store.clean_shutdown()
         self.store = ShardStore(
             self.disk,
@@ -444,6 +533,15 @@ class StoreSystem:
         IO); then up to ``reboot.pump`` pending writebacks reach the medium;
         everything else pending is lost.
         """
+        return self._journaled(
+            "dirty", lambda: self._dirty_reboot(reboot, recovery_hook)
+        )
+
+    def _dirty_reboot(
+        self,
+        reboot: RebootType = RebootType.NONE,
+        recovery_hook: Optional[Callable[[str], None]] = None,
+    ) -> ShardStore:
         if reboot.flush_index:
             self.store.flush_index()
         if reboot.flush_superblock:
@@ -476,6 +574,13 @@ class StoreSystem:
         left it.  Recovery must be idempotent under this (the paper's
         "recovery is just another crash point" obligation).
         """
+        return self._journaled(
+            "recover", lambda: self._recover_again(recovery_hook)
+        )
+
+    def _recover_again(
+        self, recovery_hook: Optional[Callable[[str], None]] = None
+    ) -> ShardStore:
         self.store = ShardStore(
             self.disk,
             self.tracker,

@@ -295,7 +295,7 @@ class TestRunCampaign:
 
     def test_artifact_schema_headline_fields(self):
         artifact = result_to_json(run_campaign(_tiny_spec()))
-        assert artifact["schema_version"] == 4
+        assert artifact["schema_version"] == 5
         for key in (
             "campaign",
             "totals",
