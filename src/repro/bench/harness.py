@@ -37,6 +37,7 @@ from repro.shardstore.observability import (
     component_of_latency,
     merge_histogram_snapshots,
     percentiles_from_snapshot,
+    seal_on_signal,
 )
 
 from .workloads import (
@@ -291,27 +292,30 @@ def run_bench(
     outcomes = {"ok": 0, "not_found": 0}
     op_counts: Dict[str, int] = {}
     started = time.perf_counter_ns()
-    for index, op in enumerate(sequence):
-        op_counts[op.op] = op_counts.get(op.op, 0) + 1
-        begin = time.perf_counter_ns()
-        if index == victim:
-            # The seeded bug: the delete is silently dropped, but the
-            # journal records the success the client was told about.
-            assert journal is not None
-            journal.record_op("delete", key=op.key, out="ok")
-            outcome = "ok"
-        else:
-            outcome = execute_op(system, op, value_size)
-        if slowdown_ns:
-            deadline = time.perf_counter_ns() + slowdown_ns
-            while time.perf_counter_ns() < deadline:
-                pass
-        recorder.observe_latency(
-            f"bench.{op.op}", time.perf_counter_ns() - begin
-        )
-        outcomes[outcome] = outcomes.get(outcome, 0) + 1
-    wall_seconds = (time.perf_counter_ns() - started) / 1e9
-    system.settle()
+    # SIGINT/SIGTERM mid-run still seals the journal, so an interrupted
+    # bench leaves a chain-verifiable (if short) evidence file.
+    with seal_on_signal(journal):
+        for index, op in enumerate(sequence):
+            op_counts[op.op] = op_counts.get(op.op, 0) + 1
+            begin = time.perf_counter_ns()
+            if index == victim:
+                # The seeded bug: the delete is silently dropped, but the
+                # journal records the success the client was told about.
+                assert journal is not None
+                journal.record_op("delete", key=op.key, out="ok")
+                outcome = "ok"
+            else:
+                outcome = execute_op(system, op, value_size)
+            if slowdown_ns:
+                deadline = time.perf_counter_ns() + slowdown_ns
+                while time.perf_counter_ns() < deadline:
+                    pass
+            recorder.observe_latency(
+                f"bench.{op.op}", time.perf_counter_ns() - begin
+            )
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        wall_seconds = (time.perf_counter_ns() - started) / 1e9
+        system.settle()
 
     latency = recorder.latency_snapshot()
     per_op = {

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional
 
 from .spec import (
     ALL_KINDS,
+    KIND_CLUSTER,
     KIND_FAULT_MATRIX,
     KIND_INJECTION,
     SCHEMA_VERSION,
@@ -293,6 +294,87 @@ def _evidence_summary(
     }
 
 
+#: Counter keys the ``cluster`` section totals, in artifact order (the
+#: schema v6 addendum in EXPERIMENTS.md documents each).
+_CLUSTER_KEYS = (
+    "planned",
+    "fired",
+    "degraded_writes",
+    "quorum_write_failures",
+    "quorum_read_failures",
+    "read_repairs",
+    "hints_queued",
+    "hints_replayed",
+    "hints_dropped",
+    "hints_revoked",
+    "node_crashes",
+    "node_restarts",
+    "partitions",
+    "partition_heals",
+    "slow_storms",
+    "node_demotions",
+    "node_readmissions",
+    "rebalances",
+    "rebalance_moves",
+)
+
+
+def _cluster_summary(
+    results: List[ShardResult],
+) -> Optional[Dict[str, Any]]:
+    """The cluster section (schema v6): per-shard consistency verdicts
+    plus summed storm/quorum/handoff counters (None when no cluster
+    phase ran).
+
+    ``consistent`` is the load-bearing verdict: every quorum-acked write
+    survived its minority outage, replicas converged after one read
+    sweep, and the merged multi-journal replay was clean.  A
+    ``--no-read-repair`` run deterministically flips it on any shard
+    whose storm left revoked- or dropped-hint divergence -- the
+    negative-control CI job asserts that campaign FAILS.
+    """
+    import hashlib
+
+    shards = [r for r in results if r.kind == KIND_CLUSTER]
+    if not shards:
+        return None
+    totals = {key: 0 for key in _CLUSTER_KEYS}
+    all_consistent = True
+    evidence_passed = True
+    heads: List[str] = []
+    per_shard: List[Dict[str, Any]] = []
+    for result in shards:
+        block = dict(result.cluster or {})
+        for key in _CLUSTER_KEYS:
+            totals[key] += int(block.get(key, 0))
+        all_consistent = all_consistent and bool(
+            block.get("consistent", result.ok)
+        )
+        evidence = block.get("evidence") or {}
+        evidence_passed = evidence_passed and bool(
+            evidence.get("check_passed", True)
+        )
+        heads.append(str(evidence.get("heads_digest")))
+        block.update(
+            {
+                "shard_id": result.shard_id,
+                "seed": result.seed,
+                "ok": result.ok,
+                "skipped": result.skipped,
+            }
+        )
+        per_shard.append(block)
+    return {
+        "shards": per_shard,
+        "totals": totals,
+        "all_consistent": all_consistent,
+        "evidence_passed": evidence_passed,
+        "heads_digest": hashlib.sha256(
+            "\n".join(heads).encode("ascii")
+        ).hexdigest()[:16],
+    }
+
+
 def _merged_metrics(results: List[ShardResult]) -> Optional[Dict[str, Any]]:
     """Merge every traced shard's metrics snapshot (None when untraced)."""
     from repro.shardstore.observability import merge_metrics
@@ -371,4 +453,7 @@ def result_to_json(outcome: CampaignResult) -> Dict[str, Any]:
     evidence = _evidence_summary(results)
     if evidence is not None:
         artifact["evidence"] = evidence
+    cluster = _cluster_summary(results)
+    if cluster is not None:
+        artifact["cluster"] = cluster
     return artifact

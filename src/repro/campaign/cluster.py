@@ -1,0 +1,427 @@
+"""Cluster campaign shards: conformance PBT through the quorum router.
+
+Each shard replays ``sequences`` independent op streams against a fresh
+:class:`~repro.cluster.router.ClusterRouter` while a node-granular fault
+storm (:meth:`~repro.shardstore.injection.FaultPlan.generate_cluster`)
+crashes, partitions and slows a strict minority of nodes mid-stream.
+The harness keeps the flat reference model plus *candidate sets* for
+keys whose quorum writes failed with partial acks (the typed
+:class:`~repro.errors.DegradedWriteError` contract: zero acks means the
+cluster is provably unchanged; one ack means {applied, not-applied}
+until an observation of the newest candidate collapses it).
+
+Settlement asserts the three cluster-level guarantees:
+
+1. **durability** -- after healing every node, no quorum-acknowledged
+   write may be lost or corrupted (the storm planner never takes down
+   more than a minority, so W durable replicas always survive);
+2. **convergence** -- after one read sweep, every touched key's
+   preference replicas must hold byte-identical records.  Two divergence
+   sources exist mid-storm: hinted-handoff overflow (the hint buffer is
+   deliberately small here) and quorum-failed writes whose partial acks
+   were never rolled back (hints are *revoked* on quorum failure, so no
+   background path heals them).  Only read-repair converges these, which
+   is exactly what the ``--no-read-repair`` negative control proves by
+   failing this gate;
+3. **availability** -- a fresh probe write/read/delete must succeed.
+
+Every sequence journals through one router journal plus one journal per
+node (distinct chain identities); the shard replays them through the
+merged-journal checker (:func:`repro.evidence.check_cluster_journals`)
+and ships chain-head digests in the artifact's ``cluster`` section.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.errors import (
+    DegradedReadError,
+    DegradedWriteError,
+    KeyNotFoundError,
+)
+from repro.shardstore.injection import CLUSTER_PROFILES, FaultPlan
+from repro.shardstore.observability.journal import Journal
+
+__all__ = ["ClusterHarness", "run_shard"]
+
+#: Default knobs: a 5-node ring with 3-way replication and small hint
+#: buffers, so multi-window storms overflow handoff and make read-repair
+#: observable (and its absence fatal) at smoke scale.
+DEFAULT_NODES = 5
+DEFAULT_OPS = 80
+HINT_LIMIT = 4
+KEYSPACE = 16
+
+
+class ClusterHarness:
+    """One op-stream + storm run against one fresh router."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        seed: int,
+        *,
+        num_nodes: int = DEFAULT_NODES,
+        read_repair: bool = True,
+        journal_factory: Optional[Any] = None,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.router = ClusterRouter(
+            ClusterConfig(
+                num_nodes=num_nodes,
+                read_repair=read_repair,
+                hint_limit=HINT_LIMIT,
+                seed=seed,
+            ),
+            journal_factory=journal_factory,
+        )
+        self.rng = random.Random(seed ^ 0x5EED)
+        # key -> value bytes (None = certainly absent / never written)
+        self.model: Dict[bytes, Optional[bytes]] = {}
+        # key -> candidate values in version order, newest last; a value of
+        # None is the absent/tombstone candidate.
+        self.uncertain: Dict[bytes, List[Optional[bytes]]] = {}
+        self.touched: set = set()
+        self.fired = 0
+
+    # ------------------------------------------------------------------
+    # candidate-set bookkeeping
+
+    def _certain(self, key: bytes, value: Optional[bytes]) -> None:
+        self.model[key] = value
+        self.uncertain.pop(key, None)
+
+    def _widen(self, key: bytes, value: Optional[bytes]) -> None:
+        if key not in self.uncertain:
+            self.uncertain[key] = [self.model.get(key)]
+        if value in self.uncertain[key]:
+            self.uncertain[key].remove(value)
+        self.uncertain[key].append(value)  # newest candidate last
+
+    def _observe(self, key: bytes, value: Optional[bytes]) -> Optional[str]:
+        """A quorum read of ``key`` saw ``value`` (None = absent)."""
+        if key not in self.uncertain:
+            expected = self.model.get(key)
+            if value != expected:
+                return (
+                    f"get({key!r}) saw {value!r} but the model is certain "
+                    f"of {expected!r}"
+                )
+            return None
+        candidates = self.uncertain[key]
+        if value not in candidates:
+            return (
+                f"get({key!r}) saw {value!r}, outside its "
+                f"{len(candidates)} candidate values"
+            )
+        if value == candidates[-1]:
+            # Observed the newest version: quorum reads are monotone in
+            # version, so the set collapses.
+            self._certain(key, value)
+        return None
+
+    # ------------------------------------------------------------------
+    # op handlers (each returns a violation string or None)
+
+    def _op_put(self, key: bytes, value: bytes) -> Optional[str]:
+        try:
+            self.router.put(key, value)
+        except DegradedWriteError as exc:
+            if exc.acks:
+                self._widen(key, value)
+            return None  # typed, zero-ack: provably unchanged
+        self._certain(key, value)
+        return None
+
+    def _op_get(self, key: bytes) -> Optional[str]:
+        try:
+            got: Optional[bytes] = self.router.get(key)
+        except KeyNotFoundError:
+            got = None
+        except DegradedReadError:
+            return None  # typed unavailability: no observation made
+        return self._observe(key, got)
+
+    def _op_delete(self, key: bytes) -> Optional[str]:
+        try:
+            self.router.delete(key)
+        except KeyNotFoundError:
+            return self._observe(key, None)
+        except DegradedReadError:
+            return None
+        except DegradedWriteError as exc:
+            if exc.acks:
+                self._widen(key, None)
+            return None
+        self._certain(key, None)
+        return None
+
+    def _op_contains(self, key: bytes) -> Optional[str]:
+        try:
+            exists = self.router.contains(key)
+        except DegradedReadError:
+            return None
+        if key not in self.uncertain:
+            expected = self.model.get(key) is not None
+            if exists != expected:
+                return (
+                    f"contains({key!r}) said {exists} but the model is "
+                    f"certain of {expected}"
+                )
+            return None
+        candidates = self.uncertain[key]
+        if exists and all(c is None for c in candidates):
+            return f"contains({key!r}) said present; every candidate is absent"
+        if not exists and None not in candidates:
+            return f"contains({key!r}) said absent; every candidate is present"
+        return None
+
+    # ------------------------------------------------------------------
+
+    def run(self, ops: int) -> Optional[str]:
+        """Drive ``ops`` random operations, firing planned faults between
+        them; returns the first consistency violation, if any."""
+        faults_by_op: Dict[int, List[Any]] = {}
+        for fault in self.plan.faults:
+            faults_by_op.setdefault(fault.op_index, []).append(fault)
+        for index in range(ops):
+            for fault in faults_by_op.get(index, []):
+                self.router.apply_fault(fault)
+                self.fired += 1
+            key = b"ck-%02d" % self.rng.randrange(KEYSPACE)
+            self.touched.add(key)
+            roll = self.rng.random()
+            if roll < 0.50:
+                failure = self._op_put(key, b"cv-%d-%d" % (self.seed, index))
+            elif roll < 0.78:
+                failure = self._op_get(key)
+            elif roll < 0.90:
+                failure = self._op_delete(key)
+            else:
+                failure = self._op_contains(key)
+            if failure is not None:
+                return f"op {index}: {failure}"
+        return None
+
+    def settle_and_verify(self) -> Optional[str]:
+        """Heal the cluster, then check durability, convergence and
+        availability (see the module docstring)."""
+        self.router.settle()
+        # 1 + read sweep: every touched key re-read through the quorum path
+        # (which is also what arms read-repair for gate 2).
+        for key in sorted(self.touched):
+            failure = self._op_get(key)
+            if failure is not None:
+                return f"settlement: {failure} (quorum-acked write lost?)"
+        for key, value in sorted(self.model.items()):
+            if key in self.uncertain or value is None:
+                continue
+            try:
+                got = self.router.get(key)
+            except KeyNotFoundError:
+                return (
+                    f"settlement: quorum-acknowledged write {key!r} lost "
+                    "after healing a minority outage"
+                )
+            if got != value:
+                return (
+                    f"settlement: quorum-acknowledged write {key!r} holds "
+                    "wrong data after healing"
+                )
+        # 2: replica convergence -- the read-repair gate.
+        for key in sorted(self.touched):
+            states = self.router.replica_states(key)
+            distinct = {
+                record for record in states.values()
+            }
+            if len(distinct) > 1:
+                detail = ", ".join(
+                    f"node{nid}={'absent' if rec is None else 'v%d' % rec[0]}"
+                    for nid, rec in sorted(states.items())
+                )
+                return (
+                    f"settlement: replicas of {key!r} never converged "
+                    f"({detail}); read-repair is the only path that heals "
+                    "revoked-hint and dropped-hint divergence"
+                )
+        # 3: availability probe.
+        probe = b"ck-probe"
+        try:
+            self.router.put(probe, b"alive")
+            if self.router.get(probe) != b"alive":
+                return "settlement: probe read returned wrong data"
+            self.router.delete(probe)
+        except (DegradedWriteError, DegradedReadError) as exc:
+            return (
+                "settlement: fresh writes unavailable after healing "
+                f"({type(exc).__name__}: {exc})"
+            )
+        return None
+
+
+# ----------------------------------------------------------------------
+# campaign entry point
+
+
+def run_shard(spec: "ShardSpec") -> "ShardResult":
+    """Picklable campaign entry point: one cluster work unit.
+
+    Params: ``profile`` (a :data:`~repro.shardstore.injection.
+    CLUSTER_PROFILES` name), ``sequences``, ``ops``, ``nodes``,
+    ``read_repair``.  Sequence ``i`` derives everything from
+    ``spec.seed + i``, so shards replay byte-identically for any worker
+    count.
+    """
+    from repro.campaign.spec import ShardFailure, ShardResult
+    from repro.evidence import check_cluster_journals
+
+    profile = spec.param("profile", "cluster-mixed")
+    if profile not in CLUSTER_PROFILES:
+        raise ValueError(f"unknown cluster storm profile {profile!r}")
+    sequences = spec.param("sequences", 2)
+    ops = spec.param("ops", DEFAULT_OPS)
+    num_nodes = spec.param("nodes", DEFAULT_NODES)
+    read_repair = bool(spec.param("read_repair", True))
+
+    totals: Dict[str, int] = {
+        "planned": 0,
+        "fired": 0,
+        "degraded_writes": 0,
+        "quorum_write_failures": 0,
+        "quorum_read_failures": 0,
+        "read_repairs": 0,
+        "hints_queued": 0,
+        "hints_replayed": 0,
+        "hints_dropped": 0,
+        "hints_revoked": 0,
+        "node_crashes": 0,
+        "node_restarts": 0,
+        "partitions": 0,
+        "partition_heals": 0,
+        "slow_storms": 0,
+        "node_demotions": 0,
+        "node_readmissions": 0,
+        "rebalances": 0,
+        "rebalance_moves": 0,
+    }
+    evidence: Dict[str, Any] = {
+        "sequences": 0,
+        "journals": 0,
+        "records": 0,
+        "checked": 0,
+        "corroborated": 0,
+        "check_passed": True,
+        "violations": [],
+        "heads": [],
+    }
+    failures: List[ShardFailure] = []
+    cases = 0
+    ops_run = 0
+    for i in range(sequences):
+        seed = spec.seed + i
+        plan = FaultPlan.generate_cluster(
+            seed, ops=ops, num_nodes=num_nodes, profile=profile
+        )
+        journals: List[Journal] = []
+
+        def factory(
+            identity: str, meta: Dict[str, Any], _sink: List[Journal] = journals
+        ) -> Journal:
+            journal = Journal(meta=dict(meta, seed=seed), node=identity)
+            _sink.append(journal)
+            return journal
+
+        harness = ClusterHarness(
+            plan,
+            seed,
+            num_nodes=num_nodes,
+            read_repair=read_repair,
+            journal_factory=factory,
+        )
+        detail = harness.run(ops)
+        cases += 1
+        ops_run += ops
+        if detail is None:
+            detail = harness.settle_and_verify()
+        stats = harness.router.stats
+        totals["planned"] += len(plan.faults)
+        totals["fired"] += harness.fired
+        for name in (
+            "degraded_writes",
+            "quorum_write_failures",
+            "quorum_read_failures",
+            "read_repairs",
+            "hints_queued",
+            "hints_replayed",
+            "hints_dropped",
+            "hints_revoked",
+            "node_crashes",
+            "node_restarts",
+            "partitions",
+            "partition_heals",
+            "slow_storms",
+            "node_demotions",
+            "node_readmissions",
+            "rebalances",
+            "rebalance_moves",
+        ):
+            totals[name] += stats[name]
+        heads = harness.router.close()
+        report = check_cluster_journals(
+            [journal.entries for journal in journals], require_seal=True
+        )
+        evidence["sequences"] += 1
+        evidence["journals"] += len(journals)
+        evidence["records"] += report.records
+        evidence["checked"] += report.checked
+        evidence["corroborated"] += report.corroborated
+        evidence["heads"].extend(
+            head for _, head in sorted(heads.items())
+        )
+        if not report.passed:
+            evidence["check_passed"] = False
+            for violation in report.violations[:4]:
+                if len(evidence["violations"]) < 16:
+                    evidence["violations"].append({"seed": seed, **violation})
+            if detail is None:
+                detail = (
+                    "merged-journal replay found "
+                    f"{report.violation_count} violations"
+                )
+        if detail is not None:
+            failures.append(
+                ShardFailure(
+                    kind=spec.kind,
+                    seed=seed,
+                    detail=detail,
+                    fault=f"cluster:{profile}",
+                )
+            )
+            break
+    heads = evidence.pop("heads")
+    evidence["heads_digest"] = hashlib.sha256(
+        "\n".join(heads).encode("ascii")
+    ).hexdigest()[:16]
+    cluster_block: Dict[str, Any] = {
+        "profile": profile,
+        "nodes": num_nodes,
+        "replication": 3,
+        "read_repair": read_repair,
+        "consistent": not failures,
+        **totals,
+        "evidence": evidence,
+    }
+    return ShardResult(
+        shard_id=spec.shard_id,
+        kind=spec.kind,
+        seed=spec.seed,
+        cases=cases,
+        ops=ops_run,
+        failures=failures,
+        cluster=cluster_block,
+    )

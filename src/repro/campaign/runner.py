@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .aggregate import CampaignResult, aggregate
 from .fault_matrix import fault_matrix_shards
 from .spec import (
+    KIND_CLUSTER,
     KIND_CONFORMANCE,
     KIND_CRASH,
     KIND_FAULT_MATRIX,
@@ -74,6 +75,17 @@ _BROWNOUT_PLAN: Tuple[Tuple[str, str], ...] = (
     ("node", "overload"),
 )
 
+#: The ``cluster`` suite's plan: node-granular storm profiles, cycled
+#: through ``cluster_shards`` slots.  With read-repair disabled
+#: (``--no-read-repair``) every slot whose storm leaves replica
+#: divergence must FAIL its convergence settlement gate -- the negative
+#: control.
+_CLUSTER_PLAN: Tuple[str, ...] = (
+    "cluster-mixed",
+    "node-crash",
+    "partition",
+)
+
 
 def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
     """Compile the campaign into its ordered, deterministic shard list."""
@@ -112,11 +124,29 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
                 )
             )
 
+    def add_cluster_shards() -> None:
+        for index in range(spec.cluster_shards):
+            shards.append(
+                ShardSpec.make(
+                    len(shards),
+                    KIND_CLUSTER,
+                    next_seed(),
+                    profile=_CLUSTER_PLAN[index % len(_CLUSTER_PLAN)],
+                    sequences=spec.cluster_sequences,
+                    ops=spec.cluster_ops,
+                    nodes=spec.cluster_nodes,
+                    read_repair=spec.read_repair_enabled,
+                )
+            )
+
     if spec.suite == "injection":
         add_injection_shards()
         return shards
     if spec.suite == "brownout":
         add_injection_shards(_BROWNOUT_PLAN)
+        return shards
+    if spec.suite == "cluster":
+        add_cluster_shards()
         return shards
 
     for alphabet, harness in _CONFORMANCE_PLAN:
@@ -196,6 +226,8 @@ def execute_shard(spec: ShardSpec) -> Tuple[ShardResult, float]:
             from .fault_matrix import run_shard
         elif spec.kind == KIND_INJECTION:
             from .injection import run_shard
+        elif spec.kind == KIND_CLUSTER:
+            from .cluster import run_shard
         else:
             raise ValueError(f"unknown shard kind {spec.kind!r}")
         result = run_shard(spec)

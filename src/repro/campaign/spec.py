@@ -30,7 +30,11 @@ from typing import Any, Dict, List, Optional, Tuple
 #: per-shard journal record counts, chained journal digests, and
 #: trace-conformance verdicts; the aggregate gains a top-level
 #: ``evidence`` section.
-SCHEMA_VERSION = 5
+#: v6: adds the cluster dimension -- shards of kind ``cluster`` carry a
+#: per-shard ``cluster`` block (consistency verdict, partitions fired,
+#: read-repairs, handoff/rebalance counters, merged-journal evidence)
+#: and the aggregate gains a top-level ``cluster`` section.
+SCHEMA_VERSION = 6
 
 #: Campaign suites: which slice of the shard plan a run compiles.  The CLI
 #: builds its ``--suite`` choices and help text from this registry, so a
@@ -42,6 +46,10 @@ SUITE_REGISTRY: Dict[str, str] = {
         "gray-failure storms only: slow-disk brownouts and arrival "
         "overloads against the deadline-aware admission plane"
     ),
+    "cluster": (
+        "multi-node storms only: quorum conformance under node crashes, "
+        "partitions and slow nodes, with merged-journal replay"
+    ),
 }
 
 #: Shard kinds, dispatched by the runner to the owning checker module.
@@ -50,6 +58,7 @@ KIND_CRASH = "crash"
 KIND_FUZZ = "fuzz"
 KIND_FAULT_MATRIX = "fault-matrix"
 KIND_INJECTION = "injection"
+KIND_CLUSTER = "cluster"
 
 ALL_KINDS = (
     KIND_CONFORMANCE,
@@ -57,6 +66,7 @@ ALL_KINDS = (
     KIND_FUZZ,
     KIND_FAULT_MATRIX,
     KIND_INJECTION,
+    KIND_CLUSTER,
 )
 
 
@@ -155,6 +165,10 @@ class ShardResult:
     #: self-healing counters (planned/armed/fired faults, retries, breaker
     #: trips, readmissions, demotions, stranded/repaired/quarantined).
     injection: Optional[Dict[str, Any]] = None
+    #: Cluster-shard summary: storm profile, consistency verdict, quorum
+    #: degradation counters, handoff/read-repair/rebalance counters and
+    #: the merged multi-journal evidence verdict.
+    cluster: Optional[Dict[str, Any]] = None
 
     @property
     def detected(self) -> bool:
@@ -206,6 +220,16 @@ class CampaignSpec:
     #: shards -- the negative configuration: storm plans must then FAIL
     #: their ``deadline_violations == 0`` settlement gate.
     shedding_enabled: bool = True
+    # cluster phase (multi-node quorum storms)
+    cluster_shards: int = 3
+    cluster_sequences: int = 2
+    cluster_ops: int = 80
+    cluster_nodes: int = 5
+    #: Disable read-repair in cluster shards -- the negative
+    #: configuration: storm plans must then FAIL their replica-convergence
+    #: settlement gate (revoked/dropped hints leave divergence only
+    #: read-repair heals).
+    read_repair_enabled: bool = True
     # coverage is collected on the first store-alphabet shard only
     # (sys.settrace costs ~10x; one shard is enough for blind-spot stats)
     coverage: bool = True
@@ -229,6 +253,7 @@ def smoke_spec(
     breaker_enabled: bool = True,
     shedding_enabled: bool = True,
     journal: bool = False,
+    read_repair_enabled: bool = True,
 ) -> CampaignSpec:
     """The per-commit CI profile: every phase, small budgets (~tens of
     seconds on two workers), still detecting all 16 Fig. 5 bugs."""
@@ -257,5 +282,10 @@ def smoke_spec(
         breaker_enabled=breaker_enabled,
         shedding_enabled=shedding_enabled,
         journal=journal,
+        cluster_shards=3,
+        cluster_sequences=2,
+        cluster_ops=80,
+        cluster_nodes=5,
+        read_repair_enabled=read_repair_enabled,
         coverage=True,
     )

@@ -40,6 +40,7 @@ _HARNESSES = (
     "compaction-reclaim",
     "bulk-race",
     "linearizability",
+    "quorum",
 )
 
 
@@ -126,6 +127,7 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         "compaction-reclaim": harnesses.compaction_reclaim_harness,
         "bulk-race": harnesses.bulk_race_harness,
         "linearizability": harnesses.linearizability_harness,
+        "quorum": harnesses.quorum_harness,
     }[args.harness]
     faults = _parse_fault(args.fault)
     result = model(
@@ -257,6 +259,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             breaker_enabled=not args.no_breaker,
             shedding_enabled=not args.no_shedding,
             journal=args.journal,
+            read_repair_enabled=not args.no_read_repair,
         )
     else:
         spec = CampaignSpec(
@@ -268,6 +271,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             breaker_enabled=not args.no_breaker,
             shedding_enabled=not args.no_shedding,
             journal=args.journal,
+            read_repair_enabled=not args.no_read_repair,
         )
     result = run_campaign(spec, log=print)
     artifact = result.to_json()
@@ -555,10 +559,55 @@ def _cmd_metrics_serve(args: argparse.Namespace) -> int:
         port=args.port,
         seed=args.seed,
         num_disks=args.num_disks,
+        cluster_nodes=args.cluster,
         warmup_ops=args.warmup_ops,
         ops_per_scrape=args.ops_per_scrape,
         journal_path=args.journal,
     )
+
+
+def _cmd_check_trace_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.evidence import check_cluster_files
+    from repro.shardstore.observability import JournalError
+
+    try:
+        report = check_cluster_files(
+            list(args.journal), require_seal=args.require_seal
+        )
+    except JournalError as exc:
+        print(f"cannot read cluster journals: {exc}")
+        return 2
+    verdict = report.to_json()
+    if args.json:
+        json.dump(verdict, sys.stdout, indent=2)
+        print()
+        return 0 if verdict["passed"] else 1
+    status = "PASS" if verdict["passed"] else "FAIL"
+    names = ", ".join(sorted(report.journals))
+    print(
+        f"{status} cluster replay over {len(report.journals)} journals "
+        f"({names}): {report.records} records / {report.ops} router ops"
+    )
+    print(
+        f"  {report.checked} state assertions checked, "
+        f"{report.corroborated} replica acks corroborated across node "
+        f"journals, {report.crashes} node crashes replayed"
+    )
+    for violation in verdict["violations"]:
+        where = (
+            f"op {violation['op']} tick {violation['tick']}"
+            if violation.get("op") is not None
+            else f"journal {violation.get('node')}"
+        )
+        print(f"  VIOLATION at {where}: {violation['problem']}")
+    if report.violation_count > len(report.violations):
+        print(
+            f"  ... and {report.violation_count - len(report.violations)} "
+            "more violations"
+        )
+    return 0 if verdict["passed"] else 1
 
 
 def _cmd_check_trace(args: argparse.Namespace) -> int:
@@ -567,10 +616,15 @@ def _cmd_check_trace(args: argparse.Namespace) -> int:
     from repro.evidence import check_file
     from repro.shardstore.observability import JournalError
 
+    if len(args.journal) > 1:
+        # Several journals = one cluster run (router + per-node journals):
+        # merged replay under cross-node candidate-set semantics.
+        return _cmd_check_trace_cluster(args)
+    journal_path = args.journal[0]
     try:
-        report = check_file(args.journal, require_seal=args.require_seal)
+        report = check_file(journal_path, require_seal=args.require_seal)
     except JournalError as exc:
-        print(f"cannot read journal {args.journal}: {exc}")
+        print(f"cannot read journal {journal_path}: {exc}")
         return 2
     verdict = report.to_json()
     if args.expect_head and report.head != args.expect_head:
@@ -590,7 +644,7 @@ def _cmd_check_trace(args: argparse.Namespace) -> int:
     status = "PASS" if verdict["passed"] else "FAIL"
     sealed = "sealed" if report.sealed else "UNSEALED"
     print(
-        f"{status} {args.journal}: {report.records} records / {report.ops} "
+        f"{status} {journal_path}: {report.records} records / {report.ops} "
         f"ops replayed against the reference model ({sealed}, head "
         f"{report.head})"
     )
@@ -654,10 +708,10 @@ def _cmd_invariants(args: argparse.Namespace) -> int:
             f"{res.instances:,} instances"
         )
         if res.status == "falsified":
-            line += (
-                f" -- witness op {res.witness_op} tick {res.witness_tick}: "
-                f"{res.detail}"
-            )
+            where = f"op {res.witness_op} tick {res.witness_tick}"
+            if res.witness_node:
+                where += f" node {res.witness_node}"
+            line += f" -- witness {where}: {res.detail}"
         print(line)
     if failed:
         print(f"FAIL: {len(failed)} promoted invariant(s) falsified")
@@ -765,6 +819,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal every injection-shard op and replay each sequence "
         "journal through the trace checker; verdicts and chained digests "
         "land in the artifact's evidence section (schema v5)",
+    )
+    campaign.add_argument(
+        "--no-read-repair",
+        action="store_true",
+        help="run cluster shards with read-repair disabled (storm shards "
+        "are expected to FAIL their replica-convergence settlement gate)",
     )
     campaign.set_defaults(fn=_cmd_campaign)
 
@@ -892,6 +952,16 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_serve.add_argument("--seed", type=int, default=0)
     metrics_serve.add_argument("--num-disks", type=int, default=3)
     metrics_serve.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve a quorum cluster of N storage nodes instead of a "
+        "single node: per-node {node=...} labeled series on /metrics, "
+        "cluster quorum roll-up on /healthz, deterministic partition "
+        "storms every few scrapes",
+    )
+    metrics_serve.add_argument(
         "--warmup-ops",
         type=int,
         default=400,
@@ -917,7 +987,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay an op journal against the reference model "
         "(trace-conformance evidence)",
     )
-    check_trace.add_argument("journal", help="journal JSONL path")
+    check_trace.add_argument(
+        "journal",
+        nargs="+",
+        help="journal JSONL path(s); several paths are replayed together "
+        "as one cluster run (router + per-node journals, merged "
+        "candidate-set semantics)",
+    )
     check_trace.add_argument(
         "--require-seal",
         action="store_true",

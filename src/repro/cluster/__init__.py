@@ -1,0 +1,28 @@
+"""Fault-tolerant multi-node cluster layer (quorum replication).
+
+See :mod:`repro.cluster.router` for the consistency argument and the
+three planes that check it (campaign PBT, merged-journal trace replay,
+deterministic model checking).
+"""
+
+from .ring import HashRing
+from .router import (
+    FLAG_TOMBSTONE,
+    FLAG_VALUE,
+    ClusterConfig,
+    ClusterNode,
+    ClusterRouter,
+    decode_record,
+    encode_record,
+)
+
+__all__ = [
+    "HashRing",
+    "FLAG_TOMBSTONE",
+    "FLAG_VALUE",
+    "ClusterConfig",
+    "ClusterNode",
+    "ClusterRouter",
+    "decode_record",
+    "encode_record",
+]

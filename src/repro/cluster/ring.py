@@ -1,0 +1,100 @@
+"""Consistent-hash placement ring for the cluster layer.
+
+Placement must be *stable* under transient failures: a partitioned or
+demoted node keeps its ring positions (writes it misses become hints, and
+reads route around it), so read and write quorums always intersect on the
+same preference list.  Only membership changes -- a node joining, leaving,
+or being removed -- move ring points, and those are the events the router
+pairs with an explicit rebalance sweep.
+
+Everything is derived from SHA-256 over stable identifiers; there is no
+RNG and no wall clock, so placement is identical across runs, processes
+and worker counts (the campaign determinism contract).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Tuple
+
+__all__ = ["HashRing"]
+
+#: Virtual points per node.  Enough to spread small clusters evenly
+#: without making preference-list walks long.
+DEFAULT_VNODES = 16
+
+
+def _point(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over integer node ids with virtual nodes."""
+
+    def __init__(self, node_ids: Tuple[int, ...] = (), *, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._points: List[int] = []  # sorted ring positions
+        self._owners: List[int] = []  # node id owning the same-index point
+        self._members: List[int] = []
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    @property
+    def members(self) -> List[int]:
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def _vnode_points(self, node_id: int) -> List[int]:
+        return [
+            _point(b"node-%d-vnode-%d" % (node_id, v))
+            for v in range(self.vnodes)
+        ]
+
+    def add_node(self, node_id: int) -> None:
+        if node_id in self._members:
+            raise ValueError(f"node {node_id} already on the ring")
+        for point in self._vnode_points(node_id):
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node_id)
+        self._members.append(node_id)
+        self._members.sort()
+
+    def remove_node(self, node_id: int) -> None:
+        if node_id not in self._members:
+            raise ValueError(f"node {node_id} not on the ring")
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node_id
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+        self._members.remove(node_id)
+
+    def preference_list(self, key: bytes, n: int) -> List[int]:
+        """The first ``n`` *distinct* nodes clockwise from ``key``'s point.
+
+        Fewer than ``n`` members returns them all (the router degrades
+        replication rather than refusing placement).
+        """
+        if not self._members:
+            return []
+        want = min(n, len(self._members))
+        start = bisect.bisect_right(self._points, _point(key))
+        out: List[int] = []
+        for probe in range(len(self._points)):
+            owner = self._owners[(start + probe) % len(self._points)]
+            if owner not in out:
+                out.append(owner)
+                if len(out) == want:
+                    break
+        return out

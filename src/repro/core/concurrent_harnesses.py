@@ -318,3 +318,85 @@ def linearizability_harness(faults: FaultSet, seed: int = 0) -> BodyFactory:
         return body
 
     return factory
+
+
+# ----------------------------------------------------------------------
+# cluster: quorum write / read-repair interleavings
+
+
+def quorum_harness(faults: FaultSet, seed: int = 0) -> BodyFactory:
+    """Concurrent quorum writers racing a reader through the cluster
+    router; the history must linearize against the sequential model.
+
+    The router assigns globally monotone versions (its linearization
+    point) and replicas apply records under their per-node
+    :class:`~repro.concurrency.primitives.Mutex` -- the scheduler's yield
+    points -- so the checker explores replica-apply interleavings: a
+    newer record landing on one replica before an older record reaches
+    another, reads racing half-applied quorum writes, and read-repair
+    re-writing stale replicas mid-race.  Quorum intersection (W + R > N)
+    plus version monotonicity must make every such interleaving
+    linearizable.  ``faults`` is unused: node-level faults are the
+    campaign storms' job; this harness isolates pure scheduling races.
+    """
+    del faults  # cluster nodes model crashes via apply_fault, not FaultSet
+
+    def factory() -> Callable[[], None]:
+        from repro.cluster import ClusterConfig, ClusterRouter
+
+        router = ClusterRouter(
+            ClusterConfig(
+                num_nodes=3,
+                disks_per_node=1,
+                replication=3,
+                write_quorum=2,
+                read_quorum=2,
+                seed=seed,
+                geometry=DiskGeometry(
+                    num_extents=10, extent_size=2048, page_size=128
+                ),
+            )
+        )
+        router.put(b"shared", b"initial")
+        recorder = HistoryRecorder()
+
+        def writer(value: bytes) -> Callable[[], None]:
+            def do_put() -> None:
+                router.put(b"shared", value)
+                return None
+
+            def body() -> None:
+                recorder.record("put", (b"shared", value), do_put)
+
+            return body
+
+        def reader() -> None:
+            def do_get():
+                try:
+                    return router.get(b"shared")
+                except NotFoundError:
+                    return None
+
+            recorder.record("get", (b"shared",), do_get)
+
+        def body() -> None:
+            tasks = [
+                spawn(writer(b"from-w1"), "w1"),
+                spawn(writer(b"from-w2"), "w2"),
+                spawn(reader, "r1"),
+            ]
+            for task in tasks:
+                task.join()
+            history = recorder.history()
+            state = {b"shared": b"initial"}
+            ok = check_linearizable(
+                history,
+                lambda: state,
+                kv_model_apply,
+                fingerprint=kv_fingerprint,
+            )
+            assert ok, f"history not linearizable: {history!r}"
+
+        return body
+
+    return factory

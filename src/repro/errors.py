@@ -104,3 +104,38 @@ class DeadlineExceededError(RetryableError):
     so the store state is unchanged.  Deadlines are measured on the node's
     deterministic op-clock, never wall time.
     """
+
+
+class DegradedWriteError(RetryableError):
+    """A replicated write reached fewer than its write quorum ``W``.
+
+    Raised by the cluster router instead of blocking for unreachable
+    replicas.  The write may have been applied on up to ``acks`` replicas
+    (never a quorum), so its post-state is *uncertain*: the trace checker
+    widens the key to {applied, not-applied} until a later read observes
+    one branch.  Retry under a bounded budget; puts are idempotent at
+    equal versions.
+    """
+
+    def __init__(
+        self, message: str, *, acks: int = 0, required: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.acks = acks
+        self.required = required
+
+
+class DegradedReadError(RetryableError):
+    """A replicated read reached fewer than its read quorum ``R``.
+
+    Raised by the cluster router when too few replicas respond (down,
+    partitioned, or shedding).  Reads never mutate state, so there is no
+    uncertainty to track -- the caller simply retries under budget.
+    """
+
+    def __init__(
+        self, message: str, *, replies: int = 0, required: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.replies = replies
+        self.required = required

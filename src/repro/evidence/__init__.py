@@ -9,6 +9,13 @@ such a log into *proof*:
   specification, offline.  Puts/gets/deletes must agree with the model,
   typed sheds must provably not have mutated state, and crash semantics
   (dirty reboots) are handled with sound per-key candidate sets.
+* :mod:`repro.evidence.cluster` -- ``repro check-trace`` with several
+  journals: merge one router journal plus N per-node journals from a
+  cluster run, verify every chain independently, replay the router's op
+  stream under cross-node candidate-set semantics (unacknowledged quorum
+  writes widen, acknowledged ones must survive any minority of node
+  crashes) and corroborate every claimed replica ack against the acking
+  node's own journal by cluster op id.
 * :mod:`repro.evidence.invariants` -- ``repro invariants``: mine
   Daikon-style candidate properties from journals (monotone op ids,
   get-after-put agreement, shed-implies-no-state-change, breaker
@@ -20,6 +27,11 @@ PROMOTED`) is enforced by the checker on every run.
 """
 
 from .checker import CheckReport, TraceChecker, check_file, check_journal
+from .cluster import (
+    ClusterCheckReport,
+    check_cluster_files,
+    check_cluster_journals,
+)
 from .invariants import (
     PROMOTED,
     InvariantResult,
@@ -30,9 +42,12 @@ from .invariants import (
 
 __all__ = [
     "CheckReport",
+    "ClusterCheckReport",
     "InvariantResult",
     "PROMOTED",
     "TraceChecker",
+    "check_cluster_files",
+    "check_cluster_journals",
     "check_file",
     "check_journal",
     "mine_file",

@@ -1,0 +1,436 @@
+"""Merged multi-journal trace checking for the cluster layer.
+
+A cluster run produces one journal per storage node plus one for the
+router (each with a distinct identity in its chain genesis and every
+record body).  This checker replays the *router* journal -- the
+cluster-level op stream, each record carrying its replica ack set -- under
+cross-node candidate-set semantics, and uses the per-node journals for
+two things the router journal alone cannot prove:
+
+* **chain integrity per node** -- every journal's hash chain must verify
+  independently (the node id participates in the chain, so journals
+  cannot be spliced);
+* **ack corroboration** -- an acknowledged quorum write must actually
+  appear in the journal of every acking node, matched by the cluster op
+  id (``cop``) the router stamped on the replica-side record, with the
+  same value digest.  A router that claimed an ack no node journal backs
+  is a consistency violation, not a formatting problem.
+
+Candidate-set semantics (the cluster analogue of
+:mod:`repro.evidence.checker`):
+
+* an **acknowledged** write (``out=ok``, ``len(acks) >= want``) is
+  certain, and must *survive any minority of node crashes*: crash
+  records only widen a key when the crashed set covers the key's entire
+  ack set AND has grown past a minority -- which the storm planner never
+  does, so widening here on a real trace means the plan itself was
+  illegal;
+* an **unacknowledged** write (``error:DegradedWriteError``) with a
+  non-empty ack list widens the key to {applied, not-applied}; with an
+  *empty* ack list it provably did not touch any replica (the cluster
+  analogue of a typed shed) and the key stays certain;
+* a quorum read narrows an uncertain key only when it observed the
+  *newest* candidate version: observing the older branch is consistent
+  with the newer value still surfacing later via hinted handoff or
+  read-repair, so it must not collapse the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.shardstore.observability.journal import (
+    read_journal,
+    verify_chain,
+)
+
+from .checker import ABSENT, MAX_VIOLATIONS
+
+__all__ = [
+    "ClusterCheckReport",
+    "check_cluster_files",
+    "check_cluster_journals",
+]
+
+#: Router-journal record kinds that mutate cluster placement/liveness
+#: bookkeeping but never key state.
+_EVENT_KINDS = (
+    "crash",
+    "restart",
+    "partition",
+    "partition_heal",
+    "slow",
+    "demote",
+    "readmit",
+    "join",
+    "leave",
+    "hint_replay",
+    "read_repair",
+    "rebalance",
+    "keys",
+)
+
+
+@dataclass
+class ClusterCheckReport:
+    """The verdict of one merged cluster replay."""
+
+    journals: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    records: int = 0
+    ops: int = 0
+    checked: int = 0
+    skipped: int = 0
+    corroborated: int = 0  # acked replica writes matched in node journals
+    crashes: int = 0
+    violation_count: int = 0
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    chain_ok: bool = True
+    sealed: bool = False  # every journal sealed
+
+    @property
+    def passed(self) -> bool:
+        return self.violation_count == 0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "journals": {
+                name: dict(info) for name, info in sorted(self.journals.items())
+            },
+            "records": self.records,
+            "ops": self.ops,
+            "checked": self.checked,
+            "skipped": self.skipped,
+            "corroborated": self.corroborated,
+            "crashes": self.crashes,
+            "chain_ok": self.chain_ok,
+            "sealed": self.sealed,
+            "violation_count": self.violation_count,
+            "violations": list(self.violations),
+        }
+
+
+def _journal_identity(entries: List[Dict[str, Any]]) -> Tuple[str, Dict[str, Any]]:
+    if not entries or entries[0].get("kind") != "genesis":
+        return "", {}
+    meta = entries[0].get("meta") or {}
+    return str(meta.get("node", "")), meta
+
+
+class _ClusterReplay:
+    def __init__(self, require_seal: bool) -> None:
+        self.require_seal = require_seal
+        self.report = ClusterCheckReport()
+        # key digest -> candidate value digests (ABSENT allowed) -> version
+        self._state: Dict[str, Dict[str, int]] = {}
+        # key digest -> ack node set of the last acknowledged write
+        self._acks: Dict[str, Set[int]] = {}
+        # keys widened past recovery (majority-crash safety net)
+        self._wild: Set[str] = set()
+        self._dead: Set[int] = set()
+        self._cfg: Dict[str, Any] = {}
+        # node identity -> cop -> list of replica-side records
+        self._node_cops: Dict[str, Dict[int, List[Dict[str, Any]]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _violate(self, entry: Dict[str, Any], problem: str) -> None:
+        self.report.violation_count += 1
+        if len(self.report.violations) < MAX_VIOLATIONS:
+            self.report.violations.append(
+                {
+                    "op": entry.get("op"),
+                    "tick": entry.get("tick"),
+                    "kind": entry.get("kind"),
+                    "node": entry.get("node"),
+                    "key": entry.get("key"),
+                    "problem": problem,
+                }
+            )
+
+    def _verify_journal(
+        self, name: str, entries: List[Dict[str, Any]]
+    ) -> None:
+        problems = verify_chain(entries)
+        sealed = bool(entries) and entries[-1].get("kind") == "seal"
+        info = {
+            "records": len(entries),
+            "chain_ok": not problems,
+            "sealed": sealed,
+            "head": entries[-1].get("chain") if entries else None,
+        }
+        self.report.journals[name] = info
+        self.report.records += len(entries)
+        if problems:
+            self.report.chain_ok = False
+            for problem in problems[:4]:
+                self._violate({"node": name}, f"chain: {problem}")
+        if self.require_seal and not sealed:
+            self._violate(
+                {"node": name}, "journal is not sealed (truncated tail?)"
+            )
+        last_op = 0
+        for entry in entries:
+            op_id = entry.get("op")
+            if isinstance(op_id, int):
+                if op_id <= last_op:
+                    self._violate(
+                        entry,
+                        f"op id {op_id} not monotone within journal {name}",
+                    )
+                last_op = max(last_op, op_id)
+            node = entry.get("node")
+            if entry.get("kind") != "genesis" and node != name and name:
+                self._violate(
+                    entry,
+                    f"record claims node {node!r} inside journal {name!r}",
+                )
+
+    def _index_node_journal(
+        self, name: str, entries: List[Dict[str, Any]]
+    ) -> None:
+        cops: Dict[int, List[Dict[str, Any]]] = {}
+        for entry in entries:
+            cop = entry.get("cop")
+            if isinstance(cop, int) and cop > 0:
+                cops.setdefault(cop, []).append(entry)
+        self._node_cops[name] = cops
+
+    # ------------------------------------------------------------------
+    # candidate-set state
+
+    def _candidates(self, kd: str) -> Optional[Dict[str, int]]:
+        return self._state.get(kd)
+
+    def _set_certain(self, kd: str, vd: str, ver: int) -> None:
+        self._state[kd] = {vd: ver}
+        self._wild.discard(kd)
+
+    def _widen(self, kd: str, vd: str, ver: int) -> None:
+        self._state.setdefault(kd, {ABSENT: -1})[vd] = ver
+
+    def _minority(self) -> int:
+        nodes = int(self._cfg.get("nodes", 0))
+        return max(0, (nodes - 1) // 2)
+
+    # ------------------------------------------------------------------
+    # record handlers
+
+    def _corroborate(
+        self, entry: Dict[str, Any], acks: List[int], vd: Optional[str]
+    ) -> None:
+        cop = entry.get("cop")
+        if not isinstance(cop, int):
+            self._violate(entry, "acknowledged write carries no cop")
+            return
+        for nid in acks:
+            name = f"node{nid}"
+            matches = self._node_cops.get(name, {}).get(cop, [])
+            applied = [
+                rec
+                for rec in matches
+                if rec.get("kind") == "put" and rec.get("out") == "ok"
+            ]
+            if not applied:
+                self._violate(
+                    entry,
+                    f"ack by node {nid} has no matching replica put "
+                    f"(cop {cop}) in its journal",
+                )
+                continue
+            if vd is not None and all(
+                rec.get("value") != vd for rec in applied
+            ):
+                self._violate(
+                    entry,
+                    f"node {nid}'s replica put for cop {cop} carries a "
+                    f"different value digest",
+                )
+                continue
+            self.report.corroborated += 1
+
+    def _handle_write(self, entry: Dict[str, Any], tombstone: bool) -> None:
+        kd = entry.get("key")
+        out = entry.get("out", "ok")
+        ver = entry.get("ver", -1)
+        vd = ABSENT if tombstone else entry.get("value")
+        acks = [a for a in (entry.get("acks") or []) if isinstance(a, int)]
+        want = entry.get("want", 0)
+        if kd is None:
+            return
+        if out == "ok":
+            if len(acks) < int(want):
+                self._violate(
+                    entry,
+                    f"acknowledged with {len(acks)} acks but quorum is {want}",
+                )
+            if not tombstone and vd is None:
+                self._violate(entry, "acknowledged put carries no value digest")
+                return
+            self.report.checked += 1
+            self._set_certain(kd, vd if vd is not None else ABSENT, int(ver))
+            self._acks[kd] = set(acks)
+            self._corroborate(
+                entry, acks, None if tombstone else vd
+            )
+        elif out == "error:DegradedWriteError":
+            if not acks:
+                # No replica applied it: provably state-preserving.
+                self.report.checked += 1
+                return
+            self._widen(kd, vd if vd is not None else ABSENT, int(ver))
+        elif out == "not_found":
+            # delete of an absent key: an observation of absence.
+            self._observe_absent(entry, kd)
+        elif out.startswith("error:"):
+            self.report.skipped += 1
+        # shed outcomes are impossible at the router (sheds happen at
+        # replicas and simply cost the write an ack).
+
+    def _observe_absent(self, entry: Dict[str, Any], kd: str) -> None:
+        cands = self._candidates(kd)
+        if cands is None or kd in self._wild:
+            return
+        self.report.checked += 1
+        if ABSENT not in cands:
+            expected = ", ".join(sorted(cands))
+            self._violate(
+                entry,
+                f"observed absent but the model allows only {{{expected}}}",
+            )
+
+    def _handle_get(self, entry: Dict[str, Any]) -> None:
+        kd = entry.get("key")
+        out = entry.get("out", "ok")
+        if kd is None:
+            return
+        if out == "not_found":
+            self._observe_absent(entry, kd)
+            return
+        if out != "ok":
+            self.report.skipped += 1
+            return
+        vd = entry.get("value")
+        ver = entry.get("ver", -1)
+        cands = self._candidates(kd)
+        if vd is None:
+            return
+        if cands is None or kd in self._wild:
+            # First sight of a key (or one lost to a majority crash):
+            # learn, don't judge.
+            self._set_certain(kd, vd, int(ver))
+            return
+        self.report.checked += 1
+        if vd not in cands:
+            expected = ", ".join(sorted(cands))
+            self._violate(
+                entry,
+                f"observed {vd!r} but the model allows only {{{expected}}}",
+            )
+            return
+        newest = max(cands.values())
+        if cands[vd] >= newest:
+            # Observed the newest branch: the candidate set collapses.
+            self._set_certain(kd, vd, cands[vd])
+
+    def _handle_contains(self, entry: Dict[str, Any]) -> None:
+        kd = entry.get("key")
+        if kd is None or entry.get("out") != "ok":
+            return
+        cands = self._candidates(kd)
+        if cands is None or kd in self._wild:
+            return
+        self.report.checked += 1
+        exists = bool(entry.get("exists"))
+        present = {vd for vd in cands if vd != ABSENT}
+        if exists and not present:
+            self._violate(entry, "reported present but the model says absent")
+        elif not exists and ABSENT not in cands:
+            self._violate(entry, "reported absent but the model says present")
+
+    def _handle_crash(self, entry: Dict[str, Any]) -> None:
+        target = entry.get("target")
+        if not isinstance(target, int):
+            return
+        self._dead.add(target)
+        self.report.crashes += 1
+        if len(self._dead) <= self._minority():
+            # An acknowledged write must survive any minority of crashes:
+            # nothing widens.
+            return
+        # Majority down: soundness requires widening every key whose
+        # entire ack set is dead (its acked value may not survive).
+        for kd, acks in self._acks.items():
+            if acks and acks.issubset(self._dead):
+                self._wild.add(kd)
+
+    # ------------------------------------------------------------------
+
+    def replay_router(self, entries: List[Dict[str, Any]]) -> None:
+        for entry in entries:
+            kind = entry.get("kind")
+            if kind in ("genesis", "seal"):
+                continue
+            self.report.ops += 1
+            if kind == "put":
+                self._handle_write(entry, tombstone=False)
+            elif kind == "delete":
+                self._handle_write(entry, tombstone=True)
+            elif kind == "get":
+                self._handle_get(entry)
+            elif kind == "contains":
+                self._handle_contains(entry)
+            elif kind == "crash":
+                self._handle_crash(entry)
+            elif kind == "restart":
+                target = entry.get("target")
+                if isinstance(target, int):
+                    self._dead.discard(target)
+            elif kind in _EVENT_KINDS:
+                continue
+            else:
+                self._violate(entry, f"unknown router record kind {kind!r}")
+
+
+def check_cluster_journals(
+    journal_entries: List[List[Dict[str, Any]]],
+    *,
+    require_seal: bool = False,
+) -> ClusterCheckReport:
+    """Replay merged cluster journals (one router + N node journals)."""
+    replay = _ClusterReplay(require_seal)
+    report = replay.report
+    router: Optional[List[Dict[str, Any]]] = None
+    for entries in journal_entries:
+        name, meta = _journal_identity(entries)
+        if not name:
+            replay._violate(
+                {}, "journal has no genesis identity (not a cluster journal?)"
+            )
+            continue
+        replay._verify_journal(name, entries)
+        if meta.get("role") == "router":
+            if router is not None:
+                replay._violate({}, "more than one router journal supplied")
+            router = entries
+            replay._cfg = meta
+        else:
+            replay._index_node_journal(name, entries)
+    if router is None:
+        replay._violate({}, "no router journal supplied (meta.role=router)")
+    else:
+        replay.replay_router(router)
+    report.sealed = bool(report.journals) and all(
+        info["sealed"] for info in report.journals.values()
+    )
+    return report
+
+
+def check_cluster_files(
+    paths: List[str], *, require_seal: bool = False
+) -> ClusterCheckReport:
+    """Read and replay cluster journal files together."""
+    return check_cluster_journals(
+        [read_journal(path) for path in paths], require_seal=require_seal
+    )

@@ -86,6 +86,11 @@ class InvariantResult:
     witness_op: Optional[int] = None
     witness_tick: Optional[int] = None
     detail: str = ""
+    #: Which journal identity produced the witness (the record's ``node``
+    #: field).  Op ids are only per-journal monotone, so when several
+    #: node journals are mined together the op id alone is ambiguous --
+    #: this attributes the witness to the node that wrote it.
+    witness_node: Optional[str] = None
 
     @property
     def promoted(self) -> bool:
@@ -102,6 +107,8 @@ class InvariantResult:
             out["witness_op"] = self.witness_op
         if self.witness_tick is not None:
             out["witness_tick"] = self.witness_tick
+        if self.witness_node is not None:
+            out["witness_node"] = self.witness_node
         if self.detail:
             out["detail"] = self.detail
         return out
@@ -113,18 +120,31 @@ class _Template:
     def __init__(self, name: str) -> None:
         self.name = name
         self.instances = 0
-        self.witness: Optional[Tuple[Optional[int], Optional[int], str]] = None
+        self.witness: Optional[
+            Tuple[Optional[int], Optional[int], str, Optional[str]]
+        ] = None
 
     def check(self, held: bool, entry: Dict[str, Any], detail: str) -> None:
         self.instances += 1
         if not held and self.witness is None:
-            self.witness = (entry.get("op"), entry.get("tick"), detail)
+            self.witness = (
+                entry.get("op"),
+                entry.get("tick"),
+                detail,
+                entry.get("node"),
+            )
 
     def result(self) -> InvariantResult:
         if self.witness is not None:
-            op, tick, detail = self.witness
+            op, tick, detail, node = self.witness
             return InvariantResult(
-                self.name, "falsified", self.instances, op, tick, detail
+                self.name,
+                "falsified",
+                self.instances,
+                op,
+                tick,
+                detail,
+                witness_node=node,
             )
         if self.instances == 0:
             return InvariantResult(self.name, "vacuous", 0)
@@ -152,6 +172,7 @@ def mine_journal(entries: List[Dict[str, Any]]) -> List[InvariantResult]:
             witness.get("op"),
             witness.get("tick"),
             first,
+            witness.get("node"),
         )
 
     last_op = 0
@@ -357,6 +378,7 @@ def mine_journals(
                 prior.status = "falsified"
                 prior.witness_op = res.witness_op
                 prior.witness_tick = res.witness_tick
+                prior.witness_node = res.witness_node
                 prior.detail = res.detail
             elif prior.status == "vacuous" and res.status == "confirmed":
                 prior.status = "confirmed"

@@ -17,6 +17,8 @@ the `KVNode` protocol exists to prevent.
 from repro.errors import (
     CorruptionError,
     DeadlineExceededError,
+    DegradedReadError,
+    DegradedWriteError,
     ExtentError,
     InvalidRequestError,
     IoError,
@@ -47,6 +49,8 @@ def validate_key(key: object) -> None:
 __all__ = [
     "CorruptionError",
     "DeadlineExceededError",
+    "DegradedReadError",
+    "DegradedWriteError",
     "ExtentError",
     "InvalidRequestError",
     "IoError",

@@ -51,11 +51,17 @@ __all__ = [
     "FAULT_HEAL",
     "FAULT_SLOW_DISK",
     "FAULT_BURST",
+    "FAULT_NODE_CRASH",
+    "FAULT_NODE_RESTART",
+    "FAULT_PARTITION",
+    "FAULT_PARTITION_HEAL",
+    "FAULT_NODE_SLOW",
     "BROWNOUT_RAMP",
     "OVERLOAD_BURSTS",
     "OVERLOAD_SLOWDOWNS",
     "STORE_PROFILES",
     "NODE_PROFILES",
+    "CLUSTER_PROFILES",
     "PlannedFault",
     "FaultPlan",
     "FaultInjector",
@@ -70,6 +76,19 @@ FAULT_BIT_FLIP = "bit-flip"
 FAULT_HEAL = "heal"
 FAULT_SLOW_DISK = "slow-disk"
 FAULT_BURST = "burst"
+
+# Cluster-level fault kinds: ``disk`` is reused as the *node id* (the plan
+# coordinate system stays (op index, target, extent) -- only the target's
+# meaning widens from disk to node).  ``node-crash`` takes the node down and
+# dirty-reboots its disks on ``node-restart`` (un-drained writes are lost);
+# ``partition`` makes the node unreachable from the router for ``arg`` ops
+# without losing state; ``node-slow`` holds ``arg`` arrivals at the node so
+# its admission queue backs up and sheds.
+FAULT_NODE_CRASH = "node-crash"
+FAULT_NODE_RESTART = "node-restart"
+FAULT_PARTITION = "partition"
+FAULT_PARTITION_HEAL = "partition-heal"
+FAULT_NODE_SLOW = "node-slow"
 
 #: Store-level plan profiles: which fault kinds a profile draws from.
 STORE_PROFILES: Dict[str, Tuple[str, ...]] = {
@@ -120,6 +139,23 @@ NODE_PROFILES: Dict[str, Tuple[str, ...]] = {
         FAULT_TRANSIENT_WRITE,
         FAULT_SLOW_DISK,
         FAULT_BURST,
+    ),
+}
+
+#: Cluster-level plan profiles (node-granularity storms driven through
+#: the :class:`~repro.cluster.router.ClusterRouter`).  Every outage window
+#: is paired with its heal/restart event and concurrent outages never
+#: exceed a strict minority of the cluster, so the acknowledged-write
+#: durability property is *supposed* to hold -- the campaign checks it.
+CLUSTER_PROFILES: Dict[str, Tuple[str, ...]] = {
+    "node-crash": (FAULT_NODE_CRASH, FAULT_NODE_RESTART),
+    "partition": (FAULT_PARTITION, FAULT_PARTITION_HEAL, FAULT_NODE_SLOW),
+    "cluster-mixed": (
+        FAULT_NODE_CRASH,
+        FAULT_NODE_RESTART,
+        FAULT_PARTITION,
+        FAULT_PARTITION_HEAL,
+        FAULT_NODE_SLOW,
     ),
 }
 
@@ -282,6 +318,82 @@ class FaultPlan:
                     extent=rng.choice(extent_list),
                 )
             )
+        faults.sort(key=lambda f: (f.op_index, f.kind, f.disk, f.extent, f.arg))
+        return cls(seed=seed, profile=profile, ops=ops, faults=tuple(faults))
+
+    @classmethod
+    def generate_cluster(
+        cls,
+        seed: int,
+        *,
+        ops: int,
+        num_nodes: int,
+        profile: str = "cluster-mixed",
+        windows: int = 3,
+    ) -> "FaultPlan":
+        """Draw a node-granularity storm plan from ``seed``.
+
+        ``disk`` carries the *node id*.  The plan schedules outage windows
+        -- crash..restart or partition..heal pairs -- with two invariants
+        the durability property depends on: a node is never in two
+        overlapping windows, and at no op index are more than a strict
+        minority of nodes down or partitioned at once.  Windows are long
+        relative to the hinted-handoff buffer, so hint overflow (and hence
+        replica divergence that only read-repair can converge) is expected,
+        not exceptional.  ``node-slow`` events hold ``arg`` arrivals at one
+        node so its admission queue sheds -- a gray replica, not a dead one.
+        """
+        if ops <= 0:
+            raise ValueError("ops must be positive")
+        if num_nodes < 3:
+            raise ValueError("cluster plans need at least 3 nodes")
+        if profile not in CLUSTER_PROFILES:
+            raise ValueError(f"unknown cluster profile {profile!r}")
+        kinds = CLUSTER_PROFILES[profile]
+        rng = random.Random(seed)
+        minority = max(1, (num_nodes - 1) // 2)
+        crash_kind = FAULT_NODE_CRASH in kinds
+        part_kind = FAULT_PARTITION in kinds
+        spans: List[Tuple[int, int, int]] = []
+        faults: List[PlannedFault] = []
+        for _ in range(windows * 4):
+            if len(spans) >= windows:
+                break
+            node = rng.randrange(num_nodes)
+            start = rng.randrange(max(1, ops // 10), max(2, ops // 2))
+            length = rng.randrange(max(4, ops // 6), max(5, ops // 3))
+            end = min(ops - 2, start + length)
+            if end <= start:
+                continue
+            overlapping = [
+                s for s in spans if not (end < s[0] or s[1] < start)
+            ]
+            if any(s[2] == node for s in overlapping):
+                continue
+            if len(overlapping) + 1 > minority:
+                continue
+            spans.append((start, end, node))
+            is_crash = (
+                rng.random() < 0.5 if (crash_kind and part_kind) else crash_kind
+            )
+            if is_crash:
+                faults.append(PlannedFault(start, FAULT_NODE_CRASH, disk=node))
+                faults.append(PlannedFault(end, FAULT_NODE_RESTART, disk=node))
+            else:
+                faults.append(PlannedFault(start, FAULT_PARTITION, disk=node))
+                faults.append(
+                    PlannedFault(end, FAULT_PARTITION_HEAL, disk=node)
+                )
+        if FAULT_NODE_SLOW in kinds:
+            for _ in range(rng.randrange(1, 3)):
+                faults.append(
+                    PlannedFault(
+                        rng.randrange(max(1, ops // 8), max(2, ops - 1)),
+                        FAULT_NODE_SLOW,
+                        disk=rng.randrange(num_nodes),
+                        arg=rng.choice(OVERLOAD_BURSTS),
+                    )
+                )
         faults.sort(key=lambda f: (f.op_index, f.kind, f.disk, f.extent, f.arg))
         return cls(seed=seed, profile=profile, ops=ops, faults=tuple(faults))
 

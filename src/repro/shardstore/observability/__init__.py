@@ -38,6 +38,7 @@ from .journal import (
     digest_keys,
     journal_head,
     read_journal,
+    seal_on_signal,
     verify_chain,
 )
 from .prometheus import render_prometheus
@@ -80,6 +81,7 @@ __all__ = [
     "digest_keys",
     "journal_head",
     "read_journal",
+    "seal_on_signal",
     "verify_chain",
     "Recorder",
     "TimingRecorder",

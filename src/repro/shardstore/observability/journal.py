@@ -65,6 +65,7 @@ __all__ = [
     "digest_keys",
     "journal_head",
     "read_journal",
+    "seal_on_signal",
     "verify_chain",
 ]
 
@@ -154,10 +155,24 @@ class Journal:
     """
 
     def __init__(
-        self, path: Optional[str] = None, *, meta: Optional[Dict[str, Any]] = None
+        self,
+        path: Optional[str] = None,
+        *,
+        meta: Optional[Dict[str, Any]] = None,
+        node: Optional[str] = None,
     ) -> None:
         self.path = path
         self.meta: Dict[str, Any] = dict(meta or {})
+        #: Journal identity.  In a cluster every per-node journal (and the
+        #: router's own) carries a distinct ``node`` id in its genesis meta
+        #: *and in every record body*, so merged multi-journal tooling
+        #: (``repro invariants``, the cluster trace checker) attributes each
+        #: witness to the node that produced it instead of colliding on
+        #: per-journal op ids.  The id participates in the hash chain, so
+        #: two nodes' journals can never be spliced into one another.
+        self.node = node
+        if node is not None:
+            self.meta.setdefault("node", node)
         #: Parsed records, in write order (including genesis and seal).
         self.entries: List[Dict[str, Any]] = []
         self.head = GENESIS_CHAIN
@@ -168,6 +183,7 @@ class Journal:
         self._depth = 0  # nesting guard (see module docstring)
         self._open: Optional[Dict[str, Any]] = None
         self._counts: Dict[str, int] = {}
+        self._annotation: Dict[str, Any] = {}
         self._recorder: Any = None
         self._fh = open(path, "w", encoding="utf-8") if path else None
         try:
@@ -203,6 +219,17 @@ class Journal:
         record = self._open
         if record is not None:
             record["retries"] = record.get("retries", 0) + 1
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach ``fields`` to the *next* record this journal emits.
+
+        The cluster router uses this to stamp each replica-side record with
+        the cluster op id (``cop``) that caused it, so the merged-journal
+        checker can corroborate an acknowledged quorum write against the
+        per-node journals of its ackers.  Consumed by the first emitted
+        record; a nested (suppressed) op does not consume it.
+        """
+        self._annotation.update(fields)
 
     def _tick_now(self) -> int:
         if self._recorder is not None:
@@ -240,6 +267,9 @@ class Journal:
             record["value"] = digest_bytes(value)
         if fields:
             record.update(fields)
+        if self._annotation:
+            record.update(self._annotation)
+            self._annotation = {}
         self._open = record
         return record
 
@@ -319,6 +349,9 @@ class Journal:
         for name, val in fields.items():
             if val is not None:
                 record[name] = val
+        if self._annotation:
+            record.update(self._annotation)
+            self._annotation = {}
         record["tick"] = self._tick_now()
         self._bump(kind, out)
         self._write(record)
@@ -354,6 +387,8 @@ class Journal:
     def _write(self, body: Dict[str, Any]) -> None:
         if self.sealed:
             raise JournalError("journal is sealed")
+        if self.node is not None and "node" not in body:
+            body["node"] = self.node
         body_json = canonical_json(body)
         chain = chain_digest(self.head, body_json)
         record = dict(body)
@@ -366,6 +401,60 @@ class Journal:
         if self._fh is not None:
             self._fh.write(line + "\n")
             self._fh.flush()
+
+
+# ----------------------------------------------------------------------
+# graceful shutdown
+
+
+class seal_on_signal:
+    """Context manager: seal journals even when the run is interrupted.
+
+    A journal missing its seal record reads as truncated (``--require-seal``
+    fails), so a bench run or metrics server killed by Ctrl-C or a
+    supervisor's SIGTERM would leave evidence that cannot be
+    distinguished from tampering.  This installs SIGINT/SIGTERM handlers
+    that convert the signal into a :class:`KeyboardInterrupt` (so the
+    wrapped loop unwinds through its normal cleanup) and, on *any* exit,
+    seals every journal (idempotent -- :meth:`Journal.close` on a sealed
+    journal just returns the head) before restoring the previous
+    handlers.  Journal writes flush per record, so everything up to the
+    interrupt is already on disk; the seal makes the tail verifiable.
+
+    Handlers can only be installed from the main thread; elsewhere this
+    degrades to seal-on-exit only.
+    """
+
+    def __init__(self, *journals: Optional[Journal]) -> None:
+        self.journals = [j for j in journals if j is not None]
+        self._previous: Dict[int, Any] = {}
+
+    def __enter__(self) -> "seal_on_signal":
+        import signal
+
+        def interrupt(signum: int, frame: Any) -> None:
+            raise KeyboardInterrupt(f"signal {signum}")
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[sig] = signal.signal(sig, interrupt)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        import signal
+
+        for journal in self.journals:
+            try:
+                journal.close()
+            except Exception:  # noqa: BLE001 - best-effort on shutdown
+                pass
+        for sig, handler in self._previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
 
 
 # ----------------------------------------------------------------------

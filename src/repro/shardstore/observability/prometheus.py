@@ -78,6 +78,9 @@ def render_prometheus(
     latency: Optional[Dict[str, Any]] = None,
     extra_counters: Optional[Dict[str, int]] = None,
     extra_gauges: Optional[Dict[str, float]] = None,
+    labeled_counters: Optional[Dict[str, Dict[str, int]]] = None,
+    labeled_gauges: Optional[Dict[str, Dict[str, float]]] = None,
+    label: str = "node",
     namespace: str = "repro",
 ) -> str:
     """Render metric snapshots as a Prometheus text-format page.
@@ -88,9 +91,37 @@ def render_prometheus(
     ``extra_counters`` adds flat name->int counters (e.g. ``NodeStats``);
     ``extra_gauges`` adds flat name->float gauges (e.g. the breaker
     states and error rates from ``StorageNode.health_snapshot()``).
+
+    ``labeled_counters`` / ``labeled_gauges`` map a metric name to
+    ``{label value -> number}`` and render one sample per label value
+    under the ``label`` key (default ``node``) -- the cluster demo uses
+    this to break breaker/queue/shed/hedge series out per storage node:
+    ``repro_cluster_shed_overload_total{node="node2"} 3``.
     """
     lines: List[str] = []
     metrics = metrics or {}
+
+    for name in sorted(labeled_counters or {}):
+        metric = _metric_name(name, namespace) + "_total"
+        lines.append(
+            f"# HELP {metric} Monotonic counter {name} (per {label})"
+        )
+        lines.append(f"# TYPE {metric} counter")
+        for value_key in sorted(labeled_counters[name]):
+            lines.append(
+                f'{metric}{{{label}="{value_key}"}} '
+                f"{_format_value(labeled_counters[name][value_key])}"
+            )
+
+    for name in sorted(labeled_gauges or {}):
+        metric = _metric_name(name, namespace)
+        lines.append(f"# HELP {metric} Gauge {name} (per {label})")
+        lines.append(f"# TYPE {metric} gauge")
+        for value_key in sorted(labeled_gauges[name]):
+            lines.append(
+                f'{metric}{{{label}="{value_key}"}} '
+                f"{_format_value(labeled_gauges[name][value_key])}"
+            )
 
     counters = dict(metrics.get("counters", {}))
     for name, value in (extra_counters or {}).items():

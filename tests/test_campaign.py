@@ -17,6 +17,7 @@ from repro.campaign import (
 )
 from repro.campaign.runner import SEED_STRIDE, execute_shard
 from repro.campaign.spec import (
+    KIND_CLUSTER,
     KIND_CONFORMANCE,
     KIND_CRASH,
     KIND_FAULT_MATRIX,
@@ -295,7 +296,7 @@ class TestRunCampaign:
 
     def test_artifact_schema_headline_fields(self):
         artifact = result_to_json(run_campaign(_tiny_spec()))
-        assert artifact["schema_version"] == 5
+        assert artifact["schema_version"] == 6
         for key in (
             "campaign",
             "totals",
@@ -313,6 +314,7 @@ class TestRunCampaign:
             KIND_FUZZ,
             KIND_FAULT_MATRIX,
             KIND_INJECTION,
+            KIND_CLUSTER,
         }
 
 class TestBrownoutSuite:

@@ -1,0 +1,630 @@
+"""Tests for the multi-node cluster layer.
+
+Covers the consistent-hash ring, quorum read/write semantics and the
+typed degradation contract, hinted handoff (queue / replay / overflow /
+revocation), read-repair, rebalancing on membership change, node-level
+fault storms, per-node journal identity, the merged multi-journal trace
+checker, the ``cluster`` campaign suite (including the ``--no-read-repair``
+negative control), the cluster metrics demo, and the seeded minority-
+crash durability property.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterRouter, HashRing
+from repro.errors import (
+    DegradedReadError,
+    DegradedWriteError,
+    InvalidRequestError,
+    KeyNotFoundError,
+)
+from repro.evidence import check_cluster_files, check_cluster_journals
+from repro.shardstore.injection import (
+    CLUSTER_PROFILES,
+    FAULT_NODE_CRASH,
+    FAULT_NODE_RESTART,
+    FAULT_PARTITION,
+    FAULT_PARTITION_HEAL,
+    FaultPlan,
+)
+from repro.shardstore.observability import Journal, seal_on_signal
+from repro.shardstore.resilience import AdmissionConfig
+
+
+def small_router(**overrides) -> ClusterRouter:
+    defaults = dict(num_nodes=5, seed=0)
+    defaults.update(overrides)
+    return ClusterRouter(ClusterConfig(**defaults))
+
+
+class TestHashRing:
+    def test_placement_is_deterministic(self):
+        a = HashRing((0, 1, 2, 3, 4))
+        b = HashRing((0, 1, 2, 3, 4))
+        for i in range(32):
+            key = b"k-%d" % i
+            assert a.preference_list(key, 3) == b.preference_list(key, 3)
+
+    def test_preference_list_is_distinct_nodes(self):
+        ring = HashRing((0, 1, 2, 3, 4))
+        for i in range(64):
+            prefs = ring.preference_list(b"key-%d" % i, 3)
+            assert len(prefs) == 3
+            assert len(set(prefs)) == 3
+
+    def test_membership_change_moves_only_affected_keys(self):
+        ring = HashRing((0, 1, 2))
+        before = {
+            b"k-%d" % i: ring.preference_list(b"k-%d" % i, 2)
+            for i in range(64)
+        }
+        ring.add_node(3)
+        moved = sum(
+            ring.preference_list(key, 2) != prefs
+            for key, prefs in before.items()
+        )
+        # Consistent hashing: some keys move to the new node, most stay.
+        assert 0 < moved < len(before)
+        ring.remove_node(3)
+        after = {
+            key: ring.preference_list(key, 2) for key in before
+        }
+        assert after == before
+
+
+class TestQuorumSemantics:
+    def test_put_get_delete_roundtrip(self):
+        router = small_router()
+        router.put(b"alpha", b"one")
+        assert router.get(b"alpha") == b"one"
+        assert router.contains(b"alpha")
+        router.put(b"alpha", b"two")
+        assert router.get(b"alpha") == b"two"
+        router.delete(b"alpha")
+        assert not router.contains(b"alpha")
+        with pytest.raises(KeyNotFoundError):
+            router.get(b"alpha")
+
+    def test_quorum_config_validated(self):
+        with pytest.raises(InvalidRequestError):
+            ClusterConfig(replication=3, write_quorum=1, read_quorum=1)
+        with pytest.raises(InvalidRequestError):
+            ClusterConfig(num_nodes=2, replication=3)
+
+    def test_read_routes_around_a_minority(self):
+        router = small_router()
+        router.put(b"k", b"v")
+        victim = router._placement(b"k")[0]
+        router.crash_node(victim)
+        assert router.get(b"k") == b"v"
+
+    def test_partial_ack_write_raises_typed_degradation(self):
+        router = small_router()
+        prefs = router._placement(b"k")
+        for node_id in prefs[:2]:
+            router.crash_node(node_id)
+        with pytest.raises(DegradedWriteError) as err:
+            router.put(b"k", b"v")
+        assert err.value.acks == 1
+        assert err.value.required == 2
+
+    def test_zero_ack_write_leaves_cluster_unchanged(self):
+        """The typed contract: acks == 0 means provably not applied."""
+        router = small_router()
+        router.put(b"k", b"before")
+        prefs = router._placement(b"k")
+        for node_id in prefs:
+            router.partition_node(node_id)
+        with pytest.raises(DegradedWriteError) as err:
+            router.put(b"k", b"after")
+        assert err.value.acks == 0
+        # The failed write's hints were revoked, so healing must NOT
+        # resurrect it: every replica still holds the old value.
+        assert router.stats["hints_revoked"] >= len(prefs)
+        for node_id in prefs:
+            router.heal_partition(node_id)
+        assert router.get(b"k") == b"before"
+        states = router.replica_states(b"k")
+        values = {rec[2] for rec in states.values() if rec is not None}
+        assert values == {b"before"}
+
+    def test_degraded_read_is_typed(self):
+        router = small_router()
+        router.put(b"k", b"v")
+        for node_id in router._placement(b"k"):
+            router.partition_node(node_id)
+        with pytest.raises(DegradedReadError) as err:
+            router.get(b"k")
+        assert err.value.replies == 0
+        assert err.value.required == 2
+
+
+class TestHintedHandoff:
+    def test_hints_queue_and_replay_on_heal(self):
+        router = small_router()
+        router.put(b"k", b"v1")
+        victim = router._placement(b"k")[0]
+        router.partition_node(victim)
+        router.put(b"k", b"v2")
+        assert router.hints_pending(victim) == 1
+        router.heal_partition(victim)
+        assert router.hints_pending(victim) == 0
+        assert router.stats["hints_replayed"] == 1
+        record = router.replica_states(b"k")[victim]
+        assert record is not None and record[2] == b"v2"
+
+    def test_hint_buffer_overflow_drops_oldest(self):
+        router = small_router(hint_limit=2)
+        victim = 0
+        router.partition_node(victim)
+        queued = 0
+        for i in range(40):
+            key = b"hk-%02d" % i
+            if victim in router._placement(key):
+                try:
+                    router.put(key, b"v")
+                except DegradedWriteError:
+                    pass
+                queued += 1
+            if queued >= 5:
+                break
+        assert queued >= 3
+        assert router.hints_pending(victim) <= 2
+        assert router.stats["hints_dropped"] >= 1
+
+    def test_crash_restart_replays_hints(self):
+        router = small_router()
+        router.put(b"k", b"v1")
+        victim = router._placement(b"k")[1]
+        router.crash_node(victim)
+        router.put(b"k", b"v2")
+        assert router.hints_pending(victim) == 1
+        router.restart_node(victim)
+        record = router.replica_states(b"k")[victim]
+        assert record is not None and record[2] == b"v2"
+
+
+class TestReadRepair:
+    def _diverge(self, read_repair: bool):
+        """Build a cluster where one replica is stale with no hint left."""
+        router = small_router(read_repair=read_repair, hint_limit=0)
+        router.put(b"k", b"old")
+        victim = router._placement(b"k")[0]
+        router.partition_node(victim)
+        router.put(b"k", b"new")  # hint_limit=0: the hint is dropped
+        router.heal_partition(victim)
+        stale = router.replica_states(b"k")[victim]
+        assert stale is not None and stale[2] == b"old"
+        return router, victim
+
+    def test_read_repair_converges_stale_replica(self):
+        router, victim = self._diverge(read_repair=True)
+        assert router.get(b"k") == b"new"
+        repaired = router.replica_states(b"k")[victim]
+        assert repaired is not None and repaired[2] == b"new"
+        assert router.stats["read_repairs"] >= 1
+
+    def test_without_read_repair_divergence_persists(self):
+        router, victim = self._diverge(read_repair=False)
+        assert router.get(b"k") == b"new"  # quorum still answers newest
+        stale = router.replica_states(b"k")[victim]
+        assert stale is not None and stale[2] == b"old"
+        assert router.stats["read_repairs"] == 0
+
+
+class TestMembership:
+    def test_join_rebalances_keys_onto_new_node(self):
+        router = small_router(num_nodes=3, replication=3)
+        for i in range(24):
+            router.put(b"mk-%02d" % i, b"v-%d" % i)
+        new_id = router.add_node()
+        assert router.stats["rebalances"] >= 1
+        moved = sum(
+            1
+            for i in range(24)
+            if new_id in router._placement(b"mk-%02d" % i)
+        )
+        assert moved > 0
+        for i in range(24):
+            assert router.get(b"mk-%02d" % i) == b"v-%d" % i
+
+    def test_leave_keeps_every_key_readable(self):
+        router = small_router()
+        for i in range(24):
+            router.put(b"lk-%02d" % i, b"v-%d" % i)
+        router.remove_node(router.members[0])
+        for i in range(24):
+            assert router.get(b"lk-%02d" % i) == b"v-%d" % i
+
+    def test_shed_replica_skips_write_then_converges_on_settle(self):
+        """A gray (shedding) node misses the write but no state is lost."""
+        router = small_router(
+            admission=AdmissionConfig(deadline_units=64, max_backlog_units=128)
+        )
+        router.put(b"k", b"v1")
+        victim = router._placement(b"k")[0]
+        cn = router.nodes[victim]
+        # Freeze the victim's admission clock and saturate its queues (the
+        # shape tests/test_admission.py uses): the next write sheds.
+        router.slow_node(victim, 10_000)
+        for queue in cn.node._admissions:
+            queue.busy_until = cn.node._clock + 10_000
+        router.put(b"k", b"v2")  # victim sheds -> hinted; quorum still met
+        assert router.stats["replica_sheds"] >= 1
+        assert router.hints_pending(victim) == 1
+        assert router.get(b"k") == b"v2"
+        # Drain the storm, then check the typed shed left the gray
+        # replica unchanged (no partial write slipped through).
+        cn.node.advance_clock(40_000)
+        record = router.replica_states(b"k")[victim]
+        assert record is not None and record[2] == b"v1"
+        # Hint replay converges the replica once the cluster settles.
+        router.settle()
+        record = router.replica_states(b"k")[victim]
+        assert record is not None and record[2] == b"v2"
+
+
+class TestClusterFaultPlans:
+    @pytest.mark.parametrize("profile", sorted(CLUSTER_PROFILES))
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_storm_invariants(self, profile, seed):
+        plan = FaultPlan.generate_cluster(
+            seed, ops=80, num_nodes=5, profile=profile
+        )
+        down = set()
+        outages = {
+            FAULT_NODE_CRASH: FAULT_NODE_RESTART,
+            FAULT_PARTITION: FAULT_PARTITION_HEAL,
+        }
+        opened = {}
+        for fault in plan.faults:
+            if fault.kind in outages:
+                assert fault.disk not in down, "overlapping outage windows"
+                down.add(fault.disk)
+                opened[fault.disk] = outages[fault.kind]
+                # Never more than a strict minority down at once.
+                assert len(down) <= (5 - 1) // 2
+            elif fault.kind in outages.values():
+                assert opened.get(fault.disk) == fault.kind
+                down.discard(fault.disk)
+                opened.pop(fault.disk)
+        assert not down, "every outage window must close"
+
+    def test_plan_is_deterministic(self):
+        a = FaultPlan.generate_cluster(3, ops=60, num_nodes=5)
+        b = FaultPlan.generate_cluster(3, ops=60, num_nodes=5)
+        assert a.faults == b.faults
+
+    def test_rejects_tiny_clusters(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate_cluster(0, ops=60, num_nodes=2)
+
+
+def journal_cluster(**config_overrides):
+    """A router whose journals collect in memory, plus the journal list."""
+    journals = []
+
+    def factory(identity, meta):
+        journal = Journal(meta=dict(meta, seed=0), node=identity)
+        journals.append(journal)
+        return journal
+
+    defaults = dict(num_nodes=5, seed=0)
+    defaults.update(config_overrides)
+    router = ClusterRouter(
+        ClusterConfig(**defaults), journal_factory=factory
+    )
+    return router, journals
+
+
+class TestJournalIdentity:
+    def test_every_record_carries_its_node_identity(self):
+        router, journals = journal_cluster()
+        router.put(b"k", b"v")
+        router.get(b"k")
+        router.close()
+        identities = set()
+        for journal in journals:
+            genesis = journal.entries[0]
+            identity = genesis["meta"]["node"]
+            identities.add(identity)
+            for entry in journal.entries[1:]:
+                if entry.get("kind") == "seal":
+                    continue
+                assert entry.get("node") == identity
+        assert identities == {"router"} | {
+            f"node{nid}" for nid in router.nodes
+        }
+
+    def test_member_records_carry_cluster_op_id(self):
+        router, journals = journal_cluster()
+        router.put(b"k", b"v")
+        router.close()
+        member = next(
+            j for j in journals if j.entries[0]["meta"]["node"] != "router"
+        )
+        puts = [
+            e for e in member.entries if e.get("op") and e.get("kind") == "put"
+        ]
+        assert puts and all(entry.get("cop") for entry in puts)
+
+
+class TestMergedChecker:
+    def run_storm(self, read_repair=True, seed=1):
+        router, journals = journal_cluster(read_repair=read_repair)
+        plan = FaultPlan.generate_cluster(
+            seed, ops=60, num_nodes=5, profile="cluster-mixed"
+        )
+        by_op = {}
+        for fault in plan.faults:
+            by_op.setdefault(fault.op_index, []).append(fault)
+        rng = random.Random(seed)
+        for index in range(60):
+            for fault in by_op.get(index, []):
+                router.apply_fault(fault)
+            key = b"sk-%02d" % rng.randrange(12)
+            try:
+                if rng.random() < 0.6:
+                    router.put(key, b"sv-%d" % index)
+                elif rng.random() < 0.8:
+                    router.get(key)
+                else:
+                    router.delete(key)
+            except (DegradedWriteError, DegradedReadError, KeyNotFoundError):
+                pass
+        router.settle()
+        router.close()
+        return journals
+
+    def test_clean_storm_run_passes(self):
+        journals = self.run_storm()
+        report = check_cluster_journals(
+            [j.entries for j in journals], require_seal=True
+        )
+        assert report.passed, report.violations
+        assert report.checked > 0
+        assert report.corroborated > 0
+
+    def test_tampered_journal_fails(self):
+        journals = self.run_storm()
+        router_journal = next(
+            j for j in journals if j.entries[0]["meta"]["node"] == "router"
+        )
+        victim = next(
+            e
+            for e in router_journal.entries
+            if e.get("kind") == "put" and e.get("out") == "ok"
+        )
+        victim["value"] = "0" * len(victim["value"])
+        report = check_cluster_journals([j.entries for j in journals])
+        assert not report.passed
+
+    def test_requires_exactly_one_router_journal(self):
+        journals = self.run_storm()
+        members_only = [
+            j.entries
+            for j in journals
+            if j.entries[0]["meta"]["node"] != "router"
+        ]
+        report = check_cluster_journals(members_only)
+        assert not report.passed
+
+    def test_check_trace_cli_merges_files(self, tmp_path):
+        from repro.cli import main
+
+        journals = []
+
+        def factory(identity, meta):
+            journal = Journal(
+                str(tmp_path / f"{identity}.jsonl"),
+                meta=dict(meta, seed=0),
+                node=identity,
+            )
+            journals.append(journal)
+            return journal
+
+        router = ClusterRouter(
+            ClusterConfig(num_nodes=3, seed=0), journal_factory=factory
+        )
+        router.put(b"k", b"v")
+        assert router.get(b"k") == b"v"
+        router.close()
+        paths = [str(tmp_path / f) for f in sorted(p.name for p in tmp_path.iterdir())]
+        report = check_cluster_files(paths, require_seal=True)
+        assert report.passed
+        assert main(["check-trace", "--require-seal", *paths]) == 0
+
+
+class TestClusterCampaign:
+    def make_spec(self, read_repair=True, seed=0):
+        from repro.campaign.spec import ShardSpec
+
+        return ShardSpec.make(
+            0,
+            "cluster",
+            seed,
+            profile="cluster-mixed",
+            sequences=2,
+            ops=80,
+            nodes=5,
+            read_repair=read_repair,
+        )
+
+    def test_shard_passes_and_ships_evidence(self):
+        from repro.campaign.cluster import run_shard
+
+        result = run_shard(self.make_spec())
+        assert not result.failures
+        block = result.cluster
+        assert block["consistent"]
+        assert block["evidence"]["check_passed"]
+        assert block["evidence"]["corroborated"] > 0
+        assert block["fired"] == block["planned"] > 0
+
+    def test_no_read_repair_negative_control_fails(self):
+        """Convergence is read-repair's job; disabling it must fail."""
+        from repro.campaign.cluster import run_shard
+
+        result = run_shard(self.make_spec(read_repair=False))
+        assert result.failures
+        assert "converged" in result.failures[0].detail
+
+    def test_shard_result_is_deterministic(self):
+        from repro.campaign.cluster import run_shard
+
+        a = run_shard(self.make_spec(seed=5))
+        b = run_shard(self.make_spec(seed=5))
+        assert a.cluster == b.cluster
+
+    def test_cluster_suite_smoke_end_to_end(self):
+        from repro.campaign import run_campaign
+        from repro.campaign.spec import smoke_spec
+
+        spec = smoke_spec(workers=1, suite="cluster")
+        result = run_campaign(spec)
+        artifact = result.to_json()
+        assert artifact["passed"], artifact.get("failures")
+        assert artifact["cluster"]["totals"]["fired"] > 0
+        assert artifact["cluster"]["evidence_passed"]
+
+
+class TestMinorityCrashProperty:
+    """Satellite property: random minority crash/restart storms mid-stream
+    never lose a quorum-acknowledged write, and typed quorum failures
+    never silently mutate certainty (shape follows tests/test_admission)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_acked_write_lost(self, seed):
+        rng = random.Random(seed)
+        router = small_router(seed=seed)
+        minority = (5 - 1) // 2
+        acked = {}
+        for index in range(120):
+            if rng.random() < 0.2:
+                down = [
+                    nid for nid, cn in router.nodes.items() if not cn.up
+                ]
+                if down and rng.random() < 0.5:
+                    router.restart_node(rng.choice(down))
+                elif len(down) < minority:
+                    up = [nid for nid, cn in router.nodes.items() if cn.up]
+                    router.crash_node(rng.choice(up))
+            key = b"pk-%02d" % rng.randrange(12)
+            value = b"pv-%d-%d" % (seed, index)
+            try:
+                if rng.random() < 0.8:
+                    router.put(key, value)
+                    acked[key] = value
+                else:
+                    router.delete(key)
+                    acked[key] = None
+            except DegradedWriteError as exc:
+                # Partial acks leave the key uncertain; zero acks leave
+                # the previous certainty intact.
+                if exc.acks:
+                    acked.pop(key, None)
+            except (DegradedReadError, KeyNotFoundError):
+                pass
+        router.settle()
+        for key, value in sorted(acked.items()):
+            if value is None:
+                assert not router.contains(key), key
+            else:
+                assert router.get(key) == value, key
+
+
+class TestClusterMetricsDemo:
+    def make_demo(self, **kwargs):
+        from repro.bench.serve import ClusterMetricsDemo
+
+        defaults = dict(
+            cluster_nodes=5, warmup_ops=80, ops_per_scrape=15, storm_every=2
+        )
+        defaults.update(kwargs)
+        return ClusterMetricsDemo(**defaults)
+
+    def test_metrics_page_has_per_node_labeled_series(self):
+        demo = self.make_demo()
+        page = demo.metrics_page()
+        for metric in (
+            'repro_cluster_node_shed_overload_total{node="node0"}',
+            'repro_cluster_node_breaker_state{node="node0"}',
+            'repro_cluster_node_hints_pending{node="node0"}',
+            "repro_cluster_puts_total",
+        ):
+            assert metric in page, metric
+
+    def test_storm_flips_healthz_roll_up(self):
+        demo = self.make_demo()
+        demo.metrics_page()
+        demo.metrics_page()  # second scrape: partition storm fires
+        health = demo.healthz()
+        assert health["status"] == "degraded"
+        assert health["cluster"]["degraded"]
+        statuses = {n["status"] for n in health["nodes"].values()}
+        assert "partitioned" in statuses
+        demo.metrics_page()  # odd scrape: the partition heals
+        assert demo.healthz()["status"] == "ok"
+
+    def test_live_evidence_stays_green(self):
+        demo = self.make_demo()
+        for _ in range(4):
+            demo.metrics_page()
+        evidence = demo.healthz()["evidence"]
+        assert evidence["passed"] and evidence["violations"] == 0
+        assert evidence["journals"] == 6
+
+    def test_make_server_dispatches_on_cluster_nodes(self):
+        from repro.bench.serve import ClusterMetricsDemo, make_server
+
+        server, demo = make_server(
+            cluster_nodes=3, warmup_ops=20, ops_per_scrape=5
+        )
+        try:
+            assert isinstance(demo, ClusterMetricsDemo)
+        finally:
+            server.server_close()
+
+
+class TestSealOnSignal:
+    def test_seals_on_clean_exit_and_exception(self):
+        a, b = Journal(meta={"t": 1}), Journal(meta={"t": 2})
+        with seal_on_signal(a, None):
+            a.record_op("put", key=b"k", out="ok")
+        assert a.sealed
+        with pytest.raises(RuntimeError):
+            with seal_on_signal(b):
+                raise RuntimeError("boom")
+        assert b.sealed
+
+    def test_sigterm_becomes_keyboard_interrupt(self):
+        import os
+        import signal
+
+        journal = Journal(meta={"t": 3})
+        with pytest.raises(KeyboardInterrupt):
+            with seal_on_signal(journal):
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert journal.sealed
+        # The previous handler is restored afterwards.
+        assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL
+
+
+class TestInvariantWitnessNode:
+    def test_merged_mining_attributes_witness_to_node(self):
+        from repro.evidence.invariants import mine_journals
+
+        clean = Journal(meta={}, node="node0")
+        clean.record_op("put", key=b"k", out="ok")
+        clean.close()
+        broken = Journal(meta={}, node="node1")
+        broken.record_op("put", key=b"k", out="ok")
+        broken.record_op("delete", key=b"k", out="ok")
+        broken.record_op("get", key=b"k", out="ok")  # get-after-delete
+        broken.close()
+        results = mine_journals([clean.entries, broken.entries])
+        falsified = [r for r in results if r.status == "falsified"]
+        assert falsified
+        assert any(r.witness_node == "node1" for r in falsified)
