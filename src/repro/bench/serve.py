@@ -257,6 +257,10 @@ class ClusterMetricsDemo:
                 num_nodes=cluster_nodes,
                 seed=seed,
                 admission=AdmissionConfig(),
+                # Merkle anti-entropy on: the per-node ``repro_merkle_root``
+                # gauges drift apart during a partition storm and snap back
+                # together as op-clocked sync rounds repair the lag.
+                anti_entropy=True,
             ),
             journal_factory=factory,
         )
@@ -345,6 +349,16 @@ class ClusterMetricsDemo:
             gauges.setdefault("cluster.node.hints_pending", {})[label] = (
                 self.router.hints_pending(node_id)
             )
+            for name, value in self.router.hint_stats.get(
+                node_id, {}
+            ).items():
+                counters.setdefault(f"cluster.node.hints_{name}", {})[
+                    label
+                ] = value
+        for node_id, root in self.router.antientropy.numeric_roots().items():
+            gauges.setdefault("merkle.root", {})[f"node{node_id}"] = float(
+                root
+            )
         return counters, gauges
 
     def metrics_page(self) -> str:
@@ -381,11 +395,25 @@ class ClusterMetricsDemo:
         # Degraded the moment any member is partitioned/crashed/demoted
         # or the reachable count can no longer hold ``replication`` full
         # copies -- the cluster still serves quorums, but with thinner
-        # margins than the placement promises.
-        degraded = cluster["degraded"] or cluster["below_replication"]
+        # margins than the placement promises.  Replica divergence counts
+        # too: unequal placement-group Merkle roots mean some replica is
+        # provably lagging, even if every member answers.
+        divergence = self.router.antientropy.converged_snapshot()
+        degraded = (
+            cluster["degraded"]
+            or cluster["below_replication"]
+            or not divergence["converged"]
+        )
+        anti_entropy = dict(snapshot["anti_entropy"])
+        anti_entropy.update(
+            converged=divergence["converged"],
+            divergent_groups=divergence["divergent"],
+            placement_groups=divergence["groups"],
+        )
         return {
             "status": "degraded" if degraded else "ok",
             "cluster": cluster,
+            "anti_entropy": anti_entropy,
             "nodes": snapshot["nodes"],
             "evidence": self.check_evidence(),
         }

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional
 
 from .spec import (
     ALL_KINDS,
+    KIND_ANTIENTROPY,
     KIND_CLUSTER,
     KIND_FAULT_MATRIX,
     KIND_INJECTION,
@@ -375,6 +376,88 @@ def _cluster_summary(
     }
 
 
+#: Counter keys the ``anti_entropy`` section totals, in artifact order
+#: (the schema v7 addendum in EXPERIMENTS.md documents each).
+_ANTIENTROPY_KEYS = (
+    "planned",
+    "fired",
+    "degraded_writes",
+    "quorum_write_failures",
+    "hints_queued",
+    "hints_replayed",
+    "hints_dropped",
+    "hints_revoked",
+    "node_crashes",
+    "node_restarts",
+    "partitions",
+    "partition_heals",
+    "slow_storms",
+    "anti_entropy_rounds",
+    "anti_entropy_root_matches",
+    "anti_entropy_buckets",
+    "anti_entropy_keys_repaired",
+    "anti_entropy_skips",
+    "settle_rounds",
+    "pre_settle_divergent",
+)
+
+
+def _antientropy_summary(
+    results: List[ShardResult],
+) -> Optional[Dict[str, Any]]:
+    """The anti-entropy section (schema v7): per-shard ``roots_converged``
+    verdicts plus summed storm/sync/handoff counters (None when no
+    anti-entropy phase ran).
+
+    ``roots_converged`` is the load-bearing verdict: after a divergence
+    storm with zero reads, every placement group's live Merkle roots
+    agree -- only anti-entropy can make that true.  A
+    ``--no-anti-entropy`` run deterministically flips it on any shard
+    whose storm dropped or revoked hints -- the negative-control CI job
+    asserts that campaign FAILS.
+    """
+    import hashlib
+
+    shards = [r for r in results if r.kind == KIND_ANTIENTROPY]
+    if not shards:
+        return None
+    totals = {key: 0 for key in _ANTIENTROPY_KEYS}
+    all_converged = True
+    evidence_passed = True
+    heads: List[str] = []
+    per_shard: List[Dict[str, Any]] = []
+    for result in shards:
+        block = dict(result.anti_entropy or {})
+        for key in _ANTIENTROPY_KEYS:
+            totals[key] += int(block.get(key, 0))
+        all_converged = all_converged and bool(
+            block.get("roots_converged", result.ok)
+        )
+        evidence = block.get("evidence") or {}
+        evidence_passed = evidence_passed and bool(
+            evidence.get("check_passed", True)
+        )
+        heads.append(str(evidence.get("heads_digest")))
+        block.update(
+            {
+                "shard_id": result.shard_id,
+                "seed": result.seed,
+                "ok": result.ok,
+                "skipped": result.skipped,
+            }
+        )
+        per_shard.append(block)
+    return {
+        "shards": per_shard,
+        "totals": totals,
+        "all_converged": all_converged,
+        "evidence_passed": evidence_passed,
+        "heads_digest": hashlib.sha256(
+            "\n".join(heads).encode("ascii")
+        ).hexdigest()[:16],
+    }
+
+
 def _merged_metrics(results: List[ShardResult]) -> Optional[Dict[str, Any]]:
     """Merge every traced shard's metrics snapshot (None when untraced)."""
     from repro.shardstore.observability import merge_metrics
@@ -456,4 +539,7 @@ def result_to_json(outcome: CampaignResult) -> Dict[str, Any]:
     cluster = _cluster_summary(results)
     if cluster is not None:
         artifact["cluster"] = cluster
+    anti_entropy = _antientropy_summary(results)
+    if anti_entropy is not None:
+        artifact["anti_entropy"] = anti_entropy
     return artifact

@@ -1,0 +1,387 @@
+"""Anti-entropy campaign shards: divergence storms Merkle sync must heal.
+
+The ``cluster`` suite proves read-repair is load-bearing by running
+storms whose divergence only read-repair converges.  This suite proves
+the *other* healer is load-bearing, by constructing storms whose
+divergence read-repair provably cannot touch:
+
+* the op stream is **write-only** (puts and deletes, never a client
+  read), and the router is built with ``read_repair=False`` -- so the
+  read-repair path never arms, by construction, not by luck;
+* storm windows (partitions, crashes, slow nodes) are long relative to a
+  deliberately tiny hint buffer, so hinted handoff overflows and drops
+  the hints that would otherwise heal lagging replicas on settle, and
+  quorum-failed writes revoke their hints outright;
+* settlement heals every node and replays surviving hints
+  (:meth:`~repro.cluster.router.ClusterRouter.settle`), after which the
+  dropped/revoked-hint divergence is still there -- and the only path
+  left that can converge it is Merkle anti-entropy.
+
+The settlement gate is ``roots_converged``: per placement group, every
+live member's Merkle root over that group's key domain must be equal
+(:meth:`~repro.cluster.antientropy.AntiEntropyService.
+converged_snapshot`).  With anti-entropy enabled the harness drives
+budgeted rounds until the roots converge, then cross-validates the
+Merkle verdict against raw replica bytes and the harness model.  With
+``--no-anti-entropy`` the sync step is skipped and any shard whose storm
+left divergence FAILS the gate -- the negative control CI asserts.
+
+Every sequence journals through one router journal plus one journal per
+node; the shard replays them through the merged-journal checker and
+ships chain-head digests.  The router's ``settle`` and ``merkle_roots``
+records feed the mined ``roots-converge-after-settle`` invariant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.cluster import FLAG_VALUE, ClusterConfig, ClusterRouter
+from repro.errors import (
+    DegradedReadError,
+    DegradedWriteError,
+    KeyNotFoundError,
+)
+from repro.shardstore.injection import CLUSTER_PROFILES, FaultPlan
+from repro.shardstore.observability.journal import Journal
+
+__all__ = ["AntiEntropyHarness", "run_shard"]
+
+#: Default knobs: the cluster-suite topology, but with an even smaller
+#: hint buffer (divergence is the *point* here, not a side effect) and a
+#: mid-stream sync cadence small enough that op-clocked background
+#: rounds demonstrably run during the storm.
+DEFAULT_NODES = 5
+DEFAULT_OPS = 80
+HINT_LIMIT = 2
+KEYSPACE = 16
+SYNC_INTERVAL = 16
+#: Settlement budget: rounds are per-pair and bucket-budgeted, so the
+#: ceiling is generous; the gate trusts the convergence check, never the
+#: round count.
+MAX_SETTLE_ROUNDS = 400
+
+
+class AntiEntropyHarness:
+    """One write-only op stream + divergence storm against one router."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        seed: int,
+        *,
+        num_nodes: int = DEFAULT_NODES,
+        anti_entropy: bool = True,
+        journal_factory: Optional[Any] = None,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.router = ClusterRouter(
+            ClusterConfig(
+                num_nodes=num_nodes,
+                # Read-repair is disabled by construction: even the quorum
+                # read inside delete() must not heal replicas, or the
+                # negative control would depend on op-mix luck.
+                read_repair=False,
+                hint_limit=HINT_LIMIT,
+                seed=seed,
+                anti_entropy=anti_entropy,
+                anti_entropy_interval=SYNC_INTERVAL,
+            ),
+            journal_factory=journal_factory,
+        )
+        self.rng = random.Random(seed ^ 0xAE5EED)
+        # key -> value bytes (None = certainly absent); same candidate-set
+        # bookkeeping as the cluster harness, minus the read ops.
+        self.model: Dict[bytes, Optional[bytes]] = {}
+        self.uncertain: Dict[bytes, List[Optional[bytes]]] = {}
+        self.touched: set = set()
+        self.fired = 0
+        self.settle_rounds = 0
+        self.pre_settle_divergent = 0
+        self.snapshot: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+
+    def _certain(self, key: bytes, value: Optional[bytes]) -> None:
+        self.model[key] = value
+        self.uncertain.pop(key, None)
+
+    def _widen(self, key: bytes, value: Optional[bytes]) -> None:
+        if key not in self.uncertain:
+            self.uncertain[key] = [self.model.get(key)]
+        if value in self.uncertain[key]:
+            self.uncertain[key].remove(value)
+        self.uncertain[key].append(value)
+
+    def _op_put(self, key: bytes, value: bytes) -> None:
+        try:
+            self.router.put(key, value)
+        except DegradedWriteError as exc:
+            if exc.acks:
+                self._widen(key, value)
+            return
+        self._certain(key, value)
+
+    def _op_delete(self, key: bytes) -> None:
+        try:
+            self.router.delete(key)
+        except KeyNotFoundError:
+            return
+        except DegradedReadError:
+            return
+        except DegradedWriteError as exc:
+            if exc.acks:
+                self._widen(key, None)
+            return
+        self._certain(key, None)
+
+    def run(self, ops: int) -> Optional[str]:
+        """Drive ``ops`` write-only operations, firing planned faults
+        between them.  Writes never observe state, so there is nothing to
+        check mid-stream; violations surface at settlement."""
+        faults_by_op: Dict[int, List[Any]] = {}
+        for fault in self.plan.faults:
+            faults_by_op.setdefault(fault.op_index, []).append(fault)
+        for index in range(ops):
+            for fault in faults_by_op.get(index, []):
+                self.router.apply_fault(fault)
+                self.fired += 1
+            key = b"ak-%02d" % self.rng.randrange(KEYSPACE)
+            self.touched.add(key)
+            if self.rng.random() < 0.78:
+                self._op_put(key, b"av-%d-%d" % (self.seed, index))
+            else:
+                self._op_delete(key)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def settle_and_verify(self) -> Optional[str]:
+        """Heal the cluster, sync (when enabled), then gate on converged
+        Merkle roots and cross-validate against raw replica bytes."""
+        service = self.router.antientropy
+        self.router.settle()
+        pre = service.converged_snapshot()
+        self.pre_settle_divergent = int(pre["divergent"])
+        if service.enabled:
+            outcome = service.run_until_converged(MAX_SETTLE_ROUNDS)
+            self.settle_rounds = int(outcome["rounds"])
+        self.snapshot = service.converged_snapshot()
+        service.journal_roots()
+        if not self.snapshot["converged"]:
+            return (
+                "settlement: Merkle roots divergent in "
+                f"{self.snapshot['divergent']} of {self.snapshot['groups']} "
+                "placement groups; this suite performs zero reads, so "
+                "anti-entropy is the only path that converges replicas"
+            )
+        # The Merkle verdict is a proof over the *trees*; cross-validate
+        # it against raw replica bytes and the write model.
+        for key in sorted(self.touched):
+            states = self.router.replica_states(key)
+            distinct = set(states.values())
+            if len(distinct) > 1:
+                detail = ", ".join(
+                    f"node{nid}={'absent' if rec is None else 'v%d' % rec[0]}"
+                    for nid, rec in sorted(states.items())
+                )
+                return (
+                    f"settlement: roots converged but replicas of {key!r} "
+                    f"disagree ({detail}); the tree no longer mirrors the "
+                    "replica contents"
+                )
+            rec = next(iter(distinct)) if distinct else None
+            observed = (
+                rec[2]
+                if rec is not None and rec[1] == FLAG_VALUE
+                else None
+            )
+            if key in self.uncertain:
+                if observed not in self.uncertain[key]:
+                    return (
+                        f"settlement: replicas of {key!r} hold {observed!r}, "
+                        f"outside its {len(self.uncertain[key])} candidate "
+                        "values"
+                    )
+            elif observed != self.model.get(key):
+                return (
+                    f"settlement: replicas of {key!r} hold {observed!r} but "
+                    f"the model is certain of {self.model.get(key)!r} "
+                    "(quorum-acked write lost?)"
+                )
+        return None
+
+
+# ----------------------------------------------------------------------
+# campaign entry point
+
+
+def run_shard(spec: "ShardSpec") -> "ShardResult":
+    """Picklable campaign entry point: one anti-entropy work unit.
+
+    Params: ``profile`` (a :data:`~repro.shardstore.injection.
+    CLUSTER_PROFILES` name), ``sequences``, ``ops``, ``nodes``,
+    ``anti_entropy``.  Sequence ``i`` derives everything from
+    ``spec.seed + i``, so shards replay byte-identically for any worker
+    count.
+    """
+    from repro.campaign.spec import ShardFailure, ShardResult
+    from repro.evidence import check_cluster_journals
+
+    profile = spec.param("profile", "partition")
+    if profile not in CLUSTER_PROFILES:
+        raise ValueError(f"unknown cluster storm profile {profile!r}")
+    sequences = spec.param("sequences", 2)
+    ops = spec.param("ops", DEFAULT_OPS)
+    num_nodes = spec.param("nodes", DEFAULT_NODES)
+    anti_entropy = bool(spec.param("anti_entropy", True))
+
+    totals: Dict[str, int] = {
+        "planned": 0,
+        "fired": 0,
+        "degraded_writes": 0,
+        "quorum_write_failures": 0,
+        "hints_queued": 0,
+        "hints_replayed": 0,
+        "hints_dropped": 0,
+        "hints_revoked": 0,
+        "node_crashes": 0,
+        "node_restarts": 0,
+        "partitions": 0,
+        "partition_heals": 0,
+        "slow_storms": 0,
+        "anti_entropy_rounds": 0,
+        "anti_entropy_root_matches": 0,
+        "anti_entropy_buckets": 0,
+        "anti_entropy_keys_repaired": 0,
+        "anti_entropy_skips": 0,
+        "settle_rounds": 0,
+        "pre_settle_divergent": 0,
+    }
+    hints_by_node: Dict[str, Dict[str, int]] = {}
+    evidence: Dict[str, Any] = {
+        "sequences": 0,
+        "journals": 0,
+        "records": 0,
+        "checked": 0,
+        "corroborated": 0,
+        "check_passed": True,
+        "violations": [],
+        "heads": [],
+    }
+    failures: List[ShardFailure] = []
+    cases = 0
+    ops_run = 0
+    for i in range(sequences):
+        seed = spec.seed + i
+        plan = FaultPlan.generate_cluster(
+            seed, ops=ops, num_nodes=num_nodes, profile=profile
+        )
+        journals: List[Journal] = []
+
+        def factory(
+            identity: str, meta: Dict[str, Any], _sink: List[Journal] = journals
+        ) -> Journal:
+            journal = Journal(meta=dict(meta, seed=seed), node=identity)
+            _sink.append(journal)
+            return journal
+
+        harness = AntiEntropyHarness(
+            plan,
+            seed,
+            num_nodes=num_nodes,
+            anti_entropy=anti_entropy,
+            journal_factory=factory,
+        )
+        detail = harness.run(ops)
+        cases += 1
+        ops_run += ops
+        if detail is None:
+            detail = harness.settle_and_verify()
+        stats = harness.router.stats
+        totals["planned"] += len(plan.faults)
+        totals["fired"] += harness.fired
+        totals["settle_rounds"] += harness.settle_rounds
+        totals["pre_settle_divergent"] += harness.pre_settle_divergent
+        for name in (
+            "degraded_writes",
+            "quorum_write_failures",
+            "hints_queued",
+            "hints_replayed",
+            "hints_dropped",
+            "hints_revoked",
+            "node_crashes",
+            "node_restarts",
+            "partitions",
+            "partition_heals",
+            "slow_storms",
+            "anti_entropy_rounds",
+            "anti_entropy_root_matches",
+            "anti_entropy_buckets",
+            "anti_entropy_keys_repaired",
+            "anti_entropy_skips",
+        ):
+            totals[name] += stats[name]
+        for nid, counters in sorted(harness.router.hint_stats.items()):
+            slot = hints_by_node.setdefault(
+                str(nid),
+                {"queued": 0, "dropped": 0, "replayed": 0, "revoked": 0},
+            )
+            for name in slot:
+                slot[name] += counters.get(name, 0)
+        heads = harness.router.close()
+        report = check_cluster_journals(
+            [journal.entries for journal in journals], require_seal=True
+        )
+        evidence["sequences"] += 1
+        evidence["journals"] += len(journals)
+        evidence["records"] += report.records
+        evidence["checked"] += report.checked
+        evidence["corroborated"] += report.corroborated
+        evidence["heads"].extend(head for _, head in sorted(heads.items()))
+        if not report.passed:
+            evidence["check_passed"] = False
+            for violation in report.violations[:4]:
+                if len(evidence["violations"]) < 16:
+                    evidence["violations"].append({"seed": seed, **violation})
+            if detail is None:
+                detail = (
+                    "merged-journal replay found "
+                    f"{report.violation_count} violations"
+                )
+        if detail is not None:
+            failures.append(
+                ShardFailure(
+                    kind=spec.kind,
+                    seed=seed,
+                    detail=detail,
+                    fault=f"anti-entropy:{profile}",
+                )
+            )
+            break
+    heads = evidence.pop("heads")
+    evidence["heads_digest"] = hashlib.sha256(
+        "\n".join(heads).encode("ascii")
+    ).hexdigest()[:16]
+    block: Dict[str, Any] = {
+        "profile": profile,
+        "nodes": num_nodes,
+        "replication": 3,
+        "anti_entropy": anti_entropy,
+        "roots_converged": not failures,
+        **totals,
+        "hints_by_node": hints_by_node,
+        "evidence": evidence,
+    }
+    return ShardResult(
+        shard_id=spec.shard_id,
+        kind=spec.kind,
+        seed=spec.seed,
+        cases=cases,
+        ops=ops_run,
+        failures=failures,
+        anti_entropy=block,
+    )

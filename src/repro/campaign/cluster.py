@@ -319,6 +319,7 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
         "violations": [],
         "heads": [],
     }
+    hints_by_node: Dict[str, Dict[str, int]] = {}
     failures: List[ShardFailure] = []
     cases = 0
     ops_run = 0
@@ -371,6 +372,13 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
             "rebalance_moves",
         ):
             totals[name] += stats[name]
+        for nid, counters in sorted(harness.router.hint_stats.items()):
+            slot = hints_by_node.setdefault(
+                str(nid),
+                {"queued": 0, "dropped": 0, "replayed": 0, "revoked": 0},
+            )
+            for name in slot:
+                slot[name] += counters.get(name, 0)
         heads = harness.router.close()
         report = check_cluster_journals(
             [journal.entries for journal in journals], require_seal=True
@@ -414,6 +422,7 @@ def run_shard(spec: "ShardSpec") -> "ShardResult":
         "read_repair": read_repair,
         "consistent": not failures,
         **totals,
+        "hints_by_node": hints_by_node,
         "evidence": evidence,
     }
     return ShardResult(

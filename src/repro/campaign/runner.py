@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .aggregate import CampaignResult, aggregate
 from .fault_matrix import fault_matrix_shards
 from .spec import (
+    KIND_ANTIENTROPY,
     KIND_CLUSTER,
     KIND_CONFORMANCE,
     KIND_CRASH,
@@ -86,6 +87,18 @@ _CLUSTER_PLAN: Tuple[str, ...] = (
     "partition",
 )
 
+#: The ``anti-entropy`` suite's plan: divergence storms against a
+#: write-only, read-repair-free harness (zero reads ever fire), so the
+#: Merkle sync plane is the only path that can converge replicas.  With
+#: anti-entropy disabled (``--no-anti-entropy``) every slot whose storm
+#: drops or revokes hints must FAIL its ``roots_converged`` settlement
+#: gate -- the negative control.
+_ANTIENTROPY_PLAN: Tuple[str, ...] = (
+    "partition",
+    "cluster-mixed",
+    "node-crash",
+)
+
 
 def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
     """Compile the campaign into its ordered, deterministic shard list."""
@@ -139,6 +152,23 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
                 )
             )
 
+    def add_antientropy_shards() -> None:
+        for index in range(spec.antientropy_shards):
+            shards.append(
+                ShardSpec.make(
+                    len(shards),
+                    KIND_ANTIENTROPY,
+                    next_seed(),
+                    profile=_ANTIENTROPY_PLAN[
+                        index % len(_ANTIENTROPY_PLAN)
+                    ],
+                    sequences=spec.antientropy_sequences,
+                    ops=spec.antientropy_ops,
+                    nodes=spec.antientropy_nodes,
+                    anti_entropy=spec.anti_entropy_enabled,
+                )
+            )
+
     if spec.suite == "injection":
         add_injection_shards()
         return shards
@@ -147,6 +177,9 @@ def build_shards(spec: CampaignSpec) -> List[ShardSpec]:
         return shards
     if spec.suite == "cluster":
         add_cluster_shards()
+        return shards
+    if spec.suite == "anti-entropy":
+        add_antientropy_shards()
         return shards
 
     for alphabet, harness in _CONFORMANCE_PLAN:
@@ -228,6 +261,8 @@ def execute_shard(spec: ShardSpec) -> Tuple[ShardResult, float]:
             from .injection import run_shard
         elif spec.kind == KIND_CLUSTER:
             from .cluster import run_shard
+        elif spec.kind == KIND_ANTIENTROPY:
+            from .antientropy import run_shard
         else:
             raise ValueError(f"unknown shard kind {spec.kind!r}")
         result = run_shard(spec)

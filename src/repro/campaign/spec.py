@@ -34,7 +34,13 @@ from typing import Any, Dict, List, Optional, Tuple
 #: per-shard ``cluster`` block (consistency verdict, partitions fired,
 #: read-repairs, handoff/rebalance counters, merged-journal evidence)
 #: and the aggregate gains a top-level ``cluster`` section.
-SCHEMA_VERSION = 6
+#: v7: adds the anti-entropy dimension -- shards of kind ``anti-entropy``
+#: carry a per-shard ``anti_entropy`` block (Merkle ``roots_converged``
+#: settlement verdict, sync-round/bucket/repair counters, per-node hint
+#: overflow/revocation breakdown, merged-journal evidence) and the
+#: aggregate gains a top-level ``anti_entropy`` section; cluster blocks
+#: gain a per-node ``hints`` breakdown.
+SCHEMA_VERSION = 7
 
 #: Campaign suites: which slice of the shard plan a run compiles.  The CLI
 #: builds its ``--suite`` choices and help text from this registry, so a
@@ -50,6 +56,11 @@ SUITE_REGISTRY: Dict[str, str] = {
         "multi-node storms only: quorum conformance under node crashes, "
         "partitions and slow nodes, with merged-journal replay"
     ),
+    "anti-entropy": (
+        "divergence storms only: partition + hint-overflow storms with "
+        "zero post-storm reads, so Merkle anti-entropy is the only path "
+        "that converges replicas (read-repair provably cannot fire)"
+    ),
 }
 
 #: Shard kinds, dispatched by the runner to the owning checker module.
@@ -59,6 +70,7 @@ KIND_FUZZ = "fuzz"
 KIND_FAULT_MATRIX = "fault-matrix"
 KIND_INJECTION = "injection"
 KIND_CLUSTER = "cluster"
+KIND_ANTIENTROPY = "anti-entropy"
 
 ALL_KINDS = (
     KIND_CONFORMANCE,
@@ -67,6 +79,7 @@ ALL_KINDS = (
     KIND_FAULT_MATRIX,
     KIND_INJECTION,
     KIND_CLUSTER,
+    KIND_ANTIENTROPY,
 )
 
 
@@ -169,6 +182,11 @@ class ShardResult:
     #: degradation counters, handoff/read-repair/rebalance counters and
     #: the merged multi-journal evidence verdict.
     cluster: Optional[Dict[str, Any]] = None
+    #: Anti-entropy-shard summary: divergence-storm identity, the Merkle
+    #: ``roots_converged`` settlement verdict, sync-round/repair counters,
+    #: per-node hint overflow/revocation breakdown and the merged
+    #: multi-journal evidence verdict.
+    anti_entropy: Optional[Dict[str, Any]] = None
 
     @property
     def detected(self) -> bool:
@@ -230,6 +248,16 @@ class CampaignSpec:
     #: settlement gate (revoked/dropped hints leave divergence only
     #: read-repair heals).
     read_repair_enabled: bool = True
+    # anti-entropy phase (divergence storms healed by Merkle sync alone)
+    antientropy_shards: int = 3
+    antientropy_sequences: int = 2
+    antientropy_ops: int = 80
+    antientropy_nodes: int = 5
+    #: Disable Merkle anti-entropy in anti-entropy shards -- the negative
+    #: configuration: divergence storms run with zero post-storm reads, so
+    #: without anti-entropy nothing converges replicas and every shard
+    #: must FAIL its ``roots_converged`` settlement gate.
+    anti_entropy_enabled: bool = True
     # coverage is collected on the first store-alphabet shard only
     # (sys.settrace costs ~10x; one shard is enough for blind-spot stats)
     coverage: bool = True
@@ -254,6 +282,7 @@ def smoke_spec(
     shedding_enabled: bool = True,
     journal: bool = False,
     read_repair_enabled: bool = True,
+    anti_entropy_enabled: bool = True,
 ) -> CampaignSpec:
     """The per-commit CI profile: every phase, small budgets (~tens of
     seconds on two workers), still detecting all 16 Fig. 5 bugs."""
@@ -287,5 +316,10 @@ def smoke_spec(
         cluster_ops=80,
         cluster_nodes=5,
         read_repair_enabled=read_repair_enabled,
+        antientropy_shards=3,
+        antientropy_sequences=2,
+        antientropy_ops=80,
+        antientropy_nodes=5,
+        anti_entropy_enabled=anti_entropy_enabled,
         coverage=True,
     )

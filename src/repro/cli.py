@@ -260,6 +260,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             shedding_enabled=not args.no_shedding,
             journal=args.journal,
             read_repair_enabled=not args.no_read_repair,
+            anti_entropy_enabled=not args.no_anti_entropy,
         )
     else:
         spec = CampaignSpec(
@@ -272,6 +273,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             shedding_enabled=not args.no_shedding,
             journal=args.journal,
             read_repair_enabled=not args.no_read_repair,
+            anti_entropy_enabled=not args.no_anti_entropy,
         )
     result = run_campaign(spec, log=print)
     artifact = result.to_json()
@@ -282,6 +284,73 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"artifact written to {args.output}")
     print(campaign_summary(artifact))
     return 0 if artifact["passed"] else 1
+
+
+def _cmd_merkle_scrub(args: argparse.Namespace) -> int:
+    """Seed a deterministic store, optionally corrupt it, and prove (or
+    repair) its integrity by Merkle root comparison.
+
+    Exit status is the proof: 0 when the store proves intact (after
+    repair, if ``--repair``), 1 when divergence remains -- which is how
+    the CI job turns the proof into a gate.
+    """
+    import random
+
+    from repro.shardstore import (
+        DiskGeometry,
+        FaultSet,
+        StoreConfig,
+        StoreSystem,
+    )
+
+    system = StoreSystem(
+        StoreConfig(
+            geometry=DiskGeometry(
+                num_extents=10, extent_size=2048, page_size=128
+            ),
+            faults=FaultSet.none(),
+        )
+    )
+    store = system.store
+    rng = random.Random(args.seed)
+    keys = [b"mk-%02d" % i for i in range(args.keys)]
+    for key in keys:
+        store.put(key, bytes([rng.randrange(256)]) * (96 + rng.randrange(160)))
+    store.flush_index()
+    store.drain()
+    store.cache.invalidate_all()
+    if args.corrupt:
+        for key in sorted(rng.sample(keys, k=min(args.corrupt, len(keys)))):
+            locators = store.index.get(key)
+            assert locators is not None
+            system.disk.corrupt(locators[0].extent, locators[0].offset + 8)
+            print(f"corrupted one on-disk byte under {key.decode()}")
+    report = store.merkle_scrub()
+    print(
+        f"merkle scrub: {report.keys_checked} keys, "
+        f"{report.compared} tree nodes compared, "
+        f"expected root {report.expected_root}, "
+        f"actual root {report.actual_root}"
+    )
+    if report.proven:
+        print("PROVEN: every live value matches the write-time commitment")
+        return 0
+    print(
+        "DIVERGENT: "
+        + ", ".join(key.decode() for key in report.diverging)
+    )
+    if args.repair:
+        repair = store.scrub_repair(merkle=True)
+        after = repair.merkle_after
+        print(
+            f"repair: {len(repair.repaired)} repaired, "
+            f"{len(repair.quarantined)} quarantined, "
+            f"root now {after.actual_root if after else '?'}"
+        )
+        if repair.proven:
+            print("PROVEN after repair")
+            return 0
+    return 1
 
 
 def _load_artifact(path: str):
@@ -826,7 +895,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="run cluster shards with read-repair disabled (storm shards "
         "are expected to FAIL their replica-convergence settlement gate)",
     )
+    campaign.add_argument(
+        "--no-anti-entropy",
+        action="store_true",
+        help="run anti-entropy shards with Merkle sync disabled "
+        "(divergence-storm shards are expected to FAIL their "
+        "roots_converged settlement gate)",
+    )
     campaign.set_defaults(fn=_cmd_campaign)
+
+    merkle = sub.add_parser(
+        "merkle-scrub",
+        help="prove store integrity by Merkle root comparison "
+        "(exit 0 = proven)",
+    )
+    merkle.add_argument("--seed", type=int, default=0)
+    merkle.add_argument(
+        "--keys", type=int, default=12, help="keys to seed the store with"
+    )
+    merkle.add_argument(
+        "--corrupt",
+        type=int,
+        default=0,
+        metavar="N",
+        help="flip one on-disk byte under N keys before scrubbing",
+    )
+    merkle.add_argument(
+        "--repair",
+        action="store_true",
+        help="run the Merkle-mode scrub-repair and re-prove afterwards",
+    )
+    merkle.set_defaults(fn=_cmd_merkle_scrub)
 
     stats = sub.add_parser(
         "stats", help="render observability metrics and fault events"

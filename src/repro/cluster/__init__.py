@@ -2,9 +2,12 @@
 
 See :mod:`repro.cluster.router` for the consistency argument and the
 three planes that check it (campaign PBT, merged-journal trace replay,
-deterministic model checking).
+deterministic model checking), and :mod:`repro.cluster.antientropy` for
+the Merkle anti-entropy protocol that heals divergence read-repair
+cannot reach.
 """
 
+from .antientropy import AntiEntropyService
 from .ring import HashRing
 from .router import (
     FLAG_TOMBSTONE,
@@ -17,6 +20,7 @@ from .router import (
 )
 
 __all__ = [
+    "AntiEntropyService",
     "HashRing",
     "FLAG_TOMBSTONE",
     "FLAG_VALUE",

@@ -12,7 +12,11 @@ Writes that miss a down/partitioned/demoted replica queue a bounded
 *hinted handoff* that replays when the node returns; overflowing the hint
 buffer is expected under long outages and is exactly the divergence the
 read-repair sweep must converge (the ``--no-read-repair`` negative
-control proves this is load-bearing).
+control proves this is load-bearing).  Keys that are never read again
+cannot be healed by read-repair at all; enabling ``anti_entropy`` adds
+the budgeted background Merkle sync of
+:mod:`repro.cluster.antientropy`, whose placement-group root comparison
+turns "replicas converged" into a provable settlement gate.
 
 Replica records are version-framed (``8-byte version | flag | payload``)
 so replicas are order-insensitive: a replica only applies a record newer
@@ -79,6 +83,7 @@ from repro.shardstore.observability.journal import (
 from repro.shardstore.resilience import AdmissionConfig
 from repro.shardstore.rpc import StorageNode
 
+from .antientropy import AntiEntropyService
 from .ring import HashRing
 
 __all__ = [
@@ -138,6 +143,17 @@ class ClusterConfig:
     probe_interval: int = 16
     admission: Optional[AdmissionConfig] = None
     geometry: Optional[DiskGeometry] = None
+    #: Background Merkle anti-entropy (off by default: the ``cluster``
+    #: campaign suite keeps read-repair as its sole healer so the
+    #: ``--no-read-repair`` negative control stays load-bearing; the
+    #: ``anti-entropy`` suite and the serving demo opt in explicitly).
+    anti_entropy: bool = False
+    #: Router ops between background sync rounds (0 = manual only).
+    anti_entropy_interval: int = 8
+    #: Max diverging leaf buckets one background round descends into.
+    anti_entropy_buckets: int = 8
+    #: Max keys one background round repairs.
+    anti_entropy_repairs: int = 16
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -166,6 +182,14 @@ class ClusterConfig:
             )
         if self.hint_limit < 0:
             raise InvalidRequestError("hint_limit must be non-negative")
+        if self.anti_entropy_interval < 0:
+            raise InvalidRequestError(
+                "anti_entropy_interval must be non-negative"
+            )
+        if self.anti_entropy_buckets < 1 or self.anti_entropy_repairs < 1:
+            raise InvalidRequestError(
+                "anti-entropy per-round budgets must be positive"
+            )
 
 
 class ClusterNode:
@@ -271,8 +295,19 @@ class ClusterRouter:
                 "node_leaves",
                 "rebalances",
                 "rebalance_moves",
+                "anti_entropy_rounds",
+                "anti_entropy_root_matches",
+                "anti_entropy_buckets",
+                "anti_entropy_keys_repaired",
+                "anti_entropy_skips",
             )
         }
+        #: Per-node hinted-handoff attribution (satellite counters): a
+        #: dropped or revoked hint is a write some replica will never
+        #: see by handoff -- exactly the divergence anti-entropy must
+        #: catch -- so it is surfaced per node, not just in aggregate.
+        self.hint_stats: Dict[int, Dict[str, int]] = {}
+        self.antientropy = AntiEntropyService(self)
         for _ in range(self.config.num_nodes):
             self._build_node()
 
@@ -316,6 +351,10 @@ class ClusterRouter:
         self.nodes[node_id] = ClusterNode(node_id, node, journal)
         self.ring.add_node(node_id)
         self._hints[node_id] = OrderedDict()
+        self.hint_stats[node_id] = {
+            "queued": 0, "dropped": 0, "replayed": 0, "revoked": 0
+        }
+        self.antientropy.register_node(node_id)
         return node_id
 
     def add_node(self) -> int:
@@ -334,7 +373,9 @@ class ClusterRouter:
         dropped = len(self._hints.get(node_id, ()))
         if dropped:
             self.stats["hints_dropped"] += dropped
+            self.hint_stats[node_id]["dropped"] += dropped
         self._hints[node_id] = OrderedDict()
+        self.antientropy.drop_node(node_id)
         self.stats["node_leaves"] += 1
         self._record("leave", target=node_id)
         self.rebalance()
@@ -375,6 +416,7 @@ class ClusterRouter:
     def _tick(self) -> None:
         self._op_count += 1
         self._probe_demoted()
+        self.antientropy.maybe_run()
 
     def _next_cop(self) -> int:
         self._cop += 1
@@ -424,6 +466,7 @@ class ClusterRouter:
     def _queue_hint(self, node_id: int, key: bytes, record: bytes) -> None:
         if self.config.hint_limit == 0:
             self.stats["hints_dropped"] += 1
+            self.hint_stats[node_id]["dropped"] += 1
             return
         hints = self._hints[node_id]
         if key in hints:
@@ -431,8 +474,10 @@ class ClusterRouter:
         elif len(hints) >= self.config.hint_limit:
             hints.popitem(last=False)
             self.stats["hints_dropped"] += 1
+            self.hint_stats[node_id]["dropped"] += 1
         hints[key] = record
         self.stats["hints_queued"] += 1
+        self.hint_stats[node_id]["queued"] += 1
 
     def _revoke_hints(self, node_ids: List[int], key: bytes) -> None:
         """Drop hints queued by a write that failed its quorum.
@@ -446,6 +491,7 @@ class ClusterRouter:
             if hints is not None and key in hints:
                 del hints[key]
                 self.stats["hints_revoked"] += 1
+                self.hint_stats[node_id]["revoked"] += 1
 
     def _replay_hints(self, node_id: int) -> None:
         cn = self.nodes[node_id]
@@ -463,6 +509,7 @@ class ClusterRouter:
             except ShardStoreError:
                 self._note_failure(cn)
         self.stats["hints_replayed"] += replayed
+        self.hint_stats[node_id]["replayed"] += replayed
         self._record("hint_replay", target=node_id, count=replayed)
 
     def hints_pending(self, node_id: int) -> int:
@@ -494,6 +541,10 @@ class ClusterRouter:
             if cn.journal is not None and cop:
                 cn.journal.annotate(cop=cop)
             cn.node.put(key, record)
+            # Mirror the apply into the replica's Merkle tree before the
+            # drain: the record is on the node either way, and a drain
+            # failure is followed by a dirty restart, which rebuilds.
+            self.antientropy.note_apply(cn.node_id, key, record)
             if self.config.durable_writes:
                 cn.node.drain()
         finally:
@@ -628,6 +679,7 @@ class ClusterRouter:
                 f"read reached {len(replies)}/{want} replicas",
                 replies=len(replies),
                 required=want,
+                candidates=[(r[0], r[1]) for r in replies],
             )
             self._end(
                 handle, classify_error(exc), replies=[r[0] for r in replies]
@@ -662,6 +714,7 @@ class ClusterRouter:
                 f"read reached {len(replies)}/{want_r} replicas",
                 replies=len(replies),
                 required=want_r,
+                candidates=[(r[0], r[1]) for r in replies],
             )
             self._end(handle, classify_error(exc))
             raise exc
@@ -701,6 +754,7 @@ class ClusterRouter:
                 f"read reached {len(replies)}/{want} replicas",
                 replies=len(replies),
                 required=want,
+                candidates=[(r[0], r[1]) for r in replies],
             )
             self._end(handle, classify_error(exc))
             raise exc
@@ -779,6 +833,10 @@ class ClusterRouter:
         cn.failures = 0
         self.stats["node_restarts"] += 1
         self._record("restart", target=node_id)
+        # A dirty restart may have lost un-drained writes; re-derive the
+        # replica's Merkle tree from what recovery actually produced
+        # (hint replay below re-applies through the tracked path).
+        self.antientropy.rebuild(node_id)
         self._replay_hints(node_id)
 
     def partition_node(self, node_id: int) -> None:
@@ -809,7 +867,12 @@ class ClusterRouter:
 
     def settle(self) -> None:
         """Return the cluster to full health: heal partitions, restart
-        crashed nodes, readmit demoted ones, replay every pending hint."""
+        crashed nodes, readmit demoted ones, replay every pending hint.
+
+        Journals a ``settle`` record -- the anchor for the mined
+        ``roots-converge-after-settle`` invariant (the next
+        ``merkle_roots`` record after a settle must report convergence).
+        """
         for node_id, cn in sorted(self.nodes.items()):
             if cn.removed:
                 continue
@@ -820,6 +883,7 @@ class ClusterRouter:
             if cn.demoted:
                 self._readmit(cn)
             self._replay_hints(node_id)
+        self._record("settle")
 
     # ------------------------------------------------------------------
     # rebalancing
@@ -885,6 +949,7 @@ class ClusterRouter:
                     continue
                 try:
                     reachable[nid].node.delete(key)
+                    self.antientropy.note_remove(nid, key)
                     moves += 1
                 except ShardStoreError:
                     continue
@@ -945,12 +1010,19 @@ class ClusterRouter:
                 "status": cn.status(),
                 "reachable": cn.reachable,
                 "hints_pending": self.hints_pending(node_id),
+                "hints_dropped": self.hint_stats[node_id]["dropped"],
+                "hints_revoked": self.hint_stats[node_id]["revoked"],
                 "failures": cn.failures,
             }
         return {
             "cluster": self.quorum_health(),
             "nodes": nodes,
             "counters": dict(self.stats),
+            "anti_entropy": {
+                "enabled": self.antientropy.enabled,
+                "rounds": self.stats["anti_entropy_rounds"],
+                "keys_repaired": self.stats["anti_entropy_keys_repaired"],
+            },
         }
 
     def close(self) -> Dict[str, str]:

@@ -47,6 +47,8 @@ not trigger a retry storm.
 
 from __future__ import annotations
 
+from typing import List, Optional, Tuple
+
 
 class ShardStoreError(Exception):
     """Base class for all expected ShardStore errors."""
@@ -131,11 +133,41 @@ class DegradedReadError(RetryableError):
     Raised by the cluster router when too few replicas respond (down,
     partitioned, or shedding).  Reads never mutate state, so there is no
     uncertainty to track -- the caller simply retries under budget.
+
+    ``candidates`` lists the ``(node_id, version)`` pairs of the replicas
+    that *did* answer (version -1 means "replica answered absent"), the
+    read-side analogue of :attr:`DegradedWriteError.acks`: divergence
+    debugging starts from the error itself instead of a journal replay.
     """
 
     def __init__(
-        self, message: str, *, replies: int = 0, required: int = 0
+        self,
+        message: str,
+        *,
+        replies: int = 0,
+        required: int = 0,
+        candidates: "Optional[List[Tuple[int, int]]]" = None,
     ) -> None:
         super().__init__(message)
         self.replies = replies
         self.required = required
+        self.candidates: List[Tuple[int, int]] = list(candidates or [])
+
+
+class AntiEntropyError(RetryableError):
+    """An explicit anti-entropy sync could not reach its peer replica.
+
+    Raised by :class:`repro.cluster.antientropy.AntiEntropyService` when a
+    *requested* pairwise sync names a crashed, partitioned, demoted, or
+    removed node.  Background rounds never raise it -- they skip
+    unreachable pairs and retry on a later round -- so foreground traffic
+    is never disturbed by a peer being down.  Retryable: the peer may be
+    healed or readmitted by the time the caller retries.
+    """
+
+    def __init__(
+        self, message: str, *, peer: int = -1, reason: str = "unreachable"
+    ) -> None:
+        super().__init__(message)
+        self.peer = peer
+        self.reason = reason

@@ -69,6 +69,14 @@ _EVENT_KINDS = (
     "read_repair",
     "rebalance",
     "keys",
+    # Anti-entropy evidence (PR 9): settle anchors, per-round sync
+    # summaries, and the placement-group root verdict.  Background
+    # repairs flow through the replica-apply path, so the replayer sees
+    # their effects as ordinary member-journal puts corroborated by the
+    # candidate-set semantics -- these records are narration, not state.
+    "settle",
+    "anti_entropy",
+    "merkle_roots",
 )
 
 

@@ -47,6 +47,11 @@ PROMOTED = (
     "get-after-put",
     "delete-implies-absent",
     "shed-no-state-change",
+    # After a router `settle` record, the next `merkle_roots` record must
+    # report converged replicas -- the anti-entropy settlement contract.
+    # Vacuous on journals without anti-entropy evidence, so promoting it
+    # cannot flag pre-PR-9 artifacts.
+    "roots-converge-after-settle",
 )
 
 #: Exploratory templates, reported but not gating.
@@ -187,6 +192,9 @@ def mine_journal(entries: List[Dict[str, Any]]) -> List[InvariantResult]:
     shed_expect: Dict[str, Optional[str]] = {}
     breaker_last: Dict[Any, str] = {}
     counts: Dict[str, int] = {}
+    # Armed by a router `settle` record; discharged by the next
+    # `merkle_roots` record (roots-converge-after-settle).
+    settled = False
 
     def forget(kd: Optional[str]) -> None:
         """An uncertainty boundary for one key (or all, with None)."""
@@ -276,6 +284,21 @@ def mine_journal(entries: List[Dict[str, Any]]) -> List[InvariantResult]:
                     f"{prev})",
                 )
             breaker_last[disk] = to
+            continue
+
+        if kind == "settle":
+            settled = True
+            continue
+        if kind == "merkle_roots":
+            if settled:
+                templates["roots-converge-after-settle"].check(
+                    bool(entry.get("converged")),
+                    entry,
+                    f"roots still divergent after settle "
+                    f"({entry.get('divergent')} of {entry.get('groups')} "
+                    f"placement groups)",
+                )
+                settled = False
             continue
 
         kd = entry.get("key")

@@ -15,12 +15,22 @@ live chunk gets decoded each pass) and gives corruption-type faults (#1,
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from .chunk_store import ChunkStore
 from .errors import CorruptionError, IoError
 from .lsm import LsmIndex
+from .merkle import MerkleMap
+from .observability.journal import digest_bytes
+
+#: Leaf digests for keys whose bytes cannot be content-addressed right
+#: now.  Distinct domain-separated constants: a corrupt chunk and a
+#: transiently unreadable one must diverge from any honest commitment
+#: (and from each other), never silently match it.
+CORRUPT_LEAF = hashlib.sha256(b"merkle:corrupt").hexdigest()[:16]
+IO_ERROR_LEAF = hashlib.sha256(b"merkle:io-error").hexdigest()[:16]
 
 
 @dataclass
@@ -44,6 +54,33 @@ class ScrubReport:
 
 
 @dataclass
+class MerkleScrubReport:
+    """Outcome of one Merkle integrity proof pass.
+
+    ``proven`` means the root of the *actual* tree (every live value
+    re-read through the chunk store and content-addressed now) equals the
+    root of the *expected* tree (the store's write-time commitment) -- a
+    whole-store integrity proof, not a sample.  When the roots differ the
+    descent pins the blast radius to ``diverging`` keys, which feed the
+    same heal-or-quarantine path a sampling scrub uses.
+    """
+
+    expected_root: str = ""
+    actual_root: str = ""
+    keys_checked: int = 0
+    #: Tree nodes compared during the descent (1 when the roots match).
+    compared: int = 0
+    #: Keys whose content digest disagrees with the commitment (corrupt,
+    #: unreadable, missing, or unexpected).
+    diverging: List[bytes] = field(default_factory=list)
+    io_errors: int = 0
+
+    @property
+    def proven(self) -> bool:
+        return self.expected_root == self.actual_root
+
+
+@dataclass
 class RepairReport:
     """Outcome of one scrub-repair pass (:meth:`ShardStore.scrub_repair`).
 
@@ -59,10 +96,21 @@ class RepairReport:
     repaired: List[bytes] = field(default_factory=list)
     quarantined: List[bytes] = field(default_factory=list)
     run_compactions: int = 0
+    #: Merkle mode only: the proof before and after repair.
+    merkle: Optional[MerkleScrubReport] = None
+    merkle_after: Optional[MerkleScrubReport] = None
 
     @property
     def clean(self) -> bool:
+        if self.merkle is not None:
+            return self.merkle.proven
         return self.scanned.clean
+
+    @property
+    def proven(self) -> bool:
+        """Merkle mode: does the store prove intact *after* repair?"""
+        report = self.merkle_after or self.merkle
+        return report is not None and report.proven
 
 
 class Scrubber:
@@ -100,4 +148,42 @@ class Scrubber:
                 report.bad_runs += 1
             except IoError:
                 report.io_errors += 1
+        return report
+
+    def merkle_scrub(self, expected: MerkleMap) -> MerkleScrubReport:
+        """Prove store integrity by root comparison against ``expected``.
+
+        Re-reads every live key's bytes through the chunk store, hashes
+        them content-addressed into an *actual* tree of the same shape as
+        the write-time commitment, and compares roots: equality proves
+        every live value intact in one comparison.  On divergence the
+        Merkle descent pins the exact keys -- corrupt and transiently
+        unreadable values get distinct marker leaves so they can never
+        masquerade as the committed content.
+        """
+        report = MerkleScrubReport()
+        actual = MerkleMap(fanout=expected.fanout, depth=expected.depth)
+        for key in self.index.keys():
+            locators = self.index.get(key)
+            if locators is None:
+                continue  # deleted between listing and read: fine
+            report.keys_checked += 1
+            try:
+                value = self.chunk_store.get_shard(key, locators)
+            except CorruptionError:
+                actual.set(key, CORRUPT_LEAF)
+            except IoError:
+                report.io_errors += 1
+                actual.set(key, IO_ERROR_LEAF)
+            else:
+                actual.set(key, digest_bytes(value))
+        report.expected_root = expected.root()
+        report.actual_root = actual.root()
+        buckets, report.compared = expected.diff(actual)
+        for bucket in buckets:
+            mine = expected.bucket_items(bucket)
+            theirs = actual.bucket_items(bucket)
+            for key in sorted(set(mine) | set(theirs)):
+                if mine.get(key) != theirs.get(key):
+                    report.diverging.append(key)
         return report

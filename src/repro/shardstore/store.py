@@ -38,10 +38,11 @@ from .errors import (
 )
 from .faults import component_of
 from .lsm import LsmIndex
+from .merkle import MerkleMap
 from .observability.journal import digest_bytes, digest_keys
 from .reclamation import Reclaimer, ReclaimResult
 from .scheduler import IoScheduler
-from .scrub import RepairReport, Scrubber
+from .scrub import MerkleScrubReport, RepairReport, Scrubber
 from .superblock import Superblock
 
 _T = TypeVar("_T")
@@ -116,6 +117,12 @@ class ShardStore:
         self.chunk_store.on_out_of_space = self._reclaim_for_space
         self.retry_count = 0
         self.quarantined: Set[bytes] = set()
+        # Write-time content-addressed commitment (ROADMAP 5a): fresh
+        # stores track key -> value digest incrementally at put/delete; a
+        # recovered store re-derives it lazily from the recovered state on
+        # first Merkle use (the crash may have lost un-drained writes, so
+        # the pre-crash in-memory commitment would over-claim).
+        self._merkle: Optional[MerkleMap] = None if recover else MerkleMap()
         if self.recorder.enabled and config.faults:
             # Record which Fig. 5 faults this store was built with, so every
             # traced fault-matrix shard carries a non-empty fault-event
@@ -207,7 +214,10 @@ class ShardStore:
 
     def _put_validated(self, key: bytes, value: bytes) -> Dependency:
         locators, data_dep = self.chunk_store.put_shard(key, value)
-        return self.index.put(key, locators, data_dep)
+        dep = self.index.put(key, locators, data_dep)
+        if self._merkle is not None:
+            self._merkle.set(key, digest_bytes(value))
+        return dep
 
     def get(self, key: bytes) -> bytes:
         """The value stored under ``key``.
@@ -259,7 +269,10 @@ class ShardStore:
     def _delete_validated(self, key: bytes) -> Dependency:
         if self.index.get(key) is None:
             raise KeyNotFoundError(f"no shard for key {key!r}")
-        return self.index.delete(key)
+        dep = self.index.delete(key)
+        if self._merkle is not None:
+            self._merkle.remove(key)
+        return dep
 
     def contains(self, key: bytes) -> bool:
         validate_key(key)
@@ -331,7 +344,54 @@ class ShardStore:
         with self.recorder.span("scrub"):
             return self.scrubber.scrub()
 
-    def scrub_repair(self) -> RepairReport:
+    @property
+    def merkle_tree(self) -> MerkleMap:
+        """The store's content-addressed commitment (key -> value digest).
+
+        Maintained incrementally at write time; after a recovery it is
+        re-derived here on first use from the recovered state (unreadable
+        keys are omitted, so surviving corruption still diverges from the
+        actual tree and gets caught by the next :meth:`merkle_scrub`).
+        """
+        if self._merkle is None:
+            tree = MerkleMap()
+            for key in self.index.keys():
+                locators = self.index.get(key)
+                if locators is None:
+                    continue
+                try:
+                    value = self.chunk_store.get_shard(key, locators)
+                except ShardStoreError:
+                    continue
+                tree.set(key, digest_bytes(value))
+            self._merkle = tree
+        return self._merkle
+
+    def merkle_scrub(self) -> MerkleScrubReport:
+        """Prove store integrity by Merkle root comparison (no repair).
+
+        Every live value is re-read and content-addressed; the resulting
+        root must equal the write-time commitment's root.  Equal roots
+        prove the whole store intact in one comparison -- the
+        content-addressed upgrade of :meth:`scrub`'s per-chunk sampling.
+        """
+        if self.journal is not None:
+            return self.journal.call(
+                "merkle_scrub",
+                self._merkle_scrub_op,
+                classify=lambda report: {
+                    "proven": report.proven,
+                    "root": report.actual_root,
+                    "diverging": len(report.diverging) or None,
+                },
+            )
+        return self._merkle_scrub_op()
+
+    def _merkle_scrub_op(self) -> MerkleScrubReport:
+        with self.recorder.span("merkle_scrub"):
+            return self.scrubber.merkle_scrub(self.merkle_tree)
+
+    def scrub_repair(self, *, merkle: bool = False) -> RepairReport:
         """Scrub, then heal what the scrub found (section 4.4 tolerance).
 
         Keys whose chunks fail validation are re-read through the normal
@@ -343,11 +403,17 @@ class ShardStore:
         rewritten by forcing a compaction.  Transient IO errors propagate:
         repairing a disk that is still failing is the circuit breaker's
         decision, not the scrubber's.
+
+        With ``merkle=True`` the damage is found by the Merkle proof
+        instead of chunk sampling: the pre-repair divergence pins the
+        keys to heal, and a post-repair proof (``report.proven``)
+        certifies the store intact again -- or names what quarantine had
+        to give up on.
         """
         if self.journal is not None:
             return self.journal.call(
                 "scrub_repair",
-                self._scrub_repair_op,
+                lambda: self._scrub_repair_op(merkle=merkle),
                 classify=lambda report: {
                     "repaired": sorted(digest_bytes(k) for k in report.repaired)
                     or None,
@@ -355,34 +421,55 @@ class ShardStore:
                         digest_bytes(k) for k in report.quarantined
                     )
                     or None,
+                    "proven": (
+                        report.proven if report.merkle is not None else None
+                    ),
                 },
             )
-        return self._scrub_repair_op()
+        return self._scrub_repair_op(merkle=merkle)
 
-    def _scrub_repair_op(self) -> RepairReport:
-        with self.recorder.span("scrub_repair"):
-            report = RepairReport(scanned=self.scrubber.scrub())
-            for key in report.scanned.bad_keys:
+    def _heal_keys(self, bad_keys: List[bytes], report: RepairReport) -> None:
+        """Heal-or-quarantine each suspect key (shared by both modes)."""
+        for key in bad_keys:
+            try:
+                value = self.get(key)
+            except CorruptionError:
                 try:
-                    value = self.get(key)
-                except CorruptionError:
-                    try:
-                        self.index.delete(key)
-                    except KeyNotFoundError:
-                        pass
-                    self.quarantined.add(key)
-                    report.quarantined.append(key)
-                    if self.recorder.enabled:
-                        self.recorder.count("scrub.quarantined")
-                        self.recorder.event("scrub.quarantine", key=repr(key))
-                    continue
-                except NotFoundError:
-                    continue  # deleted since the scrub pass: nothing to heal
-                self.put(key, value)
-                report.repaired.append(key)
+                    self.index.delete(key)
+                except KeyNotFoundError:
+                    pass
+                if self._merkle is not None:
+                    self._merkle.remove(key)
+                self.quarantined.add(key)
+                report.quarantined.append(key)
                 if self.recorder.enabled:
-                    self.recorder.count("scrub.repaired")
-                    self.recorder.event("scrub.repair", key=repr(key))
+                    self.recorder.count("scrub.quarantined")
+                    self.recorder.event("scrub.quarantine", key=repr(key))
+                continue
+            except NotFoundError:
+                # Deleted since the scrub pass: nothing to heal, but the
+                # commitment must not keep claiming a key the index lost.
+                if self._merkle is not None:
+                    self._merkle.remove(key)
+                continue
+            self.put(key, value)
+            report.repaired.append(key)
+            if self.recorder.enabled:
+                self.recorder.count("scrub.repaired")
+                self.recorder.event("scrub.repair", key=repr(key))
+
+    def _scrub_repair_op(self, *, merkle: bool = False) -> RepairReport:
+        with self.recorder.span("scrub_repair"):
+            if merkle:
+                before = self.scrubber.merkle_scrub(self.merkle_tree)
+                report = RepairReport(merkle=before)
+                self._heal_keys(list(before.diverging), report)
+                report.merkle_after = self.scrubber.merkle_scrub(
+                    self.merkle_tree
+                )
+                return report
+            report = RepairReport(scanned=self.scrubber.scrub())
+            self._heal_keys(report.scanned.bad_keys, report)
             if report.scanned.bad_runs:
                 try:
                     self.compact()

@@ -17,6 +17,7 @@ from repro.campaign import (
 )
 from repro.campaign.runner import SEED_STRIDE, execute_shard
 from repro.campaign.spec import (
+    KIND_ANTIENTROPY,
     KIND_CLUSTER,
     KIND_CONFORMANCE,
     KIND_CRASH,
@@ -296,7 +297,7 @@ class TestRunCampaign:
 
     def test_artifact_schema_headline_fields(self):
         artifact = result_to_json(run_campaign(_tiny_spec()))
-        assert artifact["schema_version"] == 6
+        assert artifact["schema_version"] == 7
         for key in (
             "campaign",
             "totals",
@@ -315,6 +316,7 @@ class TestRunCampaign:
             KIND_FAULT_MATRIX,
             KIND_INJECTION,
             KIND_CLUSTER,
+            KIND_ANTIENTROPY,
         }
 
 class TestBrownoutSuite:

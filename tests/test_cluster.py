@@ -73,6 +73,49 @@ class TestHashRing:
         }
         assert after == before
 
+    def test_single_join_moves_at_most_expected_key_fraction(self):
+        """Consistent-hashing contract: a join steals about ``1/(n+1)``
+        of the primary ownership, and *only* toward the new node."""
+        keys = [b"pk-%03d" % i for i in range(512)]
+        for n in (4, 5, 8):
+            ring = HashRing(tuple(range(n)))
+            before = {key: ring.preference_list(key, 1)[0] for key in keys}
+            ring.add_node(n)
+            after = {key: ring.preference_list(key, 1)[0] for key in keys}
+            moved = [key for key in keys if before[key] != after[key]]
+            # 2x the ideal share is generous slack for 16-vnode variance.
+            assert len(moved) / len(keys) <= 2.0 / (n + 1)
+            assert all(after[key] == n for key in moved), (
+                "a join may only move keys onto the joining node"
+            )
+
+    def test_single_leave_moves_only_the_leavers_keys(self):
+        keys = [b"pk-%03d" % i for i in range(512)]
+        for n in (5, 6, 9):
+            ring = HashRing(tuple(range(n)))
+            before = {key: ring.preference_list(key, 1)[0] for key in keys}
+            ring.remove_node(0)
+            after = {key: ring.preference_list(key, 1)[0] for key in keys}
+            moved = [key for key in keys if before[key] != after[key]]
+            assert len(moved) / len(keys) <= 2.0 / n
+            assert all(before[key] == 0 for key in moved), (
+                "a leave may only move keys the leaver owned"
+            )
+
+    def test_vnode_placement_stable_across_restarts(self):
+        """Ring points derive from SHA-256 over stable identifiers -- no
+        RNG, no wall clock -- so a rebuilt ring (any membership order)
+        places every key identically."""
+        keys = [b"pk-%03d" % i for i in range(256)]
+        a = HashRing((0, 1, 2, 3, 4))
+        b = HashRing(())
+        for node_id in (4, 2, 0, 3, 1):  # same members, different order
+            b.add_node(node_id)
+        for key in keys:
+            assert a.preference_list(key, 3) == b.preference_list(key, 3)
+        assert a._points == b._points
+        assert a._owners == b._owners
+
 
 class TestQuorumSemantics:
     def test_put_get_delete_roundtrip(self):
